@@ -1,0 +1,29 @@
+.PHONY: all build test bench examples doc clean fmt
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/genealogy.exe
+	dune exec examples/sticky_colors.exe
+	dune exec examples/chase_zoo.exe
+	dune exec examples/university.exe
+	dune exec examples/frontier_grid.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
+
+fmt:
+	dune fmt || true
