@@ -1,0 +1,343 @@
+(* frontier — command-line front end.
+
+   Subcommands:
+     chase     run the semi-oblivious Skolem chase and print stages
+     rewrite   compute the UCQ rewriting of a query
+     answer    certain answers, via the chase and (if possible) rewriting
+     classify  syntactic class report for a theory
+     analyze   locality / distancing / termination probes on an instance *)
+
+open Cmdliner
+
+let read_source s =
+  (* A value is either inline text or @file. *)
+  if String.length s > 0 && s.[0] = '@' then (
+    let path = String.sub s 1 (String.length s - 1) in
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    content)
+  else s
+
+let theory_arg =
+  let doc = "Theory: inline rules or @file. Rules look like \
+             'Human(y) -> exists z. Mother(y,z)', separated by '.' or \
+             newlines." in
+  Arg.(required & opt (some string) None & info [ "t"; "theory" ] ~doc)
+
+let instance_arg =
+  let doc = "Instance: inline facts or @file, e.g. 'Human(abel). E(a,b)'." in
+  Arg.(required & opt (some string) None & info [ "d"; "instance" ] ~doc)
+
+let query_arg =
+  let doc = "Query: '(x,y) :- R(x,z), G(z,y)' or ':- E(x,x)' (boolean)." in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~doc)
+
+let depth_arg =
+  let doc = "Maximum chase depth." in
+  Arg.(value & opt int 20 & info [ "depth" ] ~doc)
+
+let atoms_arg =
+  let doc = "Maximum number of chase atoms." in
+  Arg.(value & opt int 200_000 & info [ "max-atoms" ] ~doc)
+
+let parse_theory s = Frontier.Parse.theory (read_source s)
+let parse_instance s = Frontier.Parse.instance (read_source s)
+let parse_query s = Frontier.Parse.query (read_source s)
+
+let handle f =
+  try f () with
+  | Frontier.Parse.Error msg ->
+      Fmt.epr "parse error: %s@." msg;
+      exit 2
+  | Invalid_argument msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+
+let chase_cmd =
+  let run theory instance depth max_atoms verbose variant dot_file =
+    handle (fun () ->
+        let t = parse_theory theory in
+        let d = parse_instance instance in
+        let result_facts =
+          match variant with
+          | "semi-oblivious" ->
+              let run =
+                Frontier.Chase_engine.run ~max_depth:depth ~max_atoms t d
+              in
+              Fmt.pr "chase: %d stages%s%s@."
+                (Frontier.Chase_engine.depth run)
+                (if Frontier.Chase_engine.saturated run then " (saturated)"
+                 else "")
+                (if Frontier.Chase_engine.hit_atom_budget run then
+                   " (atom budget hit)"
+                 else "");
+              for i = 0 to Frontier.Chase_engine.depth run do
+                Fmt.pr "stage %d: %d atoms@." i
+                  (Frontier.Fact_set.cardinal
+                     (Frontier.Chase_engine.stage run i))
+              done;
+              Frontier.Chase_engine.result run
+          | "oblivious" ->
+              let r =
+                Frontier.Chase_variants.run_oblivious ~max_depth:depth
+                  ~max_atoms t d
+              in
+              Fmt.pr "oblivious chase: %d stages%s, %d atoms@."
+                r.Frontier.Chase_variants.steps
+                (if r.Frontier.Chase_variants.saturated then " (saturated)"
+                 else "")
+                (Frontier.Fact_set.cardinal r.Frontier.Chase_variants.facts);
+              r.Frontier.Chase_variants.facts
+          | "restricted" ->
+              let r =
+                Frontier.Chase_variants.run_restricted
+                  ~max_applications:(depth * 100) ~max_atoms t d
+              in
+              Fmt.pr "restricted chase: %d applications%s, %d atoms@."
+                r.Frontier.Chase_variants.steps
+                (if r.Frontier.Chase_variants.saturated then
+                   " (model reached)"
+                 else "")
+                (Frontier.Fact_set.cardinal r.Frontier.Chase_variants.facts);
+              r.Frontier.Chase_variants.facts
+          | other ->
+              Fmt.epr "unknown chase variant %S@." other;
+              exit 2
+        in
+        (match dot_file with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc
+              (Frontier.Render.to_dot
+                 ~highlight:(Frontier.Fact_set.domain d)
+                 result_facts);
+            close_out oc;
+            Fmt.pr "dot graph written to %s@." path
+        | None -> ());
+        if verbose then Fmt.pr "%a@." Frontier.Fact_set.pp result_facts)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print all atoms.")
+  in
+  let variant =
+    Arg.(
+      value
+      & opt string "semi-oblivious"
+      & info [ "variant" ]
+          ~doc:"Chase variant: semi-oblivious (default), oblivious,                 restricted.")
+  in
+  let dot_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~doc:"Write the result as a GraphViz dot file.")
+  in
+  Cmd.v
+    (Cmd.info "chase" ~doc:"Run the chase (semi-oblivious by default)")
+    Term.(
+      const run $ theory_arg $ instance_arg $ depth_arg $ atoms_arg $ verbose
+      $ variant $ dot_file)
+
+let rewrite_cmd =
+  let run theory query steps disjuncts =
+    handle (fun () ->
+        let t = parse_theory theory in
+        let q = parse_query query in
+        let budget =
+          {
+            Frontier.Rewrite.default_budget with
+            Frontier.Rewrite.max_steps = steps;
+            max_disjuncts = disjuncts;
+          }
+        in
+        let r = Frontier.rewrite ~budget t q in
+        (match r.Frontier.Rewrite.outcome with
+        | Frontier.Rewrite.Complete -> Fmt.pr "rewriting complete:@."
+        | Frontier.Rewrite.Step_budget -> Fmt.pr "step budget exhausted; partial:@."
+        | Frontier.Rewrite.Disjunct_budget ->
+            Fmt.pr "disjunct budget exhausted; partial:@."
+        | Frontier.Rewrite.Size_budget ->
+            Fmt.pr "disjunct size budget exhausted; partial:@.");
+        Fmt.pr "%a@." Frontier.Ucq.pp r.Frontier.Rewrite.ucq;
+        Fmt.pr "disjuncts: %d, max size: %d@."
+          (Frontier.Ucq.cardinal r.Frontier.Rewrite.ucq)
+          (Frontier.Ucq.max_disjunct_size r.Frontier.Rewrite.ucq))
+  in
+  let steps =
+    Arg.(value & opt int 5_000 & info [ "steps" ] ~doc:"Rewriting step budget.")
+  in
+  let disjuncts =
+    Arg.(value & opt int 2_000 & info [ "disjuncts" ] ~doc:"Disjunct budget.")
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Compute the UCQ rewriting of a query")
+    Term.(const run $ theory_arg $ query_arg $ steps $ disjuncts)
+
+let answer_cmd =
+  let run theory instance query depth max_atoms =
+    handle (fun () ->
+        let t = parse_theory theory in
+        let d = parse_instance instance in
+        let q = parse_query query in
+        let answers =
+          Frontier.certain_answers ~max_depth:depth ~max_atoms t d q
+        in
+        Fmt.pr "via chase (%d answers):@." (List.length answers);
+        List.iter
+          (fun tuple ->
+            Fmt.pr "  (%a)@."
+              (Fmt.list ~sep:(Fmt.any ", ") Frontier.Term.pp)
+              tuple)
+          answers;
+        match Frontier.answer_via_rewriting t d q with
+        | Some answers' ->
+            Fmt.pr "via rewriting (%d answers): %s@." (List.length answers')
+              (if
+                 List.sort compare answers' = List.sort compare answers
+               then "agrees with the chase"
+               else "DISAGREES with the chase")
+        | None -> Fmt.pr "via rewriting: did not complete within budget@.")
+  in
+  Cmd.v
+    (Cmd.info "answer" ~doc:"Certain answers via chase and rewriting")
+    Term.(const run $ theory_arg $ instance_arg $ query_arg $ depth_arg $ atoms_arg)
+
+let explain_cmd =
+  let run theory instance query tuple depth max_atoms =
+    handle (fun () ->
+        let t = parse_theory theory in
+        let d = parse_instance instance in
+        let q = parse_query query in
+        let answer =
+          match tuple with
+          | None -> []
+          | Some s ->
+              String.split_on_char ',' s
+              |> List.map String.trim
+              |> List.filter (fun x -> x <> "")
+              |> List.map Frontier.Term.const
+        in
+        let run = Frontier.Chase_engine.run ~max_depth:depth ~max_atoms t d in
+        match Frontier.Explain.explain run q answer with
+        | Some expl ->
+            Fmt.pr "%a@." Frontier.Explain.pp expl;
+            Fmt.pr "support is sufficient: %b@."
+              (Frontier.Explain.support_is_sufficient ~max_depth:depth run
+                 expl q answer)
+        | None ->
+            Fmt.pr
+              "not entailed within the chase budget (depth %d)@." depth)
+  in
+  let tuple =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "a"; "answers" ]
+          ~doc:"Answer tuple: comma-separated constants, e.g. 'abel,eve'.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Why is the query entailed? Derivation trees and fact support")
+    Term.(
+      const run $ theory_arg $ instance_arg $ query_arg $ tuple $ depth_arg
+      $ atoms_arg)
+
+let marked_rewrite_cmd =
+  let run query levels steps =
+    handle (fun () ->
+        let q = parse_query (read_source query) in
+        let res =
+          if levels = 2 then Frontier.Marked_process.rewrite_td ~max_steps:steps q
+          else Frontier.Marked_process.rewrite_tdk ~max_steps:steps levels q
+        in
+        Fmt.pr "%s after %d process steps (%d cut, %d fuse, %d reduce):@."
+          (if res.Frontier.Marked_process.complete then "complete"
+           else "step budget exhausted")
+          res.Frontier.Marked_process.stats.Frontier.Marked_process.steps
+          res.Frontier.Marked_process.stats.Frontier.Marked_process.cut_steps
+          res.Frontier.Marked_process.stats.Frontier.Marked_process.fuse_steps
+          res.Frontier.Marked_process.stats.Frontier.Marked_process.reduce_steps;
+        Fmt.pr "%a@." Frontier.Ucq.pp res.Frontier.Marked_process.rewriting;
+        Fmt.pr "disjuncts: %d, max size: %d, trivial: %d, aliased: %d@."
+          (Frontier.Ucq.cardinal res.Frontier.Marked_process.rewriting)
+          (Frontier.Ucq.max_disjunct_size
+             res.Frontier.Marked_process.rewriting)
+          (List.length res.Frontier.Marked_process.trivial)
+          (List.length res.Frontier.Marked_process.aliased))
+  in
+  let levels =
+    Arg.(
+      value & opt int 2
+      & info [ "K"; "levels" ]
+          ~doc:"Signature levels: 2 = T_d over R/G (default); K > 2 uses                 I1..IK (T_d^K).")
+  in
+  let steps =
+    Arg.(
+      value & opt int 200_000
+      & info [ "steps" ] ~doc:"Process step budget.")
+  in
+  Cmd.v
+    (Cmd.info "marked-rewrite"
+       ~doc:
+         "Rewrite a query under T_d (or T_d^K) with the marked-query           process of Sections 10-12")
+    Term.(const run $ query_arg $ levels $ steps)
+
+let classify_cmd =
+  let run theory =
+    handle (fun () ->
+        let t = parse_theory theory in
+        Fmt.pr "%a@." Frontier.Classes.pp_report (Frontier.classify t))
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Syntactic class report")
+    Term.(const run $ theory_arg)
+
+let analyze_cmd =
+  let run theory instance depth max_l =
+    handle (fun () ->
+        let t = parse_theory theory in
+        let d = parse_instance instance in
+        (match Frontier.Locality.min_constant ~depth t d ~max_l with
+        | Some l -> Fmt.pr "locality: no defect at l = %d on this instance@." l
+        | None ->
+            Fmt.pr "locality: defects persist up to l = %d on this instance@."
+              max_l);
+        let run = Frontier.Chase_engine.run ~max_depth:depth t d in
+        (match Frontier.Distancing.max_contraction run with
+        | Some (p, ratio) ->
+            Fmt.pr "distancing: max contraction %.3f (pair %a, %a)@." ratio
+              Frontier.Term.pp p.Frontier.Distancing.a Frontier.Term.pp
+              p.Frontier.Distancing.b
+        | None -> Fmt.pr "distancing: no connected pair@.");
+        match Frontier.Termination.core_terminates_on ~max_c:depth t d with
+        | Frontier.Termination.Holds c ->
+            Fmt.pr "core termination: model inside stage %d@." c
+        | Frontier.Termination.Budget_exhausted ->
+            Fmt.pr "core termination: no model found within budget@."
+        | Frontier.Termination.Fails ->
+            Fmt.pr "core termination: refuted@.")
+  in
+  let max_l =
+    Arg.(value & opt int 4 & info [ "max-l" ] ~doc:"Locality constant bound.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Locality / distancing / termination probes")
+    Term.(const run $ theory_arg $ instance_arg $ depth_arg $ max_l)
+
+let () =
+  let info =
+    Cmd.info "frontier" ~version:"1.0.0"
+      ~doc:
+        "Query rewritability toolkit: chase, UCQ rewriting, and the \
+         frontier analyzers from 'A Journey to the Frontiers of Query \
+         Rewritability' (PODS 2022)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ chase_cmd; rewrite_cmd; marked_rewrite_cmd; answer_cmd; explain_cmd;
+            classify_cmd; analyze_cmd ]))

@@ -1,0 +1,1 @@
+examples/chase_zoo.ml: Atom Chase_engine Chase_variants Cores Fact_set Fmt Frontier Instances List Parse Printf String Term Termination Zoo

@@ -1,0 +1,1 @@
+examples/chase_zoo.mli:

@@ -1,0 +1,1 @@
+examples/frontier_grid.ml: Atom Chase_engine Containment Cq Distancing Entailment Fact_set Fmt Frontier Instances List Marked_process Option Rewrite Symbol Term Theory Ucq Zoo

@@ -1,0 +1,1 @@
+examples/genealogy.ml: Fmt Frontier List Printf String

@@ -1,0 +1,1 @@
+examples/sticky_colors.ml: Atom Classes Cq Fact_set Fmt Frontier Instances List Locality Rewrite Term Theory Ucq Zoo

@@ -1,0 +1,1 @@
+examples/sticky_colors.mli:

@@ -1,0 +1,1 @@
+examples/university.ml: Chase_engine Chase_variants Classes Explain Fact_set Fmt Frontier List Parse Printf Reasoner Term Ucq

@@ -1,0 +1,60 @@
+(* Sticky theories and the two kinds of locality (Section 9).
+
+   Example 39's one-rule sticky theory: an observer sees coloured edges and
+   believes in colours; every believed colour forces another visible edge.
+   The theory is BDD (sticky), but NOT local: the star instance with k
+   colours needs locality constant k+1. It IS bounded-degree local: at any
+   fixed degree the constant stops growing. Example 42's T_c then shows a
+   BDD theory that is not even bd-local.
+
+   Run with: dune exec examples/sticky_colors.exe *)
+
+open Frontier
+
+let () =
+  Fmt.pr "Example 39 (sticky):@.%a@.@." Theory.pp Zoo.t_sticky;
+  Fmt.pr "classification: %a@.@." Classes.pp_report (classify Zoo.t_sticky);
+
+  (* Non-locality: on the k-colour star, deriving the deepest visible edge
+     needs every fact of the instance. *)
+  Fmt.pr "minimal locality constant on k-colour stars:@.";
+  List.iter
+    (fun k ->
+      let star = Instances.sticky_star k in
+      match Locality.min_constant ~depth:(k + 1) Zoo.t_sticky star ~max_l:(k + 2) with
+      | Some l -> Fmt.pr "  k=%d colours: l = %d (instance has %d facts)@." k l
+                    (Fact_set.cardinal star)
+      | None -> Fmt.pr "  k=%d colours: > %d@." k (k + 2))
+    [ 1; 2; 3; 4 ];
+
+  (* Degree is the culprit: the star observer has degree k+2.  On
+     bounded-degree instances the constant is bounded (bd-locality,
+     Definition 40). *)
+  let _, _, chain = Instances.path Zoo.r2 3 in
+  Fmt.pr "@.on a degree-2 instance the constant is small: %a@."
+    (Fmt.option Fmt.int)
+    (Locality.min_constant ~depth:3 Zoo.t_sticky chain ~max_l:3);
+
+  (* The sticky rewriting is complete and linear-size (backward shy):
+     rewrite the atomic visible-edge query. *)
+  let x = Term.var "x" and y = Term.var "y" and y' = Term.var "y'" in
+  let t = Term.var "t" in
+  let q = Cq.make ~free:[ x ] [ Atom.make Zoo.e4 [ x; y; y'; t ] ] in
+  let r = Rewrite.rewrite Zoo.t_sticky q in
+  (match r.Rewrite.outcome with
+  | Rewrite.Complete ->
+      Fmt.pr "@.rew(E4(x,_,_,_)) complete: %d disjuncts, max size %d@."
+        (Ucq.cardinal r.Rewrite.ucq)
+        (Ucq.max_disjunct_size r.Rewrite.ucq)
+  | _ -> Fmt.pr "@.rewriting incomplete@.");
+
+  (* Example 42: BDD but not even bd-local — on n-cycles (degree 2!) some
+     chase atom needs all n facts. *)
+  Fmt.pr "@.Example 42 (T_c), fact-support on n-cycles (degree 2):@.";
+  List.iter
+    (fun n ->
+      let cyc = Instances.cycle Zoo.e2 n in
+      match Locality.max_support ~depth:n ~sub_depth:n Zoo.t_c cyc with
+      | Some s -> Fmt.pr "  n=%d: some atom needs %d of the %d facts@." n s n
+      | None -> Fmt.pr "  n=%d: support not computable within budget@." n)
+    [ 3; 4; 5; 6 ]

@@ -1,0 +1,1 @@
+lib/chase/core_model.ml: Atom Engine Fact_set Homomorphism List Logic Term Theory

@@ -1,0 +1,1 @@
+lib/chase/core_model.mli: Fact_set Homomorphism Logic Term Theory

@@ -1,0 +1,1 @@
+lib/chase/engine.ml: Array Atom Fact_set Hashtbl Homomorphism Int List Logic Option Printf Term Tgd Theory

@@ -1,0 +1,1 @@
+lib/chase/engine.mli: Atom Fact_set Homomorphism Logic Term Tgd Theory

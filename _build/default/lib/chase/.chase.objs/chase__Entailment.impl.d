@@ -1,0 +1,1 @@
+lib/chase/entailment.ml: Bool Cq Engine Fact_set List Logic Term

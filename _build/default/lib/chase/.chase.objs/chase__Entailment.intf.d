@@ -1,0 +1,1 @@
+lib/chase/entailment.mli: Cq Engine Fact_set Logic Term Theory

@@ -1,0 +1,1 @@
+lib/chase/explain.ml: Atom Cq Engine Fact_set Fmt Homomorphism List Logic Option Term Tgd

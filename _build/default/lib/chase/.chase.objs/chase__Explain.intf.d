@@ -1,0 +1,1 @@
+lib/chase/explain.mli: Atom Cq Engine Fact_set Fmt Homomorphism Logic Term Tgd

@@ -1,0 +1,1 @@
+lib/chase/fusfes.ml: Core_model Engine Fact_set List Logic

@@ -1,0 +1,1 @@
+lib/chase/fusfes.mli: Fact_set Logic Theory

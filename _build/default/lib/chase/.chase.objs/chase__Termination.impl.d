@@ -1,0 +1,1 @@
+lib/chase/termination.ml: Core_model Engine List

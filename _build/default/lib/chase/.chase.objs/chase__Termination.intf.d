@@ -1,0 +1,1 @@
+lib/chase/termination.mli: Fact_set Logic Theory

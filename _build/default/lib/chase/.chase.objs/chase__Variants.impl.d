@@ -1,0 +1,1 @@
+lib/chase/variants.ml: Atom Core_model Engine Fact_set List Logic Printf Term Tgd Theory

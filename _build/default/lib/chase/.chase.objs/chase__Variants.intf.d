@@ -1,0 +1,1 @@
+lib/chase/variants.mli: Fact_set Logic Theory

@@ -1,0 +1,89 @@
+open Logic
+
+let endomorphism_avoiding f ~keep ~avoid =
+  let dom = Fact_set.domain f in
+  let flexible = Term.Set.diff dom keep in
+  if not (Term.Set.mem avoid flexible) then None
+  else
+    Homomorphism.find
+      (Homomorphism.make
+         ~image_ok:(fun _ u -> not (Term.equal u avoid))
+         ~flexible ~pattern:(Fact_set.atoms f) ~target:f ())
+
+let image_of f mapping ~flexible =
+  Fact_set.of_list
+    (List.map (Homomorphism.apply mapping ~flexible) (Fact_set.atoms f))
+
+let core_of ?(keep = Term.Set.empty) f =
+  let rec shrink f =
+    let dom = Fact_set.domain f in
+    let candidates = Term.Set.elements (Term.Set.diff dom keep) in
+    let rec try_avoid = function
+      | [] -> f
+      | a :: rest -> (
+          match endomorphism_avoiding f ~keep ~avoid:a with
+          | Some h ->
+              shrink (image_of f h ~flexible:(Term.Set.diff dom keep))
+          | None -> try_avoid rest)
+    in
+    try_avoid candidates
+  in
+  shrink f
+
+let retract_onto f ~into ~keep =
+  let flexible = Term.Set.diff (Fact_set.domain f) keep in
+  Homomorphism.find
+    (Homomorphism.make ~flexible ~pattern:(Fact_set.atoms f) ~target:into ())
+
+type core_result = { c : int; model : Fact_set.t; core : Fact_set.t }
+
+exception Found_model of Fact_set.t
+
+let core_of_chase ?(max_c = 20) ?(lookahead = 6) ?(max_atoms = 100_000)
+    ?(max_homs = 5_000) theory d =
+  let run = Engine.run ~max_depth:(max_c + lookahead) ~max_atoms theory d in
+  let keep = Fact_set.domain d in
+  let deepest = Engine.result run in
+  let deepest_is_everything = Engine.saturated run in
+  let flexible = Term.Set.diff (Fact_set.domain deepest) keep in
+  let model_inside n =
+    let stage_n = Engine.stage run (min n (Engine.depth run)) in
+    (* The image of a model is a model (Observation 2), so when the run
+       saturated any fold of it into stage [n] works.  Otherwise [deepest]
+       is only a prefix and a fold image need not be a model: enumerate
+       folds (capped) and model-check each image. *)
+    let tried = ref 0 in
+    (* Prefer folding onto original constants: candidate facts whose
+       arguments are instance constants come first, so the first
+       homomorphisms enumerated are the natural "collapse everything onto
+       D" folds whose images tend to be models. *)
+    let prefer atom =
+      List.length
+        (List.filter
+           (fun t -> not (Term.Set.mem t keep))
+           (Atom.args atom))
+    in
+    try
+      Homomorphism.iter
+        (Homomorphism.make ~prefer ~flexible
+           ~pattern:(Fact_set.atoms deepest) ~target:stage_n ())
+        (fun h ->
+          incr tried;
+          if !tried > max_homs then raise Not_found;
+          let m = image_of deepest h ~flexible in
+          if deepest_is_everything || Theory.satisfied_in theory m then
+            raise (Found_model m));
+      None
+    with
+    | Found_model m -> Some m
+    | Not_found -> None
+  in
+  let rec search n =
+    if n > max_c || n > Engine.depth run then None
+    else
+      match model_inside n with
+      | Some m ->
+          Some { c = n; model = m; core = core_of ~keep m }
+      | None -> search (n + 1)
+  in
+  search 0

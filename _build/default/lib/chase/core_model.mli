@@ -1,0 +1,37 @@
+(** Cores of finite structures and [Core(T, D)] (Definitions 19-24).
+
+    The core of a finite structure [F] relative to a set of frozen elements
+    is the minimal retract of [F] fixing those elements, computed by
+    repeatedly folding [F] along endomorphisms that avoid some non-frozen
+    element. [Core(T,D)] then follows Definition 24: the least [n] such
+    that [Ch_n(T,D)] contains a model [M] of [T] with [D subseteq M],
+    witnessed through a homomorphism from a deeper chase prefix. *)
+
+open Logic
+
+val core_of : ?keep:Term.Set.t -> Fact_set.t -> Fact_set.t
+(** Minimal retract of the structure fixing [keep] (default: nothing).
+    The result is an induced sub-collapse: a homomorphic image inside the
+    input. *)
+
+val retract_onto : Fact_set.t -> into:Fact_set.t -> keep:Term.Set.t ->
+  Homomorphism.mapping option
+(** A homomorphism from the first structure into (the atoms of) [into],
+    identity on [keep]; [None] if there is none. The two structures usually
+    share atoms ([into] is a chase stage of the first). *)
+
+type core_result = {
+  c : int;  (** [c_{T,D}]: the least stage containing a model *)
+  model : Fact_set.t;  (** the model [M] found inside [Ch_c] *)
+  core : Fact_set.t;  (** [Core(T, D)]: [M] folded to a minimal retract *)
+}
+
+val core_of_chase :
+  ?max_c:int -> ?lookahead:int -> ?max_atoms:int -> ?max_homs:int ->
+  Theory.t -> Fact_set.t -> core_result option
+(** Searches [n = 0, 1, ...] for the first chase stage containing a model of
+    [T] extending [D] (Definition 20). When the chase saturates the answer
+    is exact; otherwise the model is witnessed by folding the computed
+    prefix ([lookahead] extra stages, default 6) into stage [n] and model-
+    checking the image — a sound semi-decision procedure ([None] = budget
+    exhausted, matching the undecidability of core termination). *)

@@ -1,0 +1,224 @@
+open Logic
+
+type run = {
+  theory : Theory.t;
+  initial : Fact_set.t;
+  stages : Fact_set.t array;
+  saturated : bool;
+  hit_atom_budget : bool;
+  info : (int * (Tgd.t * Homomorphism.mapping) list) Atom.Map.t;
+      (* derived atoms: first stage, creating applications *)
+}
+
+(* Enumerate the triggers of [rule] that use at least one "new" ingredient:
+   a body atom in [delta], or a domain-variable binding to a new domain
+   element. The partition (first delta body atom / first new domain
+   element) makes the enumeration exact, without duplicates. *)
+let seminaive_triggers rule ~old_facts ~delta ~full ~old_dom_list ~new_dom_list
+    ~full_dom_list f =
+  let body = Array.of_list (Tgd.body rule) in
+  let m = Array.length body in
+  let dom_vars = Tgd.dom_vars rule in
+  let flexible = Term.Set.of_list (Tgd.body_vars rule) in
+  (* Rounds seeded by a delta body atom. *)
+  for k = 0 to m - 1 do
+    let pattern =
+      List.init m (fun j ->
+          let target =
+            if j = k then delta else if j < k then old_facts else full
+          in
+          (body.(j), target))
+    in
+    let domain_bindings = List.map (fun v -> (v, full_dom_list)) dom_vars in
+    Homomorphism.iter_multi ~flexible ~pattern ~domain_bindings f
+  done;
+  (* Rounds seeded by a new domain element (body entirely old). *)
+  if dom_vars <> [] then begin
+    let d = List.length dom_vars in
+    let pattern = Array.to_list (Array.map (fun a -> (a, old_facts)) body) in
+    for i = 0 to d - 1 do
+      let domain_bindings =
+        List.mapi
+          (fun j v ->
+            let pool =
+              if j = i then new_dom_list
+              else if j < i then old_dom_list
+              else full_dom_list
+            in
+            (v, pool))
+          dom_vars
+      in
+      Homomorphism.iter_multi ~flexible ~pattern ~domain_bindings f
+    done
+  end
+  else if m = 0 && Fact_set.is_empty old_facts then
+    (* A fully ground rule like (loop): fires exactly once, at stage 1. *)
+    f Term.Map.empty
+
+let run ?(max_depth = 50) ?(max_atoms = 200_000) theory initial =
+  let stages = ref [ initial ] in
+  let info = ref Atom.Map.empty in
+  let full = ref initial in
+  let old_facts = ref Fact_set.empty in
+  let delta = ref initial in
+  let old_dom = ref Term.Set.empty in
+  let saturated = ref false in
+  let hit_budget = ref false in
+  let stage_index = ref 0 in
+  while
+    (not !saturated) && (not !hit_budget) && !stage_index < max_depth
+  do
+    incr stage_index;
+    let full_dom = Fact_set.domain !full in
+    let new_dom = Term.Set.diff full_dom !old_dom in
+    let old_dom_list = Term.Set.elements !old_dom in
+    let new_dom_list = Term.Set.elements new_dom in
+    let full_dom_list = Term.Set.elements full_dom in
+    let produced = ref [] in
+    List.iter
+      (fun rule ->
+        seminaive_triggers rule ~old_facts:!old_facts ~delta:!delta
+          ~full:!full ~old_dom_list ~new_dom_list ~full_dom_list
+          (fun sigma ->
+            List.iter
+              (fun atom -> produced := (atom, rule, sigma) :: !produced)
+              (Tgd.apply rule sigma)))
+      (Theory.rules theory);
+    (* Partition into genuinely new atoms and rediscoveries; record all
+       derivations either way. *)
+    let new_atoms = ref Atom.Set.empty in
+    List.iter
+      (fun (atom, rule, sigma) ->
+        match Atom.Map.find_opt atom !info with
+        | Some (st, ders) ->
+            info := Atom.Map.add atom (st, (rule, sigma) :: ders) !info
+        | None ->
+            if Fact_set.mem atom initial then ()
+            else begin
+              if not (Atom.Set.mem atom !new_atoms) then
+                new_atoms := Atom.Set.add atom !new_atoms;
+              let prev =
+                match Atom.Map.find_opt atom !info with
+                | Some (_, d) -> d
+                | None -> []
+              in
+              info :=
+                Atom.Map.add atom (!stage_index, (rule, sigma) :: prev) !info
+            end)
+      !produced;
+    (* Keep only atoms not already present (a rediscovered atom from an
+       earlier stage must not shift its stage). *)
+    let truly_new =
+      Atom.Set.filter (fun a -> not (Fact_set.mem a !full)) !new_atoms
+    in
+    let delta' = Fact_set.of_set truly_new in
+    old_facts := !full;
+    old_dom := full_dom;
+    full := Fact_set.union !full delta';
+    delta := delta';
+    stages := !full :: !stages;
+    if Fact_set.is_empty delta' then begin
+      saturated := true;
+      (* Drop the stabilized duplicate stage. *)
+      stages := List.tl !stages;
+      decr stage_index
+    end
+    else if Fact_set.cardinal !full > max_atoms then hit_budget := true
+  done;
+  if (not !saturated) && not !hit_budget then
+    (* Ran to max_depth; check whether the last step was in fact a fixpoint
+       is already handled above, so here the chase may simply continue. *)
+    ();
+  {
+    theory;
+    initial;
+    stages = Array.of_list (List.rev !stages);
+    saturated = !saturated;
+    hit_atom_budget = !hit_budget;
+    info = !info;
+  }
+
+let theory r = r.theory
+let initial r = r.initial
+let depth r = Array.length r.stages - 1
+let saturated r = r.saturated
+let hit_atom_budget r = r.hit_atom_budget
+
+let stage r i =
+  if i < 0 then invalid_arg "Engine.stage: negative index"
+  else if i <= depth r then r.stages.(i)
+  else if r.saturated then r.stages.(depth r)
+  else
+    invalid_arg
+      (Printf.sprintf
+         "Engine.stage: stage %d not computed (depth %d, not saturated)" i
+         (depth r))
+
+let result r = r.stages.(depth r)
+
+let new_at_stage r i =
+  if i = 0 then Fact_set.atoms r.stages.(0)
+  else if i <= depth r then
+    Fact_set.atoms (Fact_set.diff r.stages.(i) r.stages.(i - 1))
+  else []
+
+let stage_of_atom r atom =
+  if Fact_set.mem atom r.initial then Some 0
+  else
+    match Atom.Map.find_opt atom r.info with
+    | Some (st, _) when Fact_set.mem atom (result r) -> Some st
+    | Some _ | None -> None
+
+let derivations r atom =
+  match Atom.Map.find_opt atom r.info with
+  | Some (_, ders) -> ders
+  | None -> []
+
+let atom_frontier r atom =
+  match derivations r atom with
+  | [] -> None
+  | ders ->
+      (* Derivations are prepended as they are found, so the *creating*
+         application is the last element. Later re-derivations (e.g. a
+         Datalog rule re-proving an existential atom) may have different
+         frontiers; Observation 9's well-definedness is about creating
+         applications only. *)
+      let rule, sigma = List.nth ders (List.length ders - 1) in
+      Some
+        (List.fold_left
+           (fun acc v -> Term.Set.add (Term.Map.find v sigma) acc)
+           Term.Set.empty (Tgd.frontier rule))
+
+let invented_terms r =
+  Term.Set.diff (Fact_set.domain (result r)) (Fact_set.domain r.initial)
+
+let birth_atom r term =
+  if not (Term.Set.mem term (invented_terms r)) then None
+  else
+    let candidates =
+      List.filter
+        (fun atom -> List.exists (Term.equal term) (Atom.args atom))
+        (Fact_set.atoms (result r))
+    in
+    List.find_opt
+      (fun atom ->
+        match atom_frontier r atom with
+        | Some fr -> not (Term.Set.mem term fr)
+        | None -> false)
+      candidates
+
+let rule_counts r =
+  let counts = Hashtbl.create 16 in
+  Atom.Map.iter
+    (fun _ (_, ders) ->
+      match List.rev ders with
+      | (rule, _) :: _ ->
+          let name =
+            match Tgd.name rule with "" -> "(unnamed)" | n -> n
+          in
+          Hashtbl.replace counts name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+      | [] -> ())
+    r.info;
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)

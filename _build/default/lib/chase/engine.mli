@@ -1,0 +1,63 @@
+(** The semi-oblivious Skolem chase (Definitions 5-6).
+
+    [run] computes the stages [Ch_0(T,D) .. Ch_k(T,D)] bottom-up with
+    semi-naive evaluation, stopping at saturation (then [Ch_k = Ch(T,D)]),
+    at [max_depth], or at [max_atoms]. Thanks to the Skolem naming
+    convention the stages are honest *sets*: re-running from any
+    intermediate stage produces literally the same atoms (Observation 8).
+
+    Every derived atom records all rule applications [(rho, sigma)] that
+    created it — the raw material for birth atoms (Observation 10) and the
+    parent/ancestor functions of Appendix A. *)
+
+open Logic
+
+type run
+
+val run : ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> run
+(** Defaults: [max_depth = 50], [max_atoms = 200_000]. *)
+
+val theory : run -> Theory.t
+val initial : run -> Fact_set.t
+
+val depth : run -> int
+(** Index of the last computed stage. *)
+
+val saturated : run -> bool
+(** True iff the last stage is a fixpoint, i.e. equals [Ch(T, D)]. *)
+
+val hit_atom_budget : run -> bool
+
+val stage : run -> int -> Fact_set.t
+(** [stage r i] is [Ch_i(T,D)]. For [i > depth r]: the last stage when
+    saturated (the chase stabilized), otherwise [Invalid_argument]. *)
+
+val result : run -> Fact_set.t
+(** The deepest computed stage. *)
+
+val new_at_stage : run -> int -> Atom.t list
+(** Atoms first appearing in stage [i]. *)
+
+val stage_of_atom : run -> Atom.t -> int option
+(** First stage containing the atom; [None] for atoms outside the run. *)
+
+val derivations : run -> Atom.t -> (Tgd.t * Homomorphism.mapping) list
+(** All recorded rule applications creating the atom (empty for initial
+    facts). *)
+
+val atom_frontier : run -> Atom.t -> Term.Set.t option
+(** [fr(alpha)] — the images of the creating rule's frontier variables;
+    well-defined across derivations by Observation 9. [None] for initial
+    facts. *)
+
+val birth_atom : run -> Term.t -> Atom.t option
+(** Observation 10: the unique atom in which a chase-invented term occurs
+    outside the frontier. [None] for initial-domain terms. *)
+
+val invented_terms : run -> Term.Set.t
+(** [dom(Ch) \ dom(D)] restricted to the computed prefix. *)
+
+val rule_counts : run -> (string * int) list
+(** Number of atoms whose creating application used each rule (by rule
+    name), sorted descending — a cheap profile of which rules drive the
+    chase. *)

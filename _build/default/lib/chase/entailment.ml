@@ -1,0 +1,41 @@
+open Logic
+
+type verdict = Entailed of int | Not_entailed | Unknown
+
+let needed_depth run q tuple =
+  let rec go n =
+    if n > Engine.depth run then None
+    else if Cq.holds q (Engine.stage run n) tuple then Some n
+    else go (n + 1)
+  in
+  (* Monotonicity lets us first test the deepest stage, cheaply pruning the
+     common negative case. *)
+  if Cq.holds q (Engine.result run) tuple then go 0 else None
+
+let entails_run run q tuple =
+  match needed_depth run q tuple with
+  | Some n -> Entailed n
+  | None -> if Engine.saturated run then Not_entailed else Unknown
+
+let entails ?max_depth ?max_atoms theory d q tuple =
+  let run = Engine.run ?max_depth ?max_atoms theory d in
+  entails_run run q tuple
+
+let all_tuples d len =
+  let dom = Term.Set.elements (Fact_set.domain d) in
+  let rec go = function
+    | 0 -> [ [] ]
+    | k ->
+        let shorter = go (k - 1) in
+        List.concat_map (fun a -> List.map (fun t -> a :: t) shorter) dom
+  in
+  go len
+
+let enough run n q =
+  let d = Engine.initial run in
+  let full = Engine.result run in
+  let stage_n = Engine.stage run (min n (Engine.depth run)) in
+  List.for_all
+    (fun tuple ->
+      Bool.equal (Cq.holds q full tuple) (Cq.holds q stage_n tuple))
+    (all_tuples d (List.length (Cq.free q)))

@@ -1,0 +1,31 @@
+(** CQ entailment through the chase, and the [Enough(n, phi, D, T)]
+    predicate of Section 4. *)
+
+open Logic
+
+type verdict =
+  | Entailed of int
+      (** [Entailed n]: the query holds in [Ch_n] (minimal computed [n]). *)
+  | Not_entailed  (** The chase saturated and the query does not hold. *)
+  | Unknown  (** Budget exhausted without finding the query. *)
+
+val entails :
+  ?max_depth:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t -> Cq.t -> Term.t list -> verdict
+(** [entails t d q tuple]: does [T, D |= q(tuple)]? *)
+
+val entails_run : Engine.run -> Cq.t -> Term.t list -> verdict
+(** Same, over an already-computed run. *)
+
+val needed_depth : Engine.run -> Cq.t -> Term.t list -> int option
+(** Minimal [n] with [Ch_n |= q(tuple)], within the run's prefix. *)
+
+val enough : Engine.run -> int -> Cq.t -> bool
+(** [enough r n q]: [Enough(n, q, D, T)] — for every tuple over
+    [dom(D)^|free q|], [Ch |= q(abar)] iff [Ch_n |= q(abar)], where [Ch] is
+    the run's deepest stage. Exact when the run is saturated; otherwise a
+    statement about the computed prefix (callers must budget accordingly). *)
+
+val all_tuples : Fact_set.t -> int -> Term.t list list
+(** All tuples over the active domain of the given length (helper for
+    [Enough]-style sweeps). *)

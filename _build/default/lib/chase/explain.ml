@@ -1,0 +1,127 @@
+open Logic
+
+type derivation =
+  | Fact of Atom.t
+  | Derived of { atom : Atom.t; rule : Tgd.t; premises : derivation list }
+
+type t = {
+  witness : Homomorphism.mapping;
+  derivations : derivation list;
+  support : Fact_set.t;
+  depth : int;
+}
+
+let rec derivation_height = function
+  | Fact _ -> 0
+  | Derived { premises; _ } ->
+      1 + List.fold_left (fun acc p -> max acc (derivation_height p)) 0 premises
+
+let rec derivation_leaves = function
+  | Fact a -> Atom.Set.singleton a
+  | Derived { premises; _ } ->
+      List.fold_left
+        (fun acc p -> Atom.Set.union acc (derivation_leaves p))
+        Atom.Set.empty premises
+
+(* Unfold one atom down to instance facts, following the creating rule
+   application (the one recorded first; derivations were prepended, so it
+   is the last element), guarding against cyclic re-derivations by always
+   descending to strictly earlier stages. *)
+let rec unfold run atom =
+  if Fact_set.mem atom (Engine.initial run) then Fact atom
+  else
+    let stage = Option.value ~default:max_int (Engine.stage_of_atom run atom) in
+    let eligible =
+      List.filter
+        (fun (rule, sigma) ->
+          List.for_all
+            (fun body_atom ->
+              let parent =
+                Homomorphism.apply sigma
+                  ~flexible:(Term.Set.of_list (Tgd.body_vars rule))
+                  body_atom
+              in
+              match Engine.stage_of_atom run parent with
+              | Some s -> s < stage
+              | None -> false)
+            (Tgd.body rule))
+        (Engine.derivations run atom)
+    in
+    match List.rev eligible with
+    | [] ->
+        (* No recorded derivation (should not happen for derived atoms in
+           the prefix); treat as a leaf so the caller still gets a tree. *)
+        Fact atom
+    | (rule, sigma) :: _ ->
+        let premises =
+          List.map
+            (fun body_atom ->
+              unfold run
+                (Homomorphism.apply sigma
+                   ~flexible:(Term.Set.of_list (Tgd.body_vars rule))
+                   body_atom))
+            (Tgd.body rule)
+        in
+        Derived { atom; rule; premises }
+
+let explain run q tuple =
+  if List.length tuple <> List.length (Cq.free q) then None
+  else
+    let init =
+      List.fold_left2
+        (fun m v a -> Term.Map.add v a m)
+        Term.Map.empty (Cq.free q) tuple
+    in
+    let witness =
+      Homomorphism.find
+        (Homomorphism.make ~init
+           ~flexible:(Term.Set.of_list (Cq.vars q))
+           ~pattern:(Cq.atoms q)
+           ~target:(Engine.result run) ())
+    in
+    match witness with
+    | None -> None
+    | Some h ->
+        let flexible = Term.Set.of_list (Cq.vars q) in
+        let matched =
+          List.map (Homomorphism.apply h ~flexible) (Cq.atoms q)
+        in
+        let derivations = List.map (unfold run) matched in
+        let support =
+          List.fold_left
+            (fun acc d -> Atom.Set.union acc (derivation_leaves d))
+            Atom.Set.empty derivations
+        in
+        Some
+          {
+            witness = h;
+            derivations;
+            support =
+              Fact_set.inter (Fact_set.of_set support) (Engine.initial run);
+            depth =
+              List.fold_left
+                (fun acc d -> max acc (derivation_height d))
+                0 derivations;
+          }
+
+let support_is_sufficient ?(max_depth = 20) ?max_atoms run expl q tuple =
+  let sub_run =
+    Engine.run ~max_depth ?max_atoms (Engine.theory run) expl.support
+  in
+  Cq.holds q (Engine.result sub_run) tuple
+
+let rec pp_derivation ppf = function
+  | Fact a -> Fmt.pf ppf "%a  [fact]" Atom.pp a
+  | Derived { atom; rule; premises } ->
+      Fmt.pf ppf "@[<v 2>%a  [by %s]%a@]" Atom.pp atom
+        (match Tgd.name rule with "" -> "rule" | n -> n)
+        (fun ppf ps ->
+          List.iter (fun p -> Fmt.pf ppf "@,%a" pp_derivation p) ps)
+        premises
+
+let pp ppf e =
+  Fmt.pf ppf "@[<v>support (%d facts):@,%a@,derivations (height %d):@,%a@]"
+    (Fact_set.cardinal e.support)
+    Fact_set.pp e.support e.depth
+    (Fmt.list ~sep:Fmt.cut pp_derivation)
+    e.derivations

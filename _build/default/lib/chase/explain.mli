@@ -1,0 +1,40 @@
+(** Derivation explanations: why does [T, D |= q(a)]?
+
+    From the chase's recorded provenance this module extracts, for an
+    entailed query, a witness homomorphism, a derivation forest (each
+    matched chase atom unfolded down to instance facts through one chosen
+    rule application per atom), and the *support*: the sub-instance of [D]
+    actually used. The support is a certified witness for Observation 29 —
+    [Ch(T, support) |= q(a)] — computed in provenance time instead of the
+    exponential subset search of {!Rewriting.Locality.atom_support}. *)
+
+open Logic
+
+type derivation =
+  | Fact of Atom.t  (** an instance fact *)
+  | Derived of {
+      atom : Atom.t;
+      rule : Tgd.t;
+      premises : derivation list;
+    }
+
+type t = {
+  witness : Homomorphism.mapping;  (** query variables to chase terms *)
+  derivations : derivation list;  (** one tree per query atom *)
+  support : Fact_set.t;  (** the instance facts used (leaves) *)
+  depth : int;  (** maximal derivation-tree height *)
+}
+
+val explain : Engine.run -> Cq.t -> Term.t list -> t option
+(** [None] when the query does not hold in the computed prefix. The
+    derivation choice is the chase's own creating application (the
+    [First] parent function). *)
+
+val support_is_sufficient :
+  ?max_depth:int -> ?max_atoms:int -> Engine.run -> t -> Cq.t ->
+  Term.t list -> bool
+(** Re-chase just the support and confirm the query still holds — the
+    executable content of Observation 29. *)
+
+val pp_derivation : derivation Fmt.t
+val pp : t Fmt.t

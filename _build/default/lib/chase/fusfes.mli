@@ -1,0 +1,29 @@
+(** Executable pieces of the Theorem 4 proof (Section 8).
+
+    For a local, core-terminating theory the proof assembles a global fold
+    of [Ch(D)] from the cores of the small sub-instances. The two
+    finite-checkable ingredients:
+
+    - [c_d]: the set [C_D = U_{F in I_D} Core(F)] of Definition 32, where
+      [I_D] collects the sub-instances of size at most [l];
+    - Lemma 33: [C_D subseteq Ch_{k_T}(D)] for a constant [k_T] depending
+      only on the theory — here computed as the largest [c_{T,F}] over the
+      sub-instances, so the inclusion check is exactly the lemma's
+      statement.
+
+    Thanks to the Skolem naming convention the union of cores is a literal
+    set union inside [Ch(D)]. *)
+
+open Logic
+
+val c_d :
+  ?l:int -> ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t -> (Fact_set.t * int) option
+(** [(C_D, k_T)] with [k_T] the largest per-sub-instance core stage;
+    [None] when some sub-instance's core search exhausts its budget
+    (non-FES theories). Default [l = 2]. *)
+
+val lemma33_holds :
+  ?l:int -> ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t -> bool option
+(** Check [C_D subseteq Ch_{k_T}(D)] directly. [None] when [c_d] fails. *)

@@ -1,0 +1,27 @@
+type verdict = Holds of int | Fails | Budget_exhausted
+
+let core_terminates_on ?max_c ?lookahead ?max_atoms theory d =
+  match Core_model.core_of_chase ?max_c ?lookahead ?max_atoms theory d with
+  | Some { Core_model.c; _ } -> Holds c
+  | None -> Budget_exhausted
+
+let all_instances_terminates_on ?max_depth ?max_atoms theory d =
+  let run = Engine.run ?max_depth ?max_atoms theory d in
+  if Engine.saturated run then Holds (Engine.depth run) else Budget_exhausted
+
+let uniform_bound_on ?max_c ?lookahead ?max_atoms theory instances =
+  let per_instance =
+    List.filter_map
+      (fun d ->
+        match core_terminates_on ?max_c ?lookahead ?max_atoms theory d with
+        | Holds c -> Some (d, c)
+        | Fails | Budget_exhausted -> None)
+      instances
+  in
+  let all_ok = List.length per_instance = List.length instances in
+  let bound =
+    if all_ok && per_instance <> [] then
+      Some (List.fold_left (fun acc (_, c) -> max acc c) 0 per_instance)
+    else None
+  in
+  (bound, per_instance)

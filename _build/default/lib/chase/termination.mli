@@ -1,0 +1,28 @@
+(** Termination analyzers: core termination (FES, Definition 18),
+    all-instances termination (Definition 21), and the uniform-BDD constant
+    of Observation 27. All are undecidable in general; these are budgeted
+    semi-decision procedures evaluated over instance families. *)
+
+open Logic
+
+type verdict = Holds of int | Fails | Budget_exhausted
+
+val core_terminates_on :
+  ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t -> verdict
+(** [Holds c]: stage [c] of the chase on this instance contains a model
+    ([c = c_{T,D}] up to the prefix-witness approximation). [Fails] is never
+    returned (non-termination is not finitely refutable on one instance);
+    budget exhaustion is the negative signal. *)
+
+val all_instances_terminates_on :
+  ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> verdict
+(** [Holds n]: the chase saturates at stage [n] on this instance. *)
+
+val uniform_bound_on :
+  ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t list -> (int option * (Fact_set.t * int) list)
+(** For each instance, [c_{T,D}]; the first component is the maximum when
+    every instance succeeded ([None] when some budget was exhausted). By
+    Observation 27, a uniform bound across *all* instances witnesses UBDD;
+    across a family it is the experimental series of E4/E8. *)

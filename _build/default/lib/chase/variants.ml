@@ -1,0 +1,119 @@
+open Logic
+
+type result = { facts : Fact_set.t; steps : int; saturated : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Oblivious chase                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let oblivious_apply ~rule_index rule sigma =
+  let all_vars = Tgd.body_vars rule in
+  let args = List.map (fun v -> Term.Map.find v sigma) all_vars in
+  let subst =
+    Term.subst_of_bindings
+      (List.mapi
+         (fun j w ->
+           let fn =
+             Printf.sprintf "ob%d.%d[%s]" rule_index j (Tgd.name rule)
+           in
+           (w, Term.app fn args))
+         (Tgd.exist_vars rule)
+      @ List.map (fun v -> (v, Term.Map.find v sigma)) (Tgd.frontier rule))
+  in
+  List.map (Atom.subst subst) (Tgd.head rule)
+
+let run_oblivious ?(max_depth = 20) ?(max_atoms = 100_000) theory d =
+  let facts = ref d in
+  let steps = ref 0 in
+  let saturated = ref false in
+  let budget_ok () = Fact_set.cardinal !facts <= max_atoms in
+  while (not !saturated) && !steps < max_depth && budget_ok () do
+    incr steps;
+    let additions = ref Atom.Set.empty in
+    List.iteri
+      (fun rule_index rule ->
+        Tgd.triggers rule !facts (fun sigma ->
+            List.iter
+              (fun atom ->
+                if not (Fact_set.mem atom !facts) then
+                  additions := Atom.Set.add atom !additions)
+              (oblivious_apply ~rule_index rule sigma)))
+      (Theory.rules theory);
+    if Atom.Set.is_empty !additions then begin
+      saturated := true;
+      decr steps
+    end
+    else facts := Fact_set.union !facts (Fact_set.of_set !additions)
+  done;
+  { facts = !facts; steps = !steps; saturated = !saturated }
+
+(* ------------------------------------------------------------------ *)
+(* Core chase                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_core ?(max_rounds = 20) ?(max_atoms = 100_000) theory d =
+  let keep = Fact_set.domain d in
+  let current = ref d in
+  let rounds = ref 0 in
+  let saturated = ref false in
+  while
+    (not !saturated)
+    && !rounds < max_rounds
+    && Fact_set.cardinal !current <= max_atoms
+  do
+    if Theory.satisfied_in theory !current then saturated := true
+    else begin
+      incr rounds;
+      let step = Engine.run ~max_depth:1 ~max_atoms theory !current in
+      current := Core_model.core_of ~keep (Engine.result step)
+    end
+  done;
+  { facts = !current; steps = !rounds; saturated = !saturated }
+
+(* ------------------------------------------------------------------ *)
+(* Restricted (standard) chase                                         *)
+(* ------------------------------------------------------------------ *)
+
+let null_counter = ref 0
+
+let fresh_null () =
+  incr null_counter;
+  Term.const (Printf.sprintf "_null%d" !null_counter)
+
+let restricted_apply rule sigma =
+  let subst =
+    Term.subst_of_bindings
+      (List.map (fun w -> (w, fresh_null ())) (Tgd.exist_vars rule)
+      @ List.map (fun v -> (v, Term.Map.find v sigma)) (Tgd.frontier rule))
+  in
+  List.map (Atom.subst subst) (Tgd.head rule)
+
+let run_restricted ?(max_applications = 10_000) ?(max_atoms = 100_000) theory
+    d =
+  let facts = ref d in
+  let steps = ref 0 in
+  let saturated = ref false in
+  let budget_ok () =
+    !steps < max_applications && Fact_set.cardinal !facts <= max_atoms
+  in
+  let rec first_violation = function
+    | [] -> None
+    | rule :: rest -> (
+        match Tgd.violating_trigger rule !facts with
+        | Some sigma -> Some (rule, sigma)
+        | None -> first_violation rest)
+  in
+  let continue_ = ref true in
+  while !continue_ && budget_ok () do
+    match first_violation (Theory.rules theory) with
+    | None ->
+        saturated := true;
+        continue_ := false
+    | Some (rule, sigma) ->
+        incr steps;
+        facts :=
+          List.fold_left
+            (fun fs atom -> Fact_set.add atom fs)
+            !facts (restricted_apply rule sigma)
+  done;
+  { facts = !facts; steps = !steps; saturated = !saturated }

@@ -1,0 +1,45 @@
+(** Other chase flavours, for contrast with the semi-oblivious Skolem chase
+    of {!Engine} ("Chase comes in many variants and flavors", Section 3).
+
+    - The {e oblivious} chase (footnote 15): Skolem functions take {b all}
+      body variables as arguments, not just the frontier — so two triggers
+      differing only in non-frontier bindings invent {e different} terms.
+      It produces a superset (up to homomorphism) of the semi-oblivious
+      chase and terminates strictly less often.
+
+    - The {e restricted} (standard) chase (footnote 19): a rule fires only
+      when its head has no witness yet. It is sequential and
+      order-dependent; we use a deterministic rule/trigger order. It
+      terminates strictly more often — e.g. on Exercise 23's theory the
+      restricted chase reaches a finite model while the semi-oblivious one
+      runs forever. *)
+
+open Logic
+
+type result = {
+  facts : Fact_set.t;
+  steps : int;  (** stages (oblivious) or rule applications (restricted) *)
+  saturated : bool;
+}
+
+val run_oblivious :
+  ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> result
+(** Parallel stages like {!Engine.run}, but with oblivious Skolemization
+    (per-rule function symbols over all body variables). *)
+
+val run_core :
+  ?max_rounds:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> result
+(** The core chase of Deutsch-Nash-Remmel (the paper's reference [1]): one
+    parallel semi-oblivious step, then fold the result to its core keeping
+    the instance constants, until the current structure is a model. It
+    terminates precisely when a finite universal model exists — i.e. on
+    core-terminating (FES) theories (Definition 19): [T_loopcut] and
+    [T_spouse] reach their finite cores although their semi-oblivious
+    chases are infinite. [steps] counts rounds. *)
+
+val run_restricted :
+  ?max_applications:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> result
+(** Sequential restricted chase: repeatedly find the first violating
+    trigger (deterministic order) and satisfy it with a fresh Skolem
+    witness; stop when the structure is a model ([saturated = true]) or a
+    budget trips. *)

@@ -1,0 +1,1 @@
+lib/core/frontier.ml: Chase List Logic Marked Normalization Order Reasoner Rewriting Set Theories

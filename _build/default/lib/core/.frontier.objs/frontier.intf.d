@@ -1,0 +1,1 @@
+lib/core/frontier.mli: Chase Logic Marked Normalization Order Reasoner Rewriting Theories

@@ -1,0 +1,1 @@
+lib/core/reasoner.ml: Chase Containment Cq Fact_set Hashtbl List Logic Option Rewriting Set Term Theory Ucq

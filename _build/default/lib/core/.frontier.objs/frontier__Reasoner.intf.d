@@ -1,0 +1,1 @@
+lib/core/reasoner.mli: Cq Fact_set Logic Rewriting Term Theory Ucq

@@ -1,0 +1,94 @@
+module Term = Logic.Term
+module Symbol = Logic.Symbol
+module Atom = Logic.Atom
+module Fact_set = Logic.Fact_set
+module Gaifman = Logic.Gaifman
+module Cq = Logic.Cq
+module Ucq = Logic.Ucq
+module Containment = Logic.Containment
+module Tgd = Logic.Tgd
+module Theory = Logic.Theory
+module Homomorphism = Logic.Homomorphism
+module Render = Logic.Render
+
+module Chase_engine = Chase.Engine
+module Entailment = Chase.Entailment
+module Cores = Chase.Core_model
+module Termination = Chase.Termination
+module Chase_variants = Chase.Variants
+module Explain = Chase.Explain
+
+module Rewrite = Rewriting.Rewrite
+module Piece_unifier = Rewriting.Piece_unifier
+module Bdd_probe = Rewriting.Bdd
+module Locality = Rewriting.Locality
+module Distancing = Rewriting.Distancing
+module Exercises = Rewriting.Exercises
+
+module Marked_query = Marked.Marked_query
+module Marked_process = Marked.Process
+module Marked_rank = Marked.Rank
+
+module Normal_form = Normalization.Normalize
+module Ancestors = Normalization.Ancestry
+module Crucial = Normalization.Crucial
+
+module Zoo = Theories.Zoo
+module Instances = Theories.Instances
+module Classes = Theories.Classes
+
+module Multiset = Order.Multiset
+module Transform = Theories.Transform
+module Generators = Theories.Generators
+
+module Reasoner = Reasoner
+
+module Parse = struct
+  exception Error of string
+
+  let wrap f x =
+    try f x with Logic.Parser.Parse_error msg -> raise (Error msg)
+
+  let theory ?name input = wrap (Logic.Parser.parse_theory ?name) input
+  let instance input = wrap Logic.Parser.parse_instance input
+  let query input = wrap Logic.Parser.parse_query input
+  let rule input = wrap Logic.Parser.parse_rule input
+end
+
+let certain_answers ?max_depth ?max_atoms theory d q =
+  let run = Chase.Engine.run ?max_depth ?max_atoms theory d in
+  let dom = Fact_set.domain d in
+  List.filter
+    (fun tuple -> List.for_all (fun t -> Term.Set.mem t dom) tuple)
+    (Cq.answers q (Chase.Engine.result run))
+
+let certain ?max_depth ?max_atoms theory d q tuple =
+  match Chase.Entailment.entails ?max_depth ?max_atoms theory d q tuple with
+  | Chase.Entailment.Entailed _ -> true
+  | Chase.Entailment.Not_entailed | Chase.Entailment.Unknown -> false
+
+let rewrite ?budget theory q = Rewriting.Rewrite.rewrite ?budget theory q
+
+let answer_via_rewriting ?budget theory d q =
+  let r = Rewriting.Rewrite.rewrite ?budget theory q in
+  match r.Rewriting.Rewrite.outcome with
+  | Rewriting.Rewrite.Complete ->
+      let module Tuple_set = Set.Make (struct
+        type t = Term.t list
+
+        let compare = List.compare Term.compare
+      end) in
+      let answers =
+        List.fold_left
+          (fun acc disjunct ->
+            List.fold_left
+              (fun acc tuple -> Tuple_set.add tuple acc)
+              acc
+              (Cq.answers disjunct d))
+          Tuple_set.empty
+          (Ucq.disjuncts r.Rewriting.Rewrite.ucq)
+      in
+      Some (Tuple_set.elements answers)
+  | _ -> None
+
+let classify = Theories.Classes.classify

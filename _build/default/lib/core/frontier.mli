@@ -1,0 +1,116 @@
+(** Frontier — the public API of this library.
+
+    Everything the paper "A Journey to the Frontiers of Query
+    Rewritability" (PODS 2022) talks about, executable:
+
+    {ul
+    {- terms / atoms / fact sets / CQs / TGDs and a concrete syntax
+       ([module Logic], re-exported here as {!Term}, {!Atom}, ... );}
+    {- the semi-oblivious Skolem chase with provenance ({!Chase});}
+    {- cores and (core-)termination ({!Cores}, {!Termination});}
+    {- UCQ rewriting by piece unifiers ({!Rewrite}) and BDD probing
+       ({!Bdd_probe});}
+    {- locality / bd-locality / distancing analyzers ({!Locality},
+       {!Distancing});}
+    {- the marked-query rewriting process for [T_d] and [T_d^K]
+       ({!Marked_process});}
+    {- the Appendix A normalization pipeline ({!Normal_form},
+       {!Ancestors});}
+    {- the paper's theory zoo and instance generators ({!Zoo},
+       {!Instances}, {!Classes}).}}
+
+    A three-line quickstart:
+    {[
+      let theory = Frontier.Parse.theory "Human(y) -> exists z. Mother(y,z)" in
+      let d = Frontier.Parse.instance "Human(abel)" in
+      let q = Frontier.Parse.query "(x) :- Mother(x, m)" in
+      Frontier.certain_answers theory d q
+    ]} *)
+
+(** {1 Re-exported substrate} *)
+
+module Term = Logic.Term
+module Symbol = Logic.Symbol
+module Atom = Logic.Atom
+module Fact_set = Logic.Fact_set
+module Gaifman = Logic.Gaifman
+module Cq = Logic.Cq
+module Ucq = Logic.Ucq
+module Containment = Logic.Containment
+module Tgd = Logic.Tgd
+module Theory = Logic.Theory
+module Homomorphism = Logic.Homomorphism
+module Render = Logic.Render
+
+module Chase_engine = Chase.Engine
+module Entailment = Chase.Entailment
+module Cores = Chase.Core_model
+module Termination = Chase.Termination
+module Chase_variants = Chase.Variants
+module Explain = Chase.Explain
+
+module Rewrite = Rewriting.Rewrite
+module Piece_unifier = Rewriting.Piece_unifier
+module Bdd_probe = Rewriting.Bdd
+module Locality = Rewriting.Locality
+module Distancing = Rewriting.Distancing
+module Exercises = Rewriting.Exercises
+
+module Marked_query = Marked.Marked_query
+module Marked_process = Marked.Process
+module Marked_rank = Marked.Rank
+
+module Normal_form = Normalization.Normalize
+module Ancestors = Normalization.Ancestry
+module Crucial = Normalization.Crucial
+
+module Zoo = Theories.Zoo
+module Instances = Theories.Instances
+module Classes = Theories.Classes
+
+module Multiset = Order.Multiset
+module Transform = Theories.Transform
+module Generators = Theories.Generators
+
+module Reasoner = Reasoner
+
+(** {1 Parsing} *)
+
+module Parse : sig
+  exception Error of string
+
+  val theory : ?name:string -> string -> Logic.Theory.t
+  val instance : string -> Logic.Fact_set.t
+  val query : string -> Logic.Cq.t
+  val rule : string -> Logic.Tgd.t
+end
+
+(** {1 High-level pipelines} *)
+
+val certain_answers :
+  ?max_depth:int -> ?max_atoms:int ->
+  Logic.Theory.t -> Logic.Fact_set.t -> Logic.Cq.t ->
+  Logic.Term.t list list
+(** The certain answers of the query over the instance under the theory,
+    computed through the chase (complete up to the depth budget). *)
+
+val certain :
+  ?max_depth:int -> ?max_atoms:int ->
+  Logic.Theory.t -> Logic.Fact_set.t -> Logic.Cq.t -> Logic.Term.t list ->
+  bool
+(** [T, D |= q(tuple)]? *)
+
+val rewrite :
+  ?budget:Rewriting.Rewrite.budget ->
+  Logic.Theory.t -> Logic.Cq.t -> Rewriting.Rewrite.result
+(** The UCQ rewriting of the query (Theorem 1), by saturation. *)
+
+val answer_via_rewriting :
+  ?budget:Rewriting.Rewrite.budget ->
+  Logic.Theory.t -> Logic.Fact_set.t -> Logic.Cq.t ->
+  Logic.Term.t list list option
+(** Rewrite the query, then evaluate the UCQ directly over the instance —
+    the whole point of FUS/BDD theories. [None] when the rewriting does not
+    complete within budget. *)
+
+val classify : Logic.Theory.t -> Theories.Classes.report

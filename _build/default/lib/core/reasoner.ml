@@ -1,0 +1,128 @@
+open Logic
+
+type route = Rewriting | Chase_fallback of [ `Saturated | `Prefix of int ]
+
+type cache_entry = Rewritten of Ucq.t | Not_rewritable
+
+type t = {
+  theory : Theory.t;
+  rewrite_budget : Rewriting.Rewrite.budget;
+  chase_depth : int;
+  chase_atoms : int;
+  cache : (string, (Cq.t * cache_entry) list) Hashtbl.t;
+      (* bucketed by iso fingerprint; matched up to isomorphism *)
+}
+
+let create ?(rewrite_budget = Rewriting.Rewrite.default_budget)
+    ?(chase_depth = 20) ?(chase_atoms = 200_000) theory =
+  {
+    theory;
+    rewrite_budget;
+    chase_depth;
+    chase_atoms;
+    cache = Hashtbl.create 32;
+  }
+
+let theory r = r.theory
+
+let lookup r q =
+  let key = Cq.iso_key q in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt r.cache key) in
+  match
+    List.find_opt (fun (q', _) -> Containment.isomorphic q q') bucket
+  with
+  | Some (_, entry) -> Some entry
+  | None -> None
+
+let store r q entry =
+  let key = Cq.iso_key q in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt r.cache key) in
+  Hashtbl.replace r.cache key ((q, entry) :: bucket)
+
+let rewriting_entry r q =
+  match lookup r q with
+  | Some entry -> entry
+  | None ->
+      let result = Rewriting.Rewrite.rewrite ~budget:r.rewrite_budget r.theory q in
+      let entry =
+        match result.Rewriting.Rewrite.outcome with
+        | Rewriting.Rewrite.Complete -> Rewritten result.Rewriting.Rewrite.ucq
+        | _ -> Not_rewritable
+      in
+      store r q entry;
+      entry
+
+let rewriting_for r q =
+  match rewriting_entry r q with
+  | Rewritten ucq -> Some ucq
+  | Not_rewritable -> None
+
+let cached_rewritings r =
+  Hashtbl.fold
+    (fun _ bucket acc ->
+      acc
+      + List.length
+          (List.filter (function _, Rewritten _ -> true | _ -> false) bucket))
+    r.cache 0
+
+module Tuple_set = Set.Make (struct
+  type t = Term.t list
+
+  let compare = List.compare Term.compare
+end)
+
+(* The cached rewriting is over the *original* query's variables; to answer
+   an isomorphic query we just evaluate the rewriting of THIS query — the
+   cache stores per-isomorphism-class representatives, so recompute against
+   the representative via a renaming. Cheapest correct approach: cache hit
+   requires isomorphism, and we evaluate the representative's UCQ, mapping
+   the answer positions through the positional free-variable correspondence
+   (isomorphism fixes free variables positionally, so answers transfer
+   verbatim). *)
+let answer r d q =
+  match rewriting_entry r q with
+  | Rewritten ucq ->
+      let answers =
+        List.fold_left
+          (fun acc disjunct ->
+            List.fold_left
+              (fun acc tuple -> Tuple_set.add tuple acc)
+              acc (Cq.answers disjunct d))
+          Tuple_set.empty (Ucq.disjuncts ucq)
+      in
+      let dom = Fact_set.domain d in
+      ( Tuple_set.elements
+          (Tuple_set.filter
+             (fun tuple -> List.for_all (fun t -> Term.Set.mem t dom) tuple)
+             answers),
+        Rewriting )
+  | Not_rewritable ->
+      let run =
+        Chase.Engine.run ~max_depth:r.chase_depth ~max_atoms:r.chase_atoms
+          r.theory d
+      in
+      let dom = Fact_set.domain d in
+      let answers =
+        List.filter
+          (fun tuple -> List.for_all (fun t -> Term.Set.mem t dom) tuple)
+          (Cq.answers q (Chase.Engine.result run))
+      in
+      let mode =
+        if Chase.Engine.saturated run then `Saturated
+        else `Prefix (Chase.Engine.depth run)
+      in
+      (answers, Chase_fallback mode)
+
+let holds r d q tuple =
+  match rewriting_entry r q with
+  | Rewritten ucq -> (Ucq.holds ucq d tuple, Rewriting)
+  | Not_rewritable ->
+      let run =
+        Chase.Engine.run ~max_depth:r.chase_depth ~max_atoms:r.chase_atoms
+          r.theory d
+      in
+      let mode =
+        if Chase.Engine.saturated run then `Saturated
+        else `Prefix (Chase.Engine.depth run)
+      in
+      (Cq.holds q (Chase.Engine.result run) tuple, Chase_fallback mode)

@@ -1,0 +1,36 @@
+(** A caching certain-answer reasoner — the downstream-user API.
+
+    Create a reasoner from a theory once; it computes and caches a UCQ
+    rewriting per query shape (keyed up to variable renaming) and then
+    answers every instance by direct UCQ evaluation — no chase at query
+    time. Queries whose rewriting does not complete within budget fall
+    back to the chase, with the outcome reported so callers can tell which
+    regime they are in. *)
+
+open Logic
+
+type t
+
+type route =
+  | Rewriting  (** answered by evaluating the cached UCQ over the instance *)
+  | Chase_fallback of [ `Saturated | `Prefix of int ]
+      (** answered through the chase (no complete rewriting available);
+          [`Prefix n] means a depth-[n] prefix decided the positives only *)
+
+val create :
+  ?rewrite_budget:Rewriting.Rewrite.budget ->
+  ?chase_depth:int -> ?chase_atoms:int ->
+  Theory.t -> t
+
+val theory : t -> Theory.t
+
+val answer : t -> Fact_set.t -> Cq.t -> Term.t list list * route
+(** Certain answers of the query over the instance. *)
+
+val holds : t -> Fact_set.t -> Cq.t -> Term.t list -> bool * route
+
+val cached_rewritings : t -> int
+(** Number of query shapes with a cached (complete) rewriting. *)
+
+val rewriting_for : t -> Cq.t -> Ucq.t option
+(** The cached (or freshly computed) complete rewriting, if any. *)

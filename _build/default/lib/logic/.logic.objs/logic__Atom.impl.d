@@ -1,0 +1,1 @@
+lib/logic/atom.ml: Array Fmt Hashtbl List Map Printf Set Symbol Term

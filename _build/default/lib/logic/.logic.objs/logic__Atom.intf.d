@@ -1,0 +1,1 @@
+lib/logic/atom.mli: Fmt Map Set Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/containment.ml: Atom Cq Homomorphism List String Term

@@ -1,0 +1,1 @@
+lib/logic/cq.ml: Atom Fact_set Fmt Gaifman Homomorphism List Printf Set String Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/cq.mli: Atom Fact_set Fmt Gaifman Term

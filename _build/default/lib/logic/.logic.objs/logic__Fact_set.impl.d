@@ -1,0 +1,1 @@
+lib/logic/fact_set.ml: Atom Fmt Hashtbl List Option Symbol Term

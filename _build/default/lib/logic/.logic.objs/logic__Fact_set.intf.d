@@ -1,0 +1,1 @@
+lib/logic/fact_set.mli: Atom Fmt Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/gaifman.ml: Atom Fact_set List Option Queue Term

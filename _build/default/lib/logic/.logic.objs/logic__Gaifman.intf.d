@@ -1,0 +1,1 @@
+lib/logic/gaifman.mli: Atom Fact_set Term

@@ -1,0 +1,1 @@
+lib/logic/homomorphism.ml: Atom Fact_set Int Lazy List Term

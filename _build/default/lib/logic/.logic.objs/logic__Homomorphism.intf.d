@@ -1,0 +1,1 @@
+lib/logic/homomorphism.mli: Atom Fact_set Term

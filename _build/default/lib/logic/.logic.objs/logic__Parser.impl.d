@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Atom Cq Fact_set Fmt Hashtbl List String Symbol Term Tgd Theory

@@ -1,0 +1,1 @@
+lib/logic/render.ml: Array Atom Buffer Fact_set Fmt Hashtbl List Printf String Symbol Term

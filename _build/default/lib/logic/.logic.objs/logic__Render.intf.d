@@ -1,0 +1,1 @@
+lib/logic/render.mli: Fact_set Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/symbol.ml: Fmt Int Map Set String

@@ -1,0 +1,1 @@
+lib/logic/tgd.ml: Atom Cq Fmt Gaifman Homomorphism List Printf String Symbol Term

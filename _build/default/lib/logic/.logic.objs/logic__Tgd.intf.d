@@ -1,0 +1,1 @@
+lib/logic/tgd.mli: Atom Cq Fact_set Fmt Homomorphism Symbol Term

@@ -1,0 +1,1 @@
+lib/logic/theory.ml: Fmt List Symbol Tgd

@@ -1,0 +1,1 @@
+lib/logic/theory.mli: Fact_set Fmt Symbol Tgd

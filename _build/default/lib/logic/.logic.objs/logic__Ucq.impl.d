@@ -1,0 +1,1 @@
+lib/logic/ucq.ml: Containment Cq Fmt List

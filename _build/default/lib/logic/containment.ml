@@ -1,0 +1,76 @@
+let hom_problem ~from ~into ~extra_ok =
+  (* A homomorphism from query [from] to query [into], mapping answer
+     variables positionally. *)
+  if List.length (Cq.free from) <> List.length (Cq.free into) then None
+  else
+    let init =
+      List.fold_left2
+        (fun m v w -> Term.Map.add v w m)
+        Term.Map.empty (Cq.free from) (Cq.free into)
+    in
+    Some
+      (Homomorphism.make ~init ~image_ok:extra_ok
+         ~flexible:(Term.Set.of_list (Cq.vars from))
+         ~pattern:(Cq.atoms from)
+         ~target:(Cq.as_fact_set into) ())
+
+let implies q1 q2 =
+  match hom_problem ~from:q2 ~into:q1 ~extra_ok:(fun _ _ -> true) with
+  | None -> false
+  | Some p -> Homomorphism.exists p
+
+let equivalent q1 q2 = implies q1 q2 && implies q2 q1
+
+exception Found
+
+let isomorphic q1 q2 =
+  Cq.size q1 = Cq.size q2
+  && List.length (Cq.vars q1) = List.length (Cq.vars q2)
+  && String.equal (Cq.iso_key q1) (Cq.iso_key q2)
+  &&
+  match hom_problem ~from:q1 ~into:q2 ~extra_ok:(fun _ _ -> true) with
+  | None -> false
+  | Some p -> (
+      let injective m =
+        let images = Term.Map.fold (fun _ u acc -> u :: acc) m [] in
+        List.length images
+        = Term.Set.cardinal (Term.Set.of_list images)
+      in
+      try
+        Homomorphism.iter p (fun m -> if injective m then raise Found);
+        false
+      with Found -> true)
+
+let core_of_query q =
+  let redundant atoms atom free =
+    match
+      List.filter (fun a -> not (Atom.equal a atom)) atoms
+    with
+    | [] -> None
+    | smaller_atoms -> (
+        let smaller = Cq.make ~free smaller_atoms in
+        (* [atom] is redundant iff the full query maps into the smaller one
+           fixing the answer variables. *)
+        match
+          hom_problem
+            ~from:(Cq.make ~free atoms)
+            ~into:smaller
+            ~extra_ok:(fun _ _ -> true)
+        with
+        | Some p when Homomorphism.exists p -> Some smaller
+        | Some _ | None -> None)
+  in
+  let rec shrink q =
+    let free = Cq.free q in
+    let rec try_each = function
+      | [] -> q
+      | atom :: rest -> (
+          (* Free variables must keep occurring in the body. *)
+          match redundant (Cq.atoms q) atom free with
+          | Some smaller -> shrink smaller
+          | None -> try_each rest
+          | exception Invalid_argument _ -> try_each rest)
+    in
+    try_each (Cq.atoms q)
+  in
+  shrink q

@@ -1,0 +1,22 @@
+(** CQ containment, equivalence, isomorphism, and query cores
+    (Chandra-Merlin).
+
+    Terminology note: the paper's "phi contains psi" is logical implication
+    of answers. To avoid direction confusion we expose [implies]:
+    [implies q1 q2] holds iff every answer of [q1] (over every structure) is
+    an answer of [q2] — certified by a homomorphism from [q2] to [q1] that
+    is the identity (positionally) on answer variables. *)
+
+val implies : Cq.t -> Cq.t -> bool
+(** [implies q1 q2]: answers(q1) is a subset of answers(q2) on every
+    structure. Requires equally long free-variable lists. *)
+
+val equivalent : Cq.t -> Cq.t -> bool
+
+val isomorphic : Cq.t -> Cq.t -> bool
+(** Equality up to renaming of bound variables (free variables correspond
+    positionally). *)
+
+val core_of_query : Cq.t -> Cq.t
+(** Remove redundant body atoms until none is redundant: the core of the
+    query, equivalent to the input. *)

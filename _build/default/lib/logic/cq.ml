@@ -1,0 +1,160 @@
+type t = { free : Term.t list; atoms : Atom.t list }
+
+let gensym = ref 0
+
+let fresh_var ?(prefix = "v") () =
+  incr gensym;
+  Term.var (Printf.sprintf "%s#%d" prefix !gensym)
+
+let dedup_terms l =
+  let _, rev =
+    List.fold_left
+      (fun (seen, acc) x ->
+        if Term.Set.mem x seen then (seen, acc)
+        else (Term.Set.add x seen, x :: acc))
+      (Term.Set.empty, []) l
+  in
+  List.rev rev
+
+let body_vars atoms = dedup_terms (List.concat_map Atom.vars atoms)
+
+let make ~free atoms =
+  if atoms = [] then invalid_arg "Cq.make: empty body";
+  List.iter
+    (fun v ->
+      if not (Term.is_var v) then
+        invalid_arg "Cq.make: free answer position must be a variable")
+    free;
+  let atoms = Atom.Set.elements (Atom.Set.of_list atoms) in
+  let bv = Term.Set.of_list (body_vars atoms) in
+  List.iter
+    (fun v ->
+      if not (Term.Set.mem v bv) then
+        invalid_arg
+          (Fmt.str "Cq.make: free variable %a does not occur in the body"
+             Term.pp v))
+    free;
+  { free = dedup_terms free; atoms }
+
+let free q = q.free
+let atoms q = q.atoms
+let size q = List.length q.atoms
+
+let vars q =
+  dedup_terms (q.free @ body_vars q.atoms)
+
+let exist_vars q =
+  let fv = Term.Set.of_list q.free in
+  List.filter (fun v -> not (Term.Set.mem v fv)) (body_vars q.atoms)
+
+let is_boolean q = q.free = []
+let gaifman q = Gaifman.of_atoms q.atoms
+let is_connected q = Gaifman.connected (gaifman q)
+let as_fact_set q = Fact_set.of_list q.atoms
+
+let holds q target tuple =
+  if List.length tuple <> List.length q.free then
+    invalid_arg "Cq.holds: answer tuple arity mismatch";
+  let init =
+    List.fold_left2
+      (fun m v a -> Term.Map.add v a m)
+      Term.Map.empty q.free tuple
+  in
+  Homomorphism.exists
+    (Homomorphism.make ~init
+       ~flexible:(Term.Set.of_list (vars q))
+       ~pattern:q.atoms ~target ())
+
+let boolean_holds q target =
+  Homomorphism.exists
+    (Homomorphism.make
+       ~flexible:(Term.Set.of_list (vars q))
+       ~pattern:q.atoms ~target ())
+
+module Tuple_set = Set.Make (struct
+  type t = Term.t list
+
+  let compare = List.compare Term.compare
+end)
+
+let answers q target =
+  let results = ref Tuple_set.empty in
+  Homomorphism.iter
+    (Homomorphism.make
+       ~flexible:(Term.Set.of_list (vars q))
+       ~pattern:q.atoms ~target ())
+    (fun m ->
+      let tuple = List.map (fun v -> Term.Map.find v m) q.free in
+      results := Tuple_set.add tuple !results);
+  Tuple_set.elements !results
+
+let subst m q =
+  let atoms = List.map (Atom.subst m) q.atoms in
+  let free =
+    List.filter_map
+      (fun v ->
+        let v' = Term.subst m v in
+        if Term.is_var v' then Some v' else None)
+      q.free
+  in
+  make ~free atoms
+
+let refresh ?(prefix = "r") q =
+  let renaming =
+    Term.subst_of_bindings
+      (List.map (fun v -> (v, fresh_var ~prefix ())) (vars q))
+  in
+  (subst renaming q, renaming)
+
+let refresh_exist ?(prefix = "e") q =
+  let renaming =
+    Term.subst_of_bindings
+      (List.map (fun v -> (v, fresh_var ~prefix ())) (exist_vars q))
+  in
+  subst renaming q
+
+let iso_key q =
+  (* Invariant under renaming of bound variables: free variables are
+     identified by their position in the free list, bound variables by their
+     total occurrence count in the body. *)
+  let free_index = List.mapi (fun i v -> (v, i)) q.free in
+  let occurrences v =
+    List.fold_left
+      (fun acc a ->
+        acc
+        + List.length (List.filter (Term.equal v) (Atom.args a)))
+      0 q.atoms
+  in
+  let term_tag t =
+    match t.Term.view with
+    | Term.Const name -> "c:" ^ name
+    | Term.App _ -> Fmt.str "t:%a" Term.pp t
+    | Term.Var _ -> (
+        match List.assoc_opt t free_index with
+        | Some i -> "f" ^ string_of_int i
+        | None -> "b" ^ string_of_int (occurrences t))
+  in
+  let atom_key a =
+    Symbol.name (Atom.rel a)
+    ^ "("
+    ^ String.concat "," (List.map term_tag (Atom.args a))
+    ^ ")"
+  in
+  String.concat ";" (List.sort String.compare (List.map atom_key q.atoms))
+
+let pp ppf q =
+  let pp_atoms = Fmt.list ~sep:(Fmt.any ", ") Atom.pp in
+  match (q.free, exist_vars q) with
+  | [], ev ->
+      Fmt.pf ppf "{exists %a. %a}"
+        (Fmt.list ~sep:(Fmt.any " ") Term.pp)
+        ev pp_atoms q.atoms
+  | fv, [] ->
+      Fmt.pf ppf "{(%a). %a}" (Fmt.list ~sep:(Fmt.any ",") Term.pp) fv pp_atoms
+        q.atoms
+  | fv, ev ->
+      Fmt.pf ppf "{(%a). exists %a. %a}"
+        (Fmt.list ~sep:(Fmt.any ",") Term.pp)
+        fv
+        (Fmt.list ~sep:(Fmt.any " ") Term.pp)
+        ev pp_atoms q.atoms

@@ -1,0 +1,63 @@
+(** Conjunctive queries [phi(ybar) = exists xbar. beta(xbar, ybar)].
+
+    The body is a *set* of atoms (duplicates are collapsed); the size
+    [|phi|] is the number of body atoms (Section 2). Free variables are the
+    answer variables [ybar]; every other variable is implicitly
+    existentially quantified. *)
+
+type t = private { free : Term.t list; atoms : Atom.t list }
+
+val make : free:Term.t list -> Atom.t list -> t
+(** Raises [Invalid_argument] if a free "variable" is not a [Term.var], if
+    the body is empty, or if a free variable does not occur in the body. *)
+
+val free : t -> Term.t list
+val atoms : t -> Atom.t list
+val size : t -> int
+(** Number of body atoms ([|phi(ybar)|] in the paper). *)
+
+val vars : t -> Term.t list
+(** All variables of the query, free first, in deterministic order. *)
+
+val exist_vars : t -> Term.t list
+val is_boolean : t -> bool
+val gaifman : t -> Gaifman.t
+val is_connected : t -> bool
+
+val as_fact_set : t -> Fact_set.t
+(** The body "seen as a structure" (footnote 12): variables as domain
+    elements. *)
+
+val holds : t -> Fact_set.t -> Term.t list -> bool
+(** [holds q f tuple]: does [f |= q(tuple)]? The tuple instantiates the free
+    variables positionally. *)
+
+val boolean_holds : t -> Fact_set.t -> bool
+(** Satisfaction with the free variables (if any) also treated as
+    existential — used when the paper evaluates [phi(abar)] with [abar]
+    already substituted into the body. *)
+
+val answers : t -> Fact_set.t -> Term.t list list
+(** All distinct answer tuples over the active domain of [f]. *)
+
+val subst : Term.t Term.Int_map.t -> t -> t
+(** Apply a substitution to body and free variables; a free variable mapped
+    to a non-variable is dropped from the free list (it became a constant
+    answer position), mirroring the instantiation [phi(abar)]. *)
+
+val refresh : ?prefix:string -> t -> t * Term.t Term.Int_map.t
+(** Rename every variable (free and existential) to a fresh name; returns
+    the renaming. Used to avoid capture in the rewriting engine. *)
+
+val refresh_exist : ?prefix:string -> t -> t
+(** Rename only the existential variables (free variables are shared
+    interface and must stay). *)
+
+val iso_key : t -> string
+(** A cheap isomorphism-invariant fingerprint: equal for isomorphic queries,
+    used to bucket before expensive isomorphism checks. *)
+
+val pp : t Fmt.t
+
+val fresh_var : ?prefix:string -> unit -> Term.t
+(** A globally fresh variable. *)

@@ -1,0 +1,104 @@
+type index = {
+  by_rel : Atom.t list Symbol.Map.t;
+  by_rel_pos_term : (string * int * int * int, Atom.t list) Hashtbl.t;
+      (* key: (rel name, rel arity, position, term id) *)
+  domain : Term.Set.t;
+}
+
+type t = { set : Atom.Set.t; mutable index : index option }
+
+let of_set set = { set; index = None }
+let empty = of_set Atom.Set.empty
+let of_list l = of_set (Atom.Set.of_list l)
+let to_set t = t.set
+let atoms t = Atom.Set.elements t.set
+let cardinal t = Atom.Set.cardinal t.set
+let is_empty t = Atom.Set.is_empty t.set
+let mem a t = Atom.Set.mem a t.set
+let add a t = of_set (Atom.Set.add a t.set)
+let remove a t = of_set (Atom.Set.remove a t.set)
+let union a b = of_set (Atom.Set.union a.set b.set)
+let diff a b = of_set (Atom.Set.diff a.set b.set)
+let inter a b = of_set (Atom.Set.inter a.set b.set)
+let subset a b = Atom.Set.subset a.set b.set
+let equal a b = Atom.Set.equal a.set b.set
+let filter f t = of_set (Atom.Set.filter f t.set)
+
+let key_of rel pos term =
+  (Symbol.name rel, Symbol.arity rel, pos, Term.hash term)
+
+let build_index t =
+  let by_rel = ref Symbol.Map.empty in
+  let by_rel_pos_term = Hashtbl.create 256 in
+  let domain = ref Term.Set.empty in
+  Atom.Set.iter
+    (fun a ->
+      let rel = Atom.rel a in
+      by_rel :=
+        Symbol.Map.update rel
+          (function None -> Some [ a ] | Some l -> Some (a :: l))
+          !by_rel;
+      List.iteri
+        (fun pos term ->
+          domain := Term.Set.add term !domain;
+          let key = key_of rel pos term in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt by_rel_pos_term key)
+          in
+          Hashtbl.replace by_rel_pos_term key (a :: prev))
+        (Atom.args a))
+    t.set;
+  { by_rel = !by_rel; by_rel_pos_term; domain = !domain }
+
+let index t =
+  match t.index with
+  | Some i -> i
+  | None ->
+      let i = build_index t in
+      t.index <- Some i;
+      i
+
+let domain t = (index t).domain
+
+let signature t =
+  Atom.Set.fold (fun a acc -> Symbol.Set.add (Atom.rel a) acc) t.set
+    Symbol.Set.empty
+
+let by_rel t rel =
+  Option.value ~default:[] (Symbol.Map.find_opt rel (index t).by_rel)
+
+let candidates t rel ~bound =
+  let idx = index t in
+  let matches a =
+    List.for_all (fun (pos, term) -> Term.equal (Atom.arg a pos) term) bound
+  in
+  match bound with
+  | [] -> by_rel t rel
+  | (pos0, term0) :: _ ->
+      (* Pick the constraint with the shortest candidate list as the seed. *)
+      let seed_list =
+        List.fold_left
+          (fun best (pos, term) ->
+            let l =
+              Option.value ~default:[]
+                (Hashtbl.find_opt idx.by_rel_pos_term (key_of rel pos term))
+            in
+            match best with
+            | None -> Some l
+            | Some b -> if List.length l < List.length b then Some l else best)
+          None bound
+        |> Option.value
+             ~default:
+               (Option.value ~default:[]
+                  (Hashtbl.find_opt idx.by_rel_pos_term
+                     (key_of rel pos0 term0)))
+      in
+      List.filter matches seed_list
+
+let restrict t allowed =
+  filter
+    (fun a -> List.for_all (fun term -> Term.Set.mem term allowed) (Atom.args a))
+    t
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Atom.pp) (atoms t)

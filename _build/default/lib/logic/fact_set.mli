@@ -1,0 +1,45 @@
+(** Fact sets: database instances and (finite prefixes of) chase structures.
+
+    A fact set is an immutable set of atoms together with lazily-built
+    indexes used by the homomorphism engine: a per-relation index and a
+    (relation, position, term) index for selective joins. *)
+
+type t
+
+val empty : t
+val of_list : Atom.t list -> t
+val of_set : Atom.Set.t -> t
+val to_set : t -> Atom.Set.t
+val atoms : t -> Atom.t list
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : Atom.t -> t -> bool
+val add : Atom.t -> t -> t
+val remove : Atom.t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val filter : (Atom.t -> bool) -> t -> t
+
+val domain : t -> Term.Set.t
+(** The active domain [dom(F)]: every term appearing in some fact. Terms are
+    treated atomically (a Skolem term is one element; its subterms are not
+    domain members unless they appear in argument position themselves). *)
+
+val signature : t -> Symbol.Set.t
+
+val by_rel : t -> Symbol.t -> Atom.t list
+(** All facts with the given relation symbol. *)
+
+val candidates : t -> Symbol.t -> bound:(int * Term.t) list -> Atom.t list
+(** Facts with relation [rel] agreeing with every [(position, term)]
+    constraint in [bound]; uses the most selective available index, then
+    filters. *)
+
+val restrict : t -> Term.Set.t -> t
+(** The induced substructure on the given terms: keep the atoms whose every
+    argument is in the set (Definition 36's "ban the other terms"). *)
+
+val pp : t Fmt.t

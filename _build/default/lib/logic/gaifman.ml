@@ -1,0 +1,90 @@
+type t = { adj : Term.Set.t Term.Map.t }
+
+let add_vertex v adj =
+  Term.Map.update v
+    (function None -> Some Term.Set.empty | some -> some)
+    adj
+
+let add_edge u v adj =
+  let link a b m =
+    Term.Map.update a
+      (function
+        | None -> Some (Term.Set.singleton b)
+        | Some s -> Some (Term.Set.add b s))
+      m
+  in
+  link u v (link v u adj)
+
+let of_terms_per_atom term_lists =
+  let adj =
+    List.fold_left
+      (fun adj terms ->
+        let adj = List.fold_left (fun adj v -> add_vertex v adj) adj terms in
+        List.fold_left
+          (fun adj' t ->
+            List.fold_left
+              (fun adj'' u ->
+                if Term.equal t u then adj'' else add_edge t u adj'')
+              adj' terms)
+          adj terms)
+      Term.Map.empty term_lists
+  in
+  { adj }
+
+let of_fact_set fs =
+  of_terms_per_atom (List.map Atom.terms (Fact_set.atoms fs))
+
+let of_atoms atoms = of_terms_per_atom (List.map Atom.vars atoms)
+
+let vertices g =
+  Term.Map.fold (fun v _ acc -> Term.Set.add v acc) g.adj Term.Set.empty
+
+let neighbours g v =
+  Option.value ~default:Term.Set.empty (Term.Map.find_opt v g.adj)
+
+let degree g v = Term.Set.cardinal (neighbours g v)
+
+let max_degree g =
+  Term.Map.fold (fun _ ns acc -> max acc (Term.Set.cardinal ns)) g.adj 0
+
+let distances_from g source =
+  if not (Term.Map.mem source g.adj) then Term.Map.empty
+  else begin
+    let dist = ref (Term.Map.singleton source 0) in
+    let queue = Queue.create () in
+    Queue.add source queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let du = Term.Map.find u !dist in
+      Term.Set.iter
+        (fun v ->
+          if not (Term.Map.mem v !dist) then begin
+            dist := Term.Map.add v (du + 1) !dist;
+            Queue.add v queue
+          end)
+        (neighbours g u)
+    done;
+    !dist
+  end
+
+let distance g u v = Term.Map.find_opt v (distances_from g u)
+
+let components g =
+  let remaining = ref (vertices g) in
+  let comps = ref [] in
+  while not (Term.Set.is_empty !remaining) do
+    let seed = Term.Set.choose !remaining in
+    let comp =
+      Term.Map.fold
+        (fun v _ acc -> Term.Set.add v acc)
+        (distances_from g seed) Term.Set.empty
+    in
+    comps := comp :: !comps;
+    remaining := Term.Set.diff !remaining comp
+  done;
+  List.rev !comps
+
+let connected g =
+  match components g with [] | [ _ ] -> true | _ :: _ :: _ -> false
+
+let same_component g u v = distance g u v <> None

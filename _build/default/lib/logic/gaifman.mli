@@ -1,0 +1,27 @@
+(** Gaifman graphs of fact sets (and, via the atoms of a query body, of
+    conjunctive queries).
+
+    Vertices are active-domain terms; two vertices are adjacent iff they
+    co-occur in some fact (Section 2). Distances feed the distancing
+    analyzer (Definition 43), degrees the bd-locality analyzer
+    (Definition 40). *)
+
+type t
+
+val of_fact_set : Fact_set.t -> t
+val of_atoms : Atom.t list -> t
+(** Gaifman graph over the *variables* of the atoms — the query Gaifman
+    graph of Section 2 ("Connected queries"). Constants are ignored. *)
+
+val vertices : t -> Term.Set.t
+val neighbours : t -> Term.t -> Term.Set.t
+val degree : t -> Term.t -> int
+val max_degree : t -> int
+
+val distance : t -> Term.t -> Term.t -> int option
+(** BFS distance; [None] when disconnected or a vertex is absent. *)
+
+val distances_from : t -> Term.t -> int Term.Map.t
+val connected : t -> bool
+val components : t -> Term.Set.t list
+val same_component : t -> Term.t -> Term.t -> bool

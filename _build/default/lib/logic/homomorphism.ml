@@ -1,0 +1,145 @@
+type mapping = Term.t Term.Map.t
+
+type problem = {
+  init : mapping;
+  image_ok : Term.t -> Term.t -> bool;
+  prefer : (Atom.t -> int) option;
+  domain_vars : Term.t list;
+  flexible : Term.Set.t;
+  pattern : Atom.t list;
+  target : Fact_set.t;
+}
+
+let make ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true) ?prefer
+    ?(domain_vars = []) ~flexible ~pattern ~target () =
+  { init; image_ok; prefer; domain_vars; flexible; pattern; target }
+
+exception Stop
+
+(* Generic engine: each pattern atom carries its own target fact set (the
+   semi-naive chase partitions body atoms between "old", "delta" and "full"
+   stages), and each domain-bound variable carries its own candidate pool. *)
+let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
+    ?prefer ~flexible ~pattern ~domain_bindings f =
+  let bound_positions assignment atom =
+    let bound = ref [] in
+    List.iteri
+      (fun pos t ->
+        if Term.Set.mem t flexible then (
+          match Term.Map.find_opt t assignment with
+          | Some image -> bound := (pos, image) :: !bound
+          | None -> ())
+        else bound := (pos, t) :: !bound)
+      (Atom.args atom);
+    !bound
+  in
+  let match_atom assignment atom fact =
+    let rec go assignment pos = function
+      | [] -> Some assignment
+      | t :: rest ->
+          let u = Atom.arg fact pos in
+          if Term.Set.mem t flexible then
+            match Term.Map.find_opt t assignment with
+            | Some image ->
+                if Term.equal image u then go assignment (pos + 1) rest
+                else None
+            | None ->
+                if image_ok t u then
+                  go (Term.Map.add t u assignment) (pos + 1) rest
+                else None
+          else if Term.equal t u then go assignment (pos + 1) rest
+          else None
+    in
+    go assignment 0 (Atom.args atom)
+  in
+  let rec bind_domain assignment = function
+    | [] -> f assignment
+    | (v, pool) :: rest -> (
+        match Term.Map.find_opt v assignment with
+        | Some u ->
+            (* Pre-bound (e.g. by a body atom): still honour the pool. *)
+            if List.exists (Term.equal u) pool then
+              bind_domain assignment rest
+        | None ->
+            List.iter
+              (fun u ->
+                if image_ok v u then
+                  bind_domain (Term.Map.add v u assignment) rest)
+              pool)
+  in
+  let rec solve assignment remaining =
+    match remaining with
+    | [] -> bind_domain assignment domain_bindings
+    | _ :: _ ->
+        let scored =
+          List.map
+            (fun ((a, _) as entry) -> (entry, bound_positions assignment a))
+            remaining
+        in
+        let (best_atom, best_target), bound =
+          List.fold_left
+            (fun ((_, bb) as best) ((_, b) as cur) ->
+              if List.length b > List.length bb then cur else best)
+            (List.hd scored) (List.tl scored)
+        in
+        let rest =
+          List.filter (fun (a, _) -> not (a == best_atom)) remaining
+        in
+        let cands =
+          Fact_set.candidates best_target (Atom.rel best_atom) ~bound
+        in
+        let cands =
+          (* Candidate preference steers which homomorphism is found first
+             (e.g. the core search prefers folding onto original
+             constants); it never prunes. *)
+          match prefer with
+          | None -> cands
+          | Some rank ->
+              List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) cands
+        in
+        List.iter
+          (fun fact ->
+            match match_atom assignment best_atom fact with
+            | Some assignment' -> solve assignment' rest
+            | None -> ())
+          cands
+  in
+  if Term.Map.for_all (fun v u -> image_ok v u) init then solve init pattern
+
+let iter p f =
+  let pool =
+    lazy (Term.Set.elements (Fact_set.domain p.target))
+  in
+  let domain_bindings =
+    List.map (fun v -> (v, Lazy.force pool)) p.domain_vars
+  in
+  iter_multi ~init:p.init ~image_ok:p.image_ok ?prefer:p.prefer
+    ~flexible:p.flexible
+    ~pattern:(List.map (fun a -> (a, p.target)) p.pattern)
+    ~domain_bindings f
+
+let find p =
+  let result = ref None in
+  (try
+     iter p (fun m ->
+         result := Some m;
+         raise Stop)
+   with Stop -> ());
+  !result
+
+let exists p = find p <> None
+
+let count p =
+  let n = ref 0 in
+  iter p (fun _ -> incr n);
+  !n
+
+let apply mapping ~flexible atom =
+  let image t =
+    if Term.Set.mem t flexible then
+      match Term.Map.find_opt t mapping with
+      | Some u -> u
+      | None -> invalid_arg "Homomorphism.apply: unmapped flexible term"
+    else t
+  in
+  Atom.make (Atom.rel atom) (List.map image (Atom.args atom))

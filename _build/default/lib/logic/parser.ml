@@ -1,0 +1,341 @@
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Arrow
+  | Colon
+  | Turnstile (* :- *)
+  | Kw_exists
+  | Kw_true
+  | Kw_dom
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Quoted s -> Fmt.pf ppf "constant %S" s
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Comma -> Fmt.string ppf "','"
+  | Dot -> Fmt.string ppf "'.'"
+  | Arrow -> Fmt.string ppf "'->'"
+  | Colon -> Fmt.string ppf "':'"
+  | Turnstile -> Fmt.string ppf "':-'"
+  | Kw_exists -> Fmt.string ppf "'exists'"
+  | Kw_true -> Fmt.string ppf "'true'"
+  | Kw_dom -> Fmt.string ppf "'dom'"
+  | Eof -> Fmt.string ppf "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '\n' then begin
+      (* Newlines terminate rules/facts like '.' does. *)
+      push Dot;
+      incr i
+    end
+    else if c = '#' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (push Lparen; incr i)
+    else if c = ')' then (push Rparen; incr i)
+    else if c = ',' then (push Comma; incr i)
+    else if c = '.' then (push Dot; incr i)
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '>' then begin
+      push Arrow;
+      i := !i + 2
+    end
+    else if c = ':' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      push Turnstile;
+      i := !i + 2
+    end
+    else if c = ':' then (push Colon; incr i)
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && input.[!j] <> '"' do
+        incr j
+      done;
+      if !j >= n then fail "unterminated string constant";
+      push (Quoted (String.sub input (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char input.[!j] do
+        incr j
+      done;
+      let word = String.sub input !i (!j - !i) in
+      let tok =
+        match word with
+        | "exists" -> Kw_exists
+        | "true" -> Kw_true
+        | "dom" -> Kw_dom
+        | _ -> Ident word
+      in
+      push tok;
+      i := !j
+    end
+    else fail "unexpected character %C at offset %d" c !i
+  done;
+  push Eof;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Token stream with one-symbol lookahead                             *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> Eof | t :: _ -> t
+
+let advance s =
+  match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let eat s expected =
+  let t = peek s in
+  if t = expected then advance s
+  else fail "expected %a but found %a" pp_token expected pp_token t
+
+let skip_dots s =
+  while peek s = Dot do
+    advance s
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Arity-inferring symbol table                                       *)
+(* ------------------------------------------------------------------ *)
+
+type symtab = (string, Symbol.t) Hashtbl.t
+
+let symbol (tab : symtab) name arity =
+  match Hashtbl.find_opt tab name with
+  | Some s when Symbol.arity s = arity -> s
+  | Some s ->
+      fail "relation %s used with arity %d but previously with arity %d" name
+        arity (Symbol.arity s)
+  | None ->
+      let s = Symbol.make name ~arity in
+      Hashtbl.add tab name s;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Grammar                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [ident_is] decides whether a bare identifier is a variable or constant
+   (rules vs instances). *)
+let parse_term ~ident_is s =
+  match peek s with
+  | Quoted c ->
+      advance s;
+      Term.const c
+  | Ident x ->
+      advance s;
+      ident_is x
+  | t -> fail "expected a term but found %a" pp_token t
+
+let parse_atom ~ident_is tab s =
+  match peek s with
+  | Ident rel_name -> (
+      advance s;
+      match peek s with
+      | Lparen ->
+          advance s;
+          let rec args acc =
+            let t = parse_term ~ident_is s in
+            match peek s with
+            | Comma ->
+                advance s;
+                args (t :: acc)
+            | Rparen ->
+                advance s;
+                List.rev (t :: acc)
+            | tok -> fail "expected ',' or ')' but found %a" pp_token tok
+          in
+          let ts = args [] in
+          Atom.make (symbol tab rel_name (List.length ts)) ts
+      | _ ->
+          (* Nullary predicate written without parentheses. *)
+          Atom.make (symbol tab rel_name 0) [])
+  | t -> fail "expected an atom but found %a" pp_token t
+
+let rec parse_atom_list ~ident_is tab s acc =
+  let a = parse_atom ~ident_is tab s in
+  match peek s with
+  | Comma ->
+      advance s;
+      parse_atom_list ~ident_is tab s (a :: acc)
+  | _ -> List.rev (a :: acc)
+
+let as_var x = Term.var x
+
+(* body ::= 'true' | body-item (',' body-item)*
+   body-item ::= atom | 'dom' '(' var (',' var)* ')' *)
+let parse_body tab s =
+  if peek s = Kw_true then begin
+    advance s;
+    ([], [])
+  end
+  else
+    let atoms = ref [] and doms = ref [] in
+    let parse_item () =
+      if peek s = Kw_dom then begin
+        advance s;
+        eat s Lparen;
+        let rec vars () =
+          (match peek s with
+          | Ident x ->
+              advance s;
+              doms := Term.var x :: !doms
+          | t -> fail "expected a variable in dom(...) but found %a" pp_token t);
+          match peek s with
+          | Comma ->
+              advance s;
+              vars ()
+          | Rparen -> advance s
+          | t -> fail "expected ',' or ')' but found %a" pp_token t
+        in
+        vars ()
+      end
+      else atoms := parse_atom ~ident_is:as_var tab s :: !atoms
+    in
+    parse_item ();
+    while peek s = Comma do
+      advance s;
+      parse_item ()
+    done;
+    (List.rev !atoms, List.rev !doms)
+
+(* head ::= ['exists' var+ '.'] atom (',' atom)* *)
+let parse_head tab s =
+  if peek s = Kw_exists then begin
+    advance s;
+    let rec vars acc =
+      match peek s with
+      | Ident x ->
+          advance s;
+          vars (x :: acc)
+      | Dot ->
+          advance s;
+          List.rev acc
+      | t -> fail "expected a variable or '.' after exists, found %a" pp_token t
+    in
+    let _declared = vars [] in
+    parse_atom_list ~ident_is:as_var tab s []
+  end
+  else parse_atom_list ~ident_is:as_var tab s []
+
+let parse_rule_inner tab s =
+  (* Optional 'name :' prefix: an identifier followed by a colon. *)
+  let rule_name =
+    match s.toks with
+    | Ident name :: Colon :: rest ->
+        s.toks <- rest;
+        name
+    | _ -> ""
+  in
+  let body, doms = parse_body tab s in
+  eat s Arrow;
+  let head = parse_head tab s in
+  Tgd.make ~name:rule_name ~dom_vars:doms ~body ~head ()
+
+let with_stream input f =
+  let s = { toks = tokenize input } in
+  let result = f s in
+  skip_dots s;
+  (match peek s with
+  | Eof -> ()
+  | t -> fail "trailing input: %a" pp_token t);
+  result
+
+let parse_rule input =
+  with_stream input (fun s ->
+      skip_dots s;
+      let tab = Hashtbl.create 16 in
+      parse_rule_inner tab s)
+
+let parse_theory ?(name = "") input =
+  with_stream input (fun s ->
+      let tab = Hashtbl.create 16 in
+      let rules = ref [] in
+      skip_dots s;
+      while peek s <> Eof do
+        rules := parse_rule_inner tab s :: !rules;
+        (match peek s with
+        | Dot -> skip_dots s
+        | Eof -> ()
+        | t -> fail "expected '.' between rules, found %a" pp_token t);
+        skip_dots s
+      done;
+      Theory.make ~name (List.rev !rules))
+
+let parse_instance input =
+  with_stream input (fun s ->
+      let tab = Hashtbl.create 16 in
+      let facts = ref [] in
+      let as_const x = Term.const x in
+      skip_dots s;
+      while peek s <> Eof do
+        facts := parse_atom ~ident_is:as_const tab s :: !facts;
+        (match peek s with
+        | Dot | Comma -> advance s
+        | Eof -> ()
+        | t -> fail "expected '.' between facts, found %a" pp_token t);
+        skip_dots s
+      done;
+      Fact_set.of_list (List.rev !facts))
+
+let parse_query input =
+  with_stream input (fun s ->
+      let tab = Hashtbl.create 16 in
+      skip_dots s;
+      let free =
+        if peek s = Turnstile then []
+        else begin
+          eat s Lparen;
+          let rec vars acc =
+            match peek s with
+            | Ident x -> (
+                advance s;
+                match peek s with
+                | Comma ->
+                    advance s;
+                    vars (Term.var x :: acc)
+                | Rparen ->
+                    advance s;
+                    List.rev (Term.var x :: acc)
+                | t -> fail "expected ',' or ')', found %a" pp_token t)
+            | Rparen ->
+                advance s;
+                List.rev acc
+            | t -> fail "expected a variable, found %a" pp_token t
+          in
+          vars []
+        end
+      in
+      eat s Turnstile;
+      let atoms = parse_atom_list ~ident_is:as_var tab s [] in
+      Cq.make ~free atoms)

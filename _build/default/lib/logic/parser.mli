@@ -1,0 +1,30 @@
+(** A small concrete syntax for rules, theories, instances and queries.
+
+    Rules (identifiers are variables; constants are ["quoted"]):
+    {v
+      grid: R(x,x'), G(x,u), G(u,u') -> exists z. R(u',z), G(x',z)
+      loop: true -> exists x. R(x,x), G(x,x)
+      pins: dom(x) -> exists z z'. R(x,z), G(x,z')
+      mother: Human(y) -> exists z. Mother(y,z)
+    v}
+    A theory is rules separated by [.] or newlines; [#]-comments allowed.
+
+    Instances (identifiers are constants):
+    {v  E(a,b). E(b,c). Human(abel)  v}
+
+    Queries (identifiers are variables, constants ["quoted"]):
+    {v
+      (x, y) :- R(x,z), G(z,y)      # answer variables x, y
+      :- Mother("abel", y)          # boolean
+    v}
+
+    Relation arities are inferred from use and must be consistent within one
+    [parse_*] call. All functions raise [Parse_error] with a message and
+    position on bad input. *)
+
+exception Parse_error of string
+
+val parse_rule : string -> Tgd.t
+val parse_theory : ?name:string -> string -> Theory.t
+val parse_instance : string -> Fact_set.t
+val parse_query : string -> Cq.t

@@ -1,0 +1,69 @@
+let default_colour sym =
+  (* Stable colour per relation name, friendly to the paper's red/green. *)
+  match Symbol.name sym with
+  | "R" -> "red"
+  | "G" -> "green3"
+  | name ->
+      let palette =
+        [| "blue"; "orange"; "purple"; "brown"; "teal"; "magenta" |]
+      in
+      palette.(Hashtbl.hash name mod Array.length palette)
+
+let quote s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+
+let term_id t = quote (Fmt.str "%a" Term.pp t)
+
+let to_dot ?(name = "chase") ?(colour = default_colour)
+    ?(highlight = Term.Set.empty) fs =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %s {\n" (quote name |> fun s -> String.sub s 1 (String.length s - 2));
+  out "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  Term.Set.iter
+    (fun t -> out "  %s [shape=doublecircle];\n" (term_id t))
+    highlight;
+  let hyper = ref 0 in
+  List.iter
+    (fun atom ->
+      match Atom.args atom with
+      | [ a; b ] ->
+          out "  %s -> %s [color=%s, label=%s];\n" (term_id a) (term_id b)
+            (colour (Atom.rel atom))
+            (quote (Symbol.name (Atom.rel atom)))
+      | [ a ] ->
+          out "  %s [xlabel=%s];\n" (term_id a)
+            (quote (Symbol.name (Atom.rel atom)))
+      | args ->
+          incr hyper;
+          let hub = Printf.sprintf "\"hyper%d\"" !hyper in
+          out "  %s [shape=box, label=%s];\n" hub
+            (quote (Symbol.name (Atom.rel atom)));
+          List.iteri
+            (fun i t ->
+              out "  %s -> %s [style=dashed, label=\"%d\"];\n" hub
+                (term_id t) i)
+            args)
+    (Fact_set.atoms fs);
+  out "}\n";
+  Buffer.contents buf
+
+let edge_listing ?(max_edges = 100) fs =
+  let binary =
+    List.filter_map
+      (fun atom ->
+        match Atom.args atom with
+        | [ a; b ] ->
+            Some
+              (Fmt.str "%a: %a -> %a" Symbol.pp (Atom.rel atom) Term.pp a
+                 Term.pp b)
+        | _ -> None)
+      (Fact_set.atoms fs)
+  in
+  let sorted = List.sort String.compare binary in
+  let shown = List.filteri (fun i _ -> i < max_edges) sorted in
+  let suffix =
+    if List.length sorted > max_edges then
+      [ Printf.sprintf "... (%d more)" (List.length sorted - max_edges) ]
+    else []
+  in
+  String.concat "\n" (shown @ suffix)

@@ -1,0 +1,17 @@
+(** Rendering of (mostly binary) fact sets: GraphViz dot output and a
+    plain-text edge listing, used to draw Figure 1-style chase fragments. *)
+
+val to_dot :
+  ?name:string ->
+  ?colour:(Symbol.t -> string) ->
+  ?highlight:Term.Set.t ->
+  Fact_set.t ->
+  string
+(** A [digraph]: binary facts become edges labelled (and coloured) by their
+    relation; facts of other arities become rectangular hyperedge nodes.
+    [highlight] marks distinguished vertices (e.g. the original instance
+    domain) with a double circle. *)
+
+val edge_listing : ?max_edges:int -> Fact_set.t -> string
+(** A deterministic, human-scannable listing "rel: a -> b" for binary facts
+    (sorted), truncated at [max_edges] (default 100). *)

@@ -1,0 +1,24 @@
+type t = { name : string; arity : int }
+
+let make name ~arity =
+  if arity < 0 then invalid_arg "Symbol.make: negative arity";
+  { name; arity }
+
+let name s = s.name
+let arity s = s.arity
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else Int.compare a.arity b.arity
+
+let equal a b = compare a b = 0
+let pp ppf s = Fmt.string ppf s.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

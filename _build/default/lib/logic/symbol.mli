@@ -1,0 +1,18 @@
+(** Relation symbols of a signature (schema).
+
+    A symbol is a name paired with an arity; two symbols with the same name
+    but different arities are distinct (the paper never overloads names, but
+    generated signatures such as the [T_NF] nullary predicates are easier to
+    produce when the invariant is local to the symbol). *)
+
+type t = private { name : string; arity : int }
+
+val make : string -> arity:int -> t
+val name : t -> string
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,125 @@
+type t = { id : int; view : view }
+
+and view =
+  | Const of string
+  | Var of string
+  | App of { fn : string; args : t list }
+
+(* Hash-consing: one global table keyed by a structural key in which
+   subterms are represented by their ids. *)
+type key = KConst of string | KVar of string | KApp of string * int list
+
+let table : (key, t) Hashtbl.t = Hashtbl.create 4096
+let counter = ref 0
+
+let intern key view =
+  match Hashtbl.find_opt table key with
+  | Some t -> t
+  | None ->
+      incr counter;
+      let t = { id = !counter; view } in
+      Hashtbl.add table key t;
+      t
+
+let const name = intern (KConst name) (Const name)
+let var name = intern (KVar name) (Var name)
+
+let app fn args =
+  intern (KApp (fn, List.map (fun a -> a.id) args)) (App { fn; args })
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let hash t = t.id
+
+let is_var t = match t.view with Var _ -> true | Const _ | App _ -> false
+let is_const t = match t.view with Const _ -> true | Var _ | App _ -> false
+
+let is_functional t =
+  match t.view with App _ -> true | Const _ | Var _ -> false
+
+module Int_map = Map.Make (Int)
+
+let depth_cache : (int, int) Hashtbl.t = Hashtbl.create 1024
+
+let rec depth t =
+  match Hashtbl.find_opt depth_cache t.id with
+  | Some d -> d
+  | None ->
+      let d =
+        match t.view with
+        | Const _ | Var _ -> 0
+        | App { args; _ } ->
+            1 + List.fold_left (fun acc a -> max acc (depth a)) 0 args
+      in
+      Hashtbl.add depth_cache t.id d;
+      d
+
+let dag_size t =
+  let seen = Hashtbl.create 16 in
+  let rec go t =
+    if Hashtbl.mem seen t.id then ()
+    else begin
+      Hashtbl.add seen t.id ();
+      match t.view with
+      | Const _ | Var _ -> ()
+      | App { args; _ } -> List.iter go args
+    end
+  in
+  go t;
+  Hashtbl.length seen
+
+let vars t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go t =
+    if not (Hashtbl.mem seen t.id) then begin
+      Hashtbl.add seen t.id ();
+      match t.view with
+      | Var _ -> acc := t :: !acc
+      | Const _ -> ()
+      | App { args; _ } -> List.iter go args
+    end
+  in
+  go t;
+  List.rev !acc
+
+let subst m t =
+  let memo = Hashtbl.create 16 in
+  let rec go t =
+    match Int_map.find_opt t.id m with
+    | Some image -> image
+    | None -> (
+        match t.view with
+        | Const _ | Var _ -> t
+        | App { fn; args } -> (
+            match Hashtbl.find_opt memo t.id with
+            | Some t' -> t'
+            | None ->
+                let args' = List.map go args in
+                let t' =
+                  if List.for_all2 equal args args' then t else app fn args'
+                in
+                Hashtbl.add memo t.id t';
+                t'))
+  in
+  go t
+
+let rec pp ppf t =
+  match t.view with
+  | Const name -> Fmt.string ppf name
+  | Var name -> Fmt.pf ppf "%s" name
+  | App { fn; args } ->
+      Fmt.pf ppf "%s(%a)" fn (Fmt.list ~sep:(Fmt.any ",") pp) args
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let subst_of_bindings bindings =
+  List.fold_left (fun m (v, image) -> Int_map.add v.id image m) Int_map.empty
+    bindings

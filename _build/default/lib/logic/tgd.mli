@@ -1,0 +1,87 @@
+(** Tuple-generating dependencies (rules), with the features the paper's
+    theories need beyond textbook TGDs:
+
+    - multi-atom heads with shared existential variables (the (grid) rule of
+      [T_d], Definition 45);
+    - empty bodies ("[true => ...]", the (loop) rule), which fire exactly
+      once;
+    - *domain variables* ("[forall x (true => ...)]", the (pins) rule):
+      body-less universal variables ranging over the active domain.
+
+    Skolemization follows Definition 4: Skolem function names are derived
+    from the *isomorphism type of the head*, not from the rule identity, so
+    two rules with isomorphic heads produce identical Skolem terms — this is
+    what makes the chase "with the Skolem naming convention" satisfy
+    Observation 8 literally. *)
+
+type t = private {
+  name : string;
+  body : Atom.t list;
+  dom_vars : Term.t list;
+  head : Atom.t list;
+  frontier : Term.t list;  (** body-or-domain variables occurring in head *)
+  exist_vars : Term.t list;
+  skolemized_head : Atom.t list;
+      (** [sh(rho)]: the head with each existential variable replaced by its
+          Skolem pattern over the frontier (Definition 4). *)
+}
+
+val make :
+  ?name:string -> ?dom_vars:Term.t list -> body:Atom.t list ->
+  head:Atom.t list -> unit -> t
+(** Raises [Invalid_argument] when the head is empty, when a term in
+    body/head is neither variable nor constant, or when a domain variable
+    also occurs in the body. *)
+
+val name : t -> string
+val body : t -> Atom.t list
+val head : t -> Atom.t list
+val dom_vars : t -> Term.t list
+val frontier : t -> Term.t list
+val exist_vars : t -> Term.t list
+val body_vars : t -> Term.t list
+(** Variables of the body atoms plus the domain variables. *)
+
+val signature : t -> Symbol.Set.t
+val max_arity : t -> int
+val is_datalog : t -> bool
+val is_linear : t -> bool
+(** At most one body atom and no domain variables. *)
+
+val is_detached : t -> bool
+(** Empty frontier (Appendix A). *)
+
+val is_guarded : t -> bool
+(** Some body atom contains every body variable. *)
+
+val is_connected : t -> bool
+(** The body Gaifman graph (including domain variables as vertices) is
+    connected (Section 2). *)
+
+val is_single_head : t -> bool
+val is_frontier_one : t -> bool
+
+val triggers : t -> Fact_set.t -> (Homomorphism.mapping -> unit) -> unit
+(** Iterate over [Hom(rho, F)] (Definition 5): all mappings of body
+    variables and domain variables into [F]. *)
+
+val apply : t -> Homomorphism.mapping -> Atom.t list
+(** [appl(rho, sigma)]: the Skolemized head instantiated by the trigger. *)
+
+val satisfied_in : t -> Fact_set.t -> bool
+(** Plain first-order satisfaction: every trigger has head witnesses in the
+    structure itself (no Skolem naming involved). *)
+
+val violating_trigger : t -> Fact_set.t -> Homomorphism.mapping option
+
+val refresh : t -> t
+(** Rename all rule variables apart (used before unification in the
+    rewriting engine). *)
+
+val body_cq : t -> Cq.t option
+(** The body as a CQ with the frontier as answer variables; [None] when the
+    body is empty. Domain variables become extra body-less answer variables
+    and are not representable — rules with domain variables return [None]
+    too. *)
+
+val pp : t Fmt.t

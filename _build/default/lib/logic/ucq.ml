@@ -1,0 +1,35 @@
+type t = { disjuncts : Cq.t list }
+
+let empty = { disjuncts = [] }
+let disjuncts u = u.disjuncts
+let cardinal u = List.length u.disjuncts
+let is_empty u = u.disjuncts = []
+
+let covers u q =
+  List.exists (fun q' -> Containment.implies q q') u.disjuncts
+
+let add_minimal u q =
+  if covers u q then (u, `Subsumed)
+  else
+    let kept =
+      List.filter (fun q' -> not (Containment.implies q' q)) u.disjuncts
+    in
+    ({ disjuncts = q :: kept }, `Added)
+
+let of_list qs =
+  List.fold_left (fun u q -> fst (add_minimal u q)) empty qs
+
+let union a b = List.fold_left (fun u q -> fst (add_minimal u q)) a b.disjuncts
+
+let max_disjunct_size u =
+  List.fold_left (fun acc q -> max acc (Cq.size q)) 0 u.disjuncts
+
+let holds u f tuple = List.exists (fun q -> Cq.holds q f tuple) u.disjuncts
+let boolean_holds u f = List.exists (fun q -> Cq.boolean_holds q f) u.disjuncts
+let exists p u = List.exists p u.disjuncts
+let find_opt p u = List.find_opt p u.disjuncts
+
+let pp ppf u =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:(Fmt.any "@,or ") Cq.pp)
+    u.disjuncts

@@ -1,0 +1,31 @@
+(** Unions of conjunctive queries, kept minimal in the sense of Theorem 1:
+    no disjunct is implied by (redundant w.r.t.) another disjunct. *)
+
+type t
+
+val empty : t
+val of_list : Cq.t list -> t
+(** Builds the minimal equivalent UCQ: drops every disjunct whose answers
+    are covered by another disjunct, and collapses equivalent disjuncts. *)
+
+val disjuncts : t -> Cq.t list
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val max_disjunct_size : t -> int
+(** [rs] of Section 7: the maximal number of atoms of a disjunct. *)
+
+val add_minimal : t -> Cq.t -> t * [ `Added | `Subsumed ]
+(** Insert a disjunct, maintaining minimality: returns [`Subsumed] (and the
+    unchanged UCQ) when an existing disjunct already covers it; otherwise
+    removes the disjuncts it covers and adds it. *)
+
+val covers : t -> Cq.t -> bool
+(** Is the disjunct redundant w.r.t. the union (covered by some element)? *)
+
+val holds : t -> Fact_set.t -> Term.t list -> bool
+val boolean_holds : t -> Fact_set.t -> bool
+val union : t -> t -> t
+val exists : (Cq.t -> bool) -> t -> bool
+val find_opt : (Cq.t -> bool) -> t -> Cq.t option
+val pp : t Fmt.t

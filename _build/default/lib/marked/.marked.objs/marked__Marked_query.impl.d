@@ -1,0 +1,1 @@
+lib/marked/marked_query.ml: Array Atom Chase Containment Cq Fact_set Fmt Hashtbl Homomorphism Int List Logic Option Symbol Term

@@ -1,0 +1,1 @@
+lib/marked/marked_query.mli: Atom Chase Cq Fmt Logic Symbol Term

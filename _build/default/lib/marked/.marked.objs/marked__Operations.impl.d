@@ -1,0 +1,1 @@
+lib/marked/operations.ml: Array Atom Cq Int List Logic Marked_query Term

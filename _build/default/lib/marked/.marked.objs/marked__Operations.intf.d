@@ -1,0 +1,1 @@
+lib/marked/operations.mli: Atom Logic Marked_query Term

@@ -1,0 +1,1 @@
+lib/marked/process.ml: Array Cq Fact_set Hashtbl List Logic Marked_query Operations Option Printf Queue Rank Symbol Term Ucq

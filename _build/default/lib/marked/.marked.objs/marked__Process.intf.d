@@ -1,0 +1,1 @@
+lib/marked/process.mli: Cq Fact_set Logic Marked_query Operations Rank Symbol Term Ucq

@@ -1,0 +1,1 @@
+lib/marked/rank.ml: Array Atom Fmt Hashtbl Int List Logic Map Marked_query Option Order Symbol Term

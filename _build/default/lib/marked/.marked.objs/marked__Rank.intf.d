@@ -1,0 +1,1 @@
+lib/marked/rank.mli: Fmt Logic Marked_query Order

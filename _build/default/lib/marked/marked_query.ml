@@ -1,0 +1,322 @@
+open Logic
+
+type t = {
+  levels : Symbol.t array;
+  free : (Term.t * Term.t) list;
+  atoms : Atom.t list;
+  marked : Term.Set.t;
+}
+
+let marked_tag = Symbol.make "MARKED?" ~arity:1
+
+let level_index levels rel =
+  let rec go i =
+    if i >= Array.length levels then None
+    else if Symbol.equal levels.(i) rel then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let dedup_terms l =
+  let _, rev =
+    List.fold_left
+      (fun (seen, acc) x ->
+        if Term.Set.mem x seen then (seen, acc)
+        else (Term.Set.add x seen, x :: acc))
+      (Term.Set.empty, []) l
+  in
+  List.rev rev
+
+let make ~levels ~free ~marked atoms =
+  if Array.length levels < 2 then
+    invalid_arg "Marked_query.make: need at least two levels";
+  let atoms = Atom.Set.elements (Atom.Set.of_list atoms) in
+  List.iter
+    (fun a ->
+      (match level_index levels (Atom.rel a) with
+      | Some _ -> ()
+      | None ->
+          invalid_arg
+            (Fmt.str "Marked_query.make: atom %a outside the level signature"
+               Atom.pp a));
+      if Atom.arity a <> 2 then
+        invalid_arg "Marked_query.make: level relations must be binary";
+      List.iter
+        (fun t ->
+          if not (Term.is_var t) then
+            invalid_arg "Marked_query.make: only variables allowed")
+        (Atom.args a))
+    atoms;
+  let var_set = Term.Set.of_list (List.concat_map Atom.vars atoms) in
+  List.iter
+    (fun (_orig, rep) ->
+      if not (Term.Set.mem rep marked) then
+        invalid_arg "Marked_query.make: answer representative must be marked";
+      if atoms <> [] && not (Term.Set.mem rep var_set) then
+        invalid_arg
+          "Marked_query.make: answer representative must occur in the body")
+    free;
+  let rep_set = Term.Set.of_list (List.map snd free) in
+  if not (Term.Set.subset marked (Term.Set.union var_set rep_set)) then
+    invalid_arg "Marked_query.make: marked variables must occur in the query";
+  { levels; free; atoms; marked }
+
+let of_cq ~levels q ~marked =
+  let marked =
+    Term.Set.union marked (Term.Set.of_list (Cq.free q))
+  in
+  make ~levels
+    ~free:(List.map (fun v -> (v, v)) (Cq.free q))
+    ~marked (Cq.atoms q)
+
+let vars q = dedup_terms (List.map snd q.free @ List.concat_map Atom.vars q.atoms)
+
+let level_of q a =
+  match level_index q.levels (Atom.rel a) with
+  | Some i -> i
+  | None -> invalid_arg "Marked_query.level_of: atom outside signature"
+
+let atoms_at_level q i =
+  List.filter (fun a -> level_of q a = i) q.atoms
+
+let is_totally_marked q =
+  List.for_all (fun v -> Term.Set.mem v q.marked) (vars q)
+
+let is_trivial q = q.atoms = []
+
+(* Variables lying on a directed cycle: SCCs of size >= 2 or self-loops
+   (Tarjan). *)
+let cycle_vars atoms =
+  let succs = Hashtbl.create 16 in
+  let verts = dedup_terms (List.concat_map Atom.vars atoms) in
+  List.iter
+    (fun a ->
+      let s = Atom.arg a 0 and d = Atom.arg a 1 in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt succs (Term.hash s)) in
+      Hashtbl.replace succs (Term.hash s) (d :: prev))
+    atoms;
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref Term.Set.empty in
+  let rec strongconnect v =
+    Hashtbl.replace index (Term.hash v) !counter;
+    Hashtbl.replace lowlink (Term.hash v) !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack (Term.hash v) true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index (Term.hash w)) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink (Term.hash v)
+            (min
+               (Hashtbl.find lowlink (Term.hash v))
+               (Hashtbl.find lowlink (Term.hash w)))
+        end
+        else if Option.value ~default:false (Hashtbl.find_opt on_stack (Term.hash w))
+        then
+          Hashtbl.replace lowlink (Term.hash v)
+            (min
+               (Hashtbl.find lowlink (Term.hash v))
+               (Hashtbl.find index (Term.hash w))))
+      (Option.value ~default:[] (Hashtbl.find_opt succs (Term.hash v)));
+    if Hashtbl.find lowlink (Term.hash v) = Hashtbl.find index (Term.hash v)
+    then begin
+      (* Pop the SCC rooted at v. *)
+      let scc = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        match !stack with
+        | [] -> continue_ := false
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack (Term.hash w) false;
+            scc := w :: !scc;
+            if Term.equal w v then continue_ := false
+      done;
+      match !scc with
+      | [ single ] ->
+          (* Self-loop? *)
+          if
+            List.exists (Term.equal single)
+              (Option.value ~default:[]
+                 (Hashtbl.find_opt succs (Term.hash single)))
+          then result := Term.Set.add single !result
+      | multiple -> List.iter (fun w -> result := Term.Set.add w !result) multiple
+    end
+  in
+  List.iter
+    (fun v -> if not (Hashtbl.mem index (Term.hash v)) then strongconnect v)
+    verts;
+  !result
+
+let is_properly_marked q =
+  let marked v = Term.Set.mem v q.marked in
+  let cond_i =
+    List.for_all
+      (fun a -> (not (marked (Atom.arg a 1))) || marked (Atom.arg a 0))
+      q.atoms
+  in
+  let cond_ii = Term.Set.for_all marked (cycle_vars q.atoms) in
+  let cond_iii =
+    (* Group in-edges by (level, target): source markings must agree. *)
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun a ->
+        let key = (level_of q a, Term.hash (Atom.arg a 1)) in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+        Hashtbl.replace groups key (Atom.arg a 0 :: prev))
+      q.atoms;
+    Hashtbl.fold
+      (fun _ sources ok ->
+        ok
+        &&
+        match sources with
+        | [] -> true
+        | s :: rest -> List.for_all (fun s' -> marked s' = marked s) rest)
+      groups true
+  in
+  let cond_iv =
+    Array.length q.levels = 2
+    ||
+    (* In-levels of each unmarked variable: at most two, adjacent. *)
+    let in_levels = Hashtbl.create 16 in
+    List.iter
+      (fun a ->
+        let tgt = Atom.arg a 1 in
+        if not (marked tgt) then begin
+          let prev =
+            Option.value ~default:[]
+              (Hashtbl.find_opt in_levels (Term.hash tgt))
+          in
+          let l = level_of q a in
+          if not (List.mem l prev) then
+            Hashtbl.replace in_levels (Term.hash tgt) (l :: prev)
+        end)
+      q.atoms;
+    Hashtbl.fold
+      (fun _ ls ok ->
+        ok
+        &&
+        match List.sort Int.compare ls with
+        | [] | [ _ ] -> true
+        | [ a; b ] -> b = a + 1
+        | _ -> false)
+      in_levels true
+  in
+  cond_i && cond_ii && cond_iii && cond_iv
+
+let is_live q =
+  is_properly_marked q && (not (is_totally_marked q)) && not (is_trivial q)
+
+let all_markings ~levels q =
+  let free = List.map (fun v -> (v, v)) (Cq.free q) in
+  let base_marked = Term.Set.of_list (Cq.free q) in
+  let optional = Cq.exist_vars q in
+  let rec subsets = function
+    | [] -> [ Term.Set.empty ]
+    | v :: rest ->
+        let smaller = subsets rest in
+        smaller @ List.map (Term.Set.add v) smaller
+  in
+  List.filter_map
+    (fun extra ->
+      let m = make ~levels ~free ~marked:(Term.Set.union base_marked extra) (Cq.atoms q) in
+      if is_properly_marked m then Some m else None)
+    (subsets optional)
+
+let to_cq q =
+  if q.atoms = [] then None
+  else Some (Cq.make ~free:(dedup_terms (List.map snd q.free)) q.atoms)
+
+let tagged_cq q =
+  if q.atoms = [] then None
+  else
+    let tags =
+      List.map (fun v -> Atom.make marked_tag [ v ]) (Term.Set.elements q.marked)
+    in
+    Some (Cq.make ~free:(dedup_terms (List.map snd q.free)) (q.atoms @ tags))
+
+let alias_pattern q =
+  (* For each answer position, the first position sharing its rep. *)
+  List.mapi
+    (fun i (_, rep) ->
+      let rec first j = function
+        | [] -> i
+        | (_, rep') :: _ when Term.equal rep rep' -> j
+        | _ :: rest -> first (j + 1) rest
+      in
+      first 0 q.free)
+    q.free
+
+let aliased q = List.exists2 (fun i j -> i <> j) (alias_pattern q) (List.mapi (fun i _ -> i) q.free)
+
+let equal_upto_iso q1 q2 =
+  Array.length q1.levels = Array.length q2.levels
+  && Array.for_all2 Symbol.equal q1.levels q2.levels
+  && alias_pattern q1 = alias_pattern q2
+  &&
+  match (tagged_cq q1, tagged_cq q2) with
+  | None, None -> true
+  | Some c1, Some c2 -> Containment.isomorphic c1 c2
+  | None, Some _ | Some _, None -> false
+
+let tuple_admissible q tuple =
+  if List.length tuple <> List.length q.free then None
+  else
+    let bindings = ref Term.Map.empty in
+    let ok = ref true in
+    List.iter2
+      (fun (_, rep) value ->
+        match Term.Map.find_opt rep !bindings with
+        | Some v when not (Term.equal v value) -> ok := false
+        | Some _ -> ()
+        | None -> bindings := Term.Map.add rep value !bindings)
+      q.free tuple;
+    if !ok then Some (Term.Map.bindings !bindings) else None
+
+let holds run q tuple =
+  match tuple_admissible q tuple with
+  | None -> false
+  | Some bindings -> (
+      let d_dom = Fact_set.domain (Chase.Engine.initial run) in
+      let in_d u = Term.Set.mem u d_dom in
+      if List.exists (fun (_, value) -> not (in_d value)) bindings then false
+      else if q.atoms = [] then true
+      else
+        let init =
+          List.fold_left
+            (fun m (rep, value) -> Term.Map.add rep value m)
+            Term.Map.empty bindings
+        in
+        let image_ok v u =
+          if Term.Set.mem v q.marked then in_d u else not (in_d u)
+        in
+        match
+          Homomorphism.find
+            (Homomorphism.make ~init ~image_ok
+               ~flexible:(Term.Set.of_list (vars q))
+               ~pattern:q.atoms
+               ~target:(Chase.Engine.result run)
+               ())
+        with
+        | Some _ -> true
+        | None -> false)
+
+let pp ppf q =
+  let pp_var ppf v =
+    if Term.Set.mem v q.marked then Fmt.pf ppf "%a!" Term.pp v
+    else Term.pp ppf v
+  in
+  let pp_atom ppf a =
+    Fmt.pf ppf "%a(%a,%a)" Symbol.pp (Atom.rel a) pp_var (Atom.arg a 0) pp_var
+      (Atom.arg a 1)
+  in
+  Fmt.pf ppf "<(%a). %a>"
+    (Fmt.list ~sep:(Fmt.any ",") (fun ppf (_, rep) -> Term.pp ppf rep))
+    q.free
+    (Fmt.list ~sep:(Fmt.any ", ") pp_atom)
+    q.atoms

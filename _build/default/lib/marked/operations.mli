@@ -1,0 +1,37 @@
+(** The five operations of Section 11 (Definitions 56-58), generalized to
+    the [K]-level signature of Section 12: [K] cut operations, [K] fuse
+    operations and [K-1] reduce operations, all driven by a *maximal
+    variable* (Lemma 55) — an unmarked variable with no outgoing edge.
+
+    Soundness is Lemma 52 (Appendix B), exercised by the property tests;
+    termination is by rank descent (Lemma 53), exercised via {!Rank}. *)
+
+open Logic
+
+type classification =
+  | Cut of Atom.t
+      (** The variable occurs in exactly this one (incoming) atom. *)
+  | Reduce of { level : int; red : Atom.t; green : Atom.t }
+      (** Exactly two in-edges at adjacent levels: [red] at [level + 1]
+          (1-based [I_{level+1}]... stored 0-based: [red] has level index
+          [level], [green] has level index [level - 1]). *)
+  | Fuse of { level : int; z : Term.t; z' : Term.t }
+      (** Two same-level in-edges from distinct sources. *)
+  | Unsatisfiable
+      (** In-edge pattern no chase-invented term can realize (only possible
+          for [K > 2]; properly marked queries with [K = 2] never produce
+          it). *)
+
+val maximal_var : Marked_query.t -> (Term.t * classification) option
+(** Some maximal variable with its classification; [None] when the query
+    has no unmarked variable without out-edges (e.g. totally marked). For a
+    live query this is always [Some] (Lemma 55). *)
+
+val apply : Marked_query.t -> Term.t -> classification -> Marked_query.t list
+(** Apply the operation; [cut]/[fuse] return one query, [reduce] the four
+    marked variants of Definition 58, [Unsatisfiable] returns []. Results
+    are NOT filtered for proper marking — the process does that. *)
+
+val step : Marked_query.t -> Marked_query.t list option
+(** One process step: classify and apply. [None] when no maximal variable
+    exists. *)

@@ -1,0 +1,188 @@
+open Logic
+
+type stats = {
+  steps : int;
+  cut_steps : int;
+  fuse_steps : int;
+  reduce_steps : int;
+  dropped_improper : int;
+  dropped_unsat : int;
+}
+
+type result = {
+  rewriting : Ucq.t;
+  aliased : Marked_query.t list;
+  trivial : Marked_query.t list;
+  complete : bool;
+  stats : stats;
+  rank_trace : Rank.srk list option;
+}
+
+let dedup_terms l =
+  let _, rev =
+    List.fold_left
+      (fun (seen, acc) x ->
+        if Term.Set.mem x seen then (seen, acc)
+        else (Term.Set.add x seen, x :: acc))
+      (Term.Set.empty, []) l
+  in
+  List.rev rev
+
+(* Iso-aware membership in a bucketed store of marked queries. *)
+module Store = struct
+  type t = (string, Marked_query.t list) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let key q =
+    match Marked_query.tagged_cq q with
+    | Some cq -> Cq.iso_key cq
+    | None -> "<trivial>"
+
+  let mem (store : t) q =
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt store (key q)) in
+    List.exists (Marked_query.equal_upto_iso q) bucket
+
+  let add (store : t) q =
+    let k = key q in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt store k) in
+    Hashtbl.replace store k (q :: bucket)
+end
+
+let run ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels q =
+  if Cq.free q = [] then
+    invalid_arg
+      "Process.run: boolean queries need no rewriting under (loop); \
+       the process expects at least one answer variable";
+  if not (Cq.is_connected q) then
+    invalid_arg "Process.run: the query must be connected";
+  let live = Queue.create () in
+  let seen = Store.create () in
+  let finished = ref [] in
+  let trivial = ref [] in
+  let stats =
+    ref
+      {
+        steps = 0;
+        cut_steps = 0;
+        fuse_steps = 0;
+        reduce_steps = 0;
+        dropped_improper = 0;
+        dropped_unsat = 0;
+      }
+  in
+  let classify_new mq =
+    if not (Marked_query.is_properly_marked mq) then
+      stats := { !stats with dropped_improper = !stats.dropped_improper + 1 }
+    else if Store.mem seen mq then ()
+    else begin
+      Store.add seen mq;
+      if Marked_query.is_trivial mq then trivial := mq :: !trivial
+      else if Marked_query.is_totally_marked mq then
+        finished := mq :: !finished
+      else Queue.add mq live
+    end
+  in
+  List.iter classify_new (Marked_query.all_markings ~levels q);
+  let rank_trace = ref [] in
+  let snapshot () =
+    if record_ranks then begin
+      let all =
+        List.of_seq (Queue.to_seq live) @ !finished @ !trivial
+      in
+      rank_trace := Rank.srk all :: !rank_trace
+    end
+  in
+  snapshot ();
+  let complete = ref true in
+  while (not (Queue.is_empty live)) && !complete do
+    if !stats.steps >= max_steps then complete := false
+    else begin
+      let current = Queue.pop live in
+      match Operations.maximal_var current with
+      | None ->
+          (* Lemma 55 guarantees a maximal variable for live queries. *)
+          invalid_arg "Process.run: live query without maximal variable"
+      | Some (x, classification) ->
+          stats :=
+            (let s = !stats in
+             match classification with
+             | Operations.Cut _ ->
+                 { s with steps = s.steps + 1; cut_steps = s.cut_steps + 1 }
+             | Operations.Fuse _ ->
+                 { s with steps = s.steps + 1; fuse_steps = s.fuse_steps + 1 }
+             | Operations.Reduce _ ->
+                 {
+                   s with
+                   steps = s.steps + 1;
+                   reduce_steps = s.reduce_steps + 1;
+                 }
+             | Operations.Unsatisfiable ->
+                 {
+                   s with
+                   steps = s.steps + 1;
+                   dropped_unsat = s.dropped_unsat + 1;
+                 });
+          let results = Operations.apply current x classification in
+          (match on_step with
+          | Some f -> f ~before:current ~classification ~results
+          | None -> ());
+          List.iter classify_new results;
+          snapshot ()
+    end
+  done;
+  let aliased, plain =
+    List.partition Marked_query.aliased !finished
+  in
+  let rewriting =
+    Ucq.of_list (List.filter_map Marked_query.to_cq plain)
+  in
+  {
+    rewriting;
+    aliased;
+    trivial = !trivial;
+    complete = !complete;
+    stats = !stats;
+    rank_trace = (if record_ranks then Some (List.rev !rank_trace) else None);
+  }
+
+let td_levels = [| Symbol.make "G" ~arity:2; Symbol.make "R" ~arity:2 |]
+
+let rewrite_td ?max_steps ?on_step q =
+  run ?max_steps ?on_step ~levels:td_levels q
+
+let rewrite_tdk ?max_steps ?on_step kk q =
+  if kk < 2 then invalid_arg "Process.rewrite_tdk: K must be at least 2";
+  let levels =
+    Array.init kk (fun i -> Symbol.make (Printf.sprintf "I%d" (i + 1)) ~arity:2)
+  in
+  run ?max_steps ?on_step ~levels q
+
+let boolean_always_true () = ()
+
+let holds_via_rewriting result d tuple =
+  let dom = Fact_set.domain d in
+  let in_dom t = Term.Set.mem t dom in
+  Ucq.holds result.rewriting d tuple
+  || List.exists
+       (fun mq ->
+         match Marked_query.tuple_admissible mq tuple with
+         | None -> false
+         | Some bindings -> (
+             if List.exists (fun (_, v) -> not (in_dom v)) bindings then false
+             else
+               match Marked_query.to_cq mq with
+               | None -> true
+               | Some cq ->
+                   let reps = dedup_terms (List.map snd mq.Marked_query.free) in
+                   let tuple' =
+                     List.map
+                       (fun rep ->
+                         snd
+                           (List.find
+                              (fun (r, _) -> Term.equal r rep)
+                              bindings))
+                       reps
+                   in
+                   Cq.holds cq d tuple'))
+       (result.aliased @ result.trivial)

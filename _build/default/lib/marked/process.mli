@@ -1,0 +1,77 @@
+(** The rewriting process of Section 10: start from all proper markings of
+    the input query ([S_0]), repeatedly replace a live query by the result
+    of the applicable operation, until no live query remains. Termination
+    is guaranteed by rank descent (Lemma 53) — the implementation
+    additionally takes a step budget as a defensive bound and can record
+    the rank trace so tests can verify the strict descent. *)
+
+open Logic
+
+type stats = {
+  steps : int;
+  cut_steps : int;
+  fuse_steps : int;
+  reduce_steps : int;
+  dropped_improper : int;  (** results discarded as not properly marked *)
+  dropped_unsat : int;  (** unsatisfiable in-edge patterns (K > 2 only) *)
+}
+
+type result = {
+  rewriting : Ucq.t;
+      (** The disjuncts from totally marked, non-aliased queries: the CQ
+          part of [rew(phi)]. *)
+  aliased : Marked_query.t list;
+      (** Totally marked queries whose answer variables were fused. *)
+  trivial : Marked_query.t list;
+      (** Queries reduced to an empty body: true for every answer tuple over
+          the instance domain (respecting aliases). *)
+  complete : bool;  (** false iff the step budget tripped *)
+  stats : stats;
+  rank_trace : Rank.srk list option;
+}
+
+val run :
+  ?max_steps:int -> ?record_ranks:bool ->
+  ?on_step:
+    (before:Marked_query.t ->
+     classification:Operations.classification ->
+     results:Marked_query.t list ->
+     unit) ->
+  levels:Symbol.t array ->
+  Cq.t -> result
+(** Requires a connected query with at least one answer variable (the paper
+    dispenses with boolean queries via the (loop) rule — see
+    {!boolean_always_true}). Defaults: [max_steps = 200_000],
+    [record_ranks = false]. *)
+
+val rewrite_td :
+  ?max_steps:int ->
+  ?on_step:
+    (before:Marked_query.t ->
+     classification:Operations.classification ->
+     results:Marked_query.t list ->
+     unit) ->
+  Cq.t -> result
+(** The process for [T_d] itself: levels [G; R]. *)
+
+val rewrite_tdk :
+  ?max_steps:int ->
+  ?on_step:
+    (before:Marked_query.t ->
+     classification:Operations.classification ->
+     results:Marked_query.t list ->
+     unit) ->
+  int -> Cq.t -> result
+(** The process for [T_d^K]: levels [I_1; ...; I_K]. *)
+
+val boolean_always_true : unit -> unit
+(** Documentation marker: due to (loop), every boolean CQ over the level
+    signature holds in [Ch_1(T_d, D)] for every instance [D] — boolean
+    queries need no rewriting. *)
+
+val holds_via_rewriting :
+  result -> Fact_set.t -> Term.t list -> bool
+(** Evaluate the computed rewriting over an instance: true iff some CQ
+    disjunct holds, some aliased disjunct holds with the tuple's equalities
+    satisfied, or some trivial disjunct admits the tuple (all components in
+    the active domain with the required equalities). *)

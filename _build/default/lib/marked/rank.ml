@@ -1,0 +1,192 @@
+open Logic
+
+type erk = Fin of Order.Base3.t | Inf
+
+let compare_erk a b =
+  match (a, b) with
+  | Fin x, Fin y -> Order.Base3.compare x y
+  | Fin _, Inf -> -1
+  | Inf, Fin _ -> 1
+  | Inf, Inf -> 0
+
+(* Priority queue over Base3 costs, backed by a map cost -> states. *)
+module Cost_map = Map.Make (struct
+  type t = Order.Base3.t
+
+  let compare = Order.Base3.compare
+end)
+
+type state = { term : Term.t; mask : int; expo : int }
+
+let state_key s = (Term.hash s.term, s.mask, s.expo)
+
+let edge_ranks q ~upper_level =
+  let red_atoms = Array.of_list (Marked_query.atoms_at_level q upper_level) in
+  let green_atoms = Marked_query.atoms_at_level q (upper_level - 1) in
+  let m = Array.length red_atoms in
+  let red_index a =
+    let rec go i =
+      if i >= m then None
+      else if Atom.equal red_atoms.(i) a then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* Adjacency: for each variable, the atoms touching it. *)
+  let touching = Hashtbl.create 32 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun v ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt touching (Term.hash v))
+          in
+          Hashtbl.replace touching (Term.hash v) (a :: prev))
+        (Atom.vars a))
+    q.Marked_query.atoms;
+  let dist : ((int * int * int), Order.Base3.t) Hashtbl.t = Hashtbl.create 256 in
+  let queue = ref Cost_map.empty in
+  let push cost st =
+    let better =
+      match Hashtbl.find_opt dist (state_key st) with
+      | Some best -> Order.Base3.compare cost best < 0
+      | None -> true
+    in
+    if better then begin
+      Hashtbl.replace dist (state_key st) cost;
+      queue :=
+        Cost_map.update cost
+          (function None -> Some [ st ] | Some l -> Some (st :: l))
+          !queue
+    end
+  in
+  (* Best rank seen per green atom. *)
+  let best_rank = Hashtbl.create 16 in
+  let atom_key a =
+    (Symbol.name (Atom.rel a), Term.hash (Atom.arg a 0), Term.hash (Atom.arg a 1))
+  in
+  let note_rank atom cost =
+    let k = atom_key atom in
+    match Hashtbl.find_opt best_rank k with
+    | Some c when Order.Base3.compare c cost <= 0 -> ()
+    | Some _ | None -> Hashtbl.replace best_rank k cost
+  in
+  Term.Set.iter
+    (fun v -> push Order.Base3.zero { term = v; mask = 0; expo = m })
+    q.Marked_query.marked;
+  while not (Cost_map.is_empty !queue) do
+    let cost, states = Cost_map.min_binding !queue in
+    queue := Cost_map.remove cost !queue;
+    List.iter
+      (fun st ->
+        (* Skip stale entries. *)
+        match Hashtbl.find_opt dist (state_key st) with
+        | Some best when Order.Base3.compare best cost < 0 -> ()
+        | _ ->
+            let neighbours =
+              Option.value ~default:[]
+                (Hashtbl.find_opt touching (Term.hash st.term))
+            in
+            List.iter
+              (fun a ->
+                let src = Atom.arg a 0 and dst = Atom.arg a 1 in
+                let level = Marked_query.level_of q a in
+                let moves =
+                  if level = upper_level then
+                    match red_index a with
+                    | None -> []
+                    | Some idx ->
+                        if st.mask land (1 lsl idx) <> 0 then []
+                        else
+                          let used = st.mask lor (1 lsl idx) in
+                          (if Term.equal src st.term then
+                             [ ({ term = dst; mask = used; expo = st.expo + 1 }, Order.Base3.zero) ]
+                           else [])
+                          @
+                          if Term.equal dst st.term then
+                            [ ({ term = src; mask = used; expo = st.expo - 1 }, Order.Base3.zero) ]
+                          else []
+                  else if level = upper_level - 1 then begin
+                    let step_cost = Order.Base3.power_of_3 st.expo in
+                    (if Term.equal src st.term then begin
+                       note_rank a (Order.Base3.add cost step_cost);
+                       [ ({ st with term = dst }, step_cost) ]
+                     end
+                     else [])
+                    @
+                    if Term.equal dst st.term then begin
+                      note_rank a (Order.Base3.add cost step_cost);
+                      [ ({ st with term = src }, step_cost) ]
+                    end
+                    else []
+                  end
+                  else
+                    (if Term.equal src st.term then
+                       [ ({ st with term = dst }, Order.Base3.zero) ]
+                     else [])
+                    @
+                    if Term.equal dst st.term then
+                      [ ({ st with term = src }, Order.Base3.zero) ]
+                    else []
+                in
+                List.iter
+                  (fun (st', extra) -> push (Order.Base3.add cost extra) st')
+                  moves)
+              neighbours)
+      states
+  done;
+  List.map
+    (fun a ->
+      match Hashtbl.find_opt best_rank (atom_key a) with
+      | Some c -> (a, Fin c)
+      | None -> (a, Inf))
+    green_atoms
+
+(* ------------------------------------------------------------------ *)
+(* Query and set ranks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type level_rank = { count : int; greens : erk Order.Multiset.t }
+
+type qrk = level_rank list
+(* One entry per level pair, highest level first:
+   [(|Q_K|, qrk_K); ...; (|Q_2|, qrk_2)]. *)
+
+let qrk q =
+  let kk = Array.length q.Marked_query.levels in
+  List.init (kk - 1) (fun j ->
+      let upper = kk - 1 - j in
+      let ranks = edge_ranks q ~upper_level:upper in
+      {
+        count = List.length (Marked_query.atoms_at_level q upper);
+        greens =
+          Order.Multiset.of_list ~cmp:compare_erk (List.map snd ranks);
+      })
+
+let compare_level_rank a b =
+  let c = Int.compare a.count b.count in
+  if c <> 0 then c
+  else
+    match Order.Multiset.compare_dm a.greens b.greens with
+    | Some c -> c
+    | None -> 0
+
+let compare_qrk = Order.Well_order.lex_list compare_level_rank
+
+let pp_qrk ppf r =
+  let pp_erk ppf = function
+    | Fin c -> Order.Base3.pp ppf c
+    | Inf -> Fmt.string ppf "inf"
+  in
+  Fmt.pf ppf "[%a]"
+    (Fmt.list ~sep:(Fmt.any "; ") (fun ppf lr ->
+         Fmt.pf ppf "#%d %a" lr.count (Order.Multiset.pp pp_erk) lr.greens))
+    r
+
+type srk = qrk Order.Multiset.t
+
+let srk queries =
+  Order.Multiset.of_list ~cmp:compare_qrk (List.map qrk queries)
+
+let compare_srk a b =
+  match Order.Multiset.compare_dm a b with Some c -> c | None -> 0

@@ -1,0 +1,36 @@
+(** Ranks (Definitions 59-62 and their Section 12 generalization).
+
+    For the level pair (red [I_i], green [I_{i-1}]), the edge rank
+    [erk(alpha)] of a green atom is the minimal cost of a *hike*: a walk
+    from a marked variable to [alpha] that may traverse green and
+    other-level atoms freely in both directions, but each red atom at most
+    once in one direction; green steps cost the current elevation
+    [3^(|Q_red| + forward_red - backward_red)], red steps are free but move
+    the elevation. Computed exactly (base-3 naturals) by Dijkstra over
+    states (variable, set of used red atoms, elevation exponent).
+
+    The query rank [qrk] is the lexicographic tuple
+    [<|Q_K|, qrk_K, ..., |Q_2|, qrk_2>] where [qrk_i] is the multiset of
+    green ranks at level pair [(i, i-1)]; the set rank [srk] is the
+    multiset of query ranks. Lemma 53 states every process operation
+    strictly decreases [srk] — exercised by the property tests. *)
+
+type erk = Fin of Order.Base3.t | Inf
+
+val compare_erk : erk -> erk -> int
+
+val edge_ranks : Marked_query.t -> upper_level:int -> (Logic.Atom.t * erk) list
+(** Ranks of the atoms at level [upper_level - 1], hiking through red atoms
+    at [upper_level] (both 0-based level indices into the query's level
+    array). *)
+
+type qrk
+
+val qrk : Marked_query.t -> qrk
+val compare_qrk : qrk -> qrk -> int
+val pp_qrk : qrk Fmt.t
+
+type srk
+
+val srk : Marked_query.t list -> srk
+val compare_srk : srk -> srk -> int

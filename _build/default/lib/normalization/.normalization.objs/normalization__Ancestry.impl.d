@@ -1,0 +1,1 @@
+lib/normalization/ancestry.ml: Atom Chase Fact_set Hashtbl Homomorphism List Logic Option Symbol Term Tgd

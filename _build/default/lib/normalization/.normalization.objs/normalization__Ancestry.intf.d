@@ -1,0 +1,1 @@
+lib/normalization/ancestry.mli: Atom Chase Logic Symbol Term

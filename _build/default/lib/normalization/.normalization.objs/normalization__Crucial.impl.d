@@ -1,0 +1,1 @@
+lib/normalization/crucial.ml: Chase List Logic Normalize Option Rewriting Tgd Theory

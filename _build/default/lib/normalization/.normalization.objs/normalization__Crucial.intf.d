@@ -1,0 +1,1 @@
+lib/normalization/crucial.mli: Fact_set Logic Rewriting Theory

@@ -1,0 +1,1 @@
+lib/normalization/normalize.ml: Atom Containment Cq Fmt Gaifman List Logic Printf Rewriting Symbol Term Tgd Theory Ucq

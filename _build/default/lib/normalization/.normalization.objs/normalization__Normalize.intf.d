@@ -1,0 +1,1 @@
+lib/normalization/normalize.mli: Logic Rewriting Symbol Theory

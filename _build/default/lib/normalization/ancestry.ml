@@ -1,0 +1,169 @@
+open Logic
+
+type chooser = First | Adversarial of int
+
+let eligible_derivations run atom =
+  match Chase.Engine.stage_of_atom run atom with
+  | None -> []
+  | Some stage ->
+      List.filter
+        (fun (rule, sigma) ->
+          List.for_all
+            (fun body_atom ->
+              let parent = Homomorphism.apply sigma
+                  ~flexible:(Term.Set.of_list (Tgd.body_vars rule))
+                  body_atom
+              in
+              match Chase.Engine.stage_of_atom run parent with
+              | Some s -> s < stage
+              | None -> false)
+            (Tgd.body rule))
+        (Chase.Engine.derivations run atom)
+
+let choose run chooser atom derivations =
+  match derivations with
+  | [] -> None
+  | _ :: _ -> (
+      match chooser with
+      | First -> Some (List.nth derivations (List.length derivations - 1))
+      | Adversarial salt ->
+          (* Key the pick on the (stable) chase stage so that successive
+             levels of a derivation chain pick different parents —
+             Example 66's adversarial schedule. *)
+          let stage =
+            Option.value ~default:0 (Chase.Engine.stage_of_atom run atom)
+          in
+          let idx =
+            abs (((stage / 2) + salt) mod List.length derivations)
+          in
+          Some (List.nth derivations idx))
+
+let parents run chooser atom =
+  if Fact_set.mem atom (Chase.Engine.initial run) then []
+  else
+    match choose run chooser atom (eligible_derivations run atom) with
+    | None -> []
+    | Some (rule, sigma) ->
+        List.map
+          (Homomorphism.apply sigma
+             ~flexible:(Term.Set.of_list (Tgd.body_vars rule)))
+          (Tgd.body rule)
+
+let ancestors_with ~parent_filter run chooser atom =
+  let cache = Hashtbl.create 64 in
+  let rec go atom =
+    match Hashtbl.find_opt cache (Atom.hash atom, atom) with
+    | Some s -> s
+    | None ->
+        let result =
+          if Fact_set.mem atom (Chase.Engine.initial run) then
+            Atom.Set.singleton atom
+          else
+            List.fold_left
+              (fun acc p ->
+                if parent_filter p then Atom.Set.union acc (go p) else acc)
+              Atom.Set.empty (parents run chooser atom)
+        in
+        Hashtbl.replace cache (Atom.hash atom, atom) result;
+        result
+  in
+  go atom
+
+let ancestors run chooser atom =
+  ancestors_with ~parent_filter:(fun _ -> true) run chooser atom
+
+let connected_ancestors run chooser ~nullary atom =
+  ancestors_with
+    ~parent_filter:(fun p -> not (Symbol.Set.mem (Atom.rel p) nullary))
+    run chooser atom
+
+type tree = { root : Term.t; atoms : Atom.t list }
+
+let is_sensible run atom =
+  match Chase.Engine.derivations run atom with
+  | [] -> false
+  | (rule, _) :: _ -> Tgd.exist_vars rule <> [] && Tgd.frontier rule <> []
+
+let sensible_trees run =
+  let initial_dom = Fact_set.domain (Chase.Engine.initial run) in
+  (* Parent term of a sensible binary atom: its frontier image. *)
+  let sensible =
+    List.filter (is_sensible run) (Fact_set.atoms (Chase.Engine.result run))
+  in
+  let parent_term = Hashtbl.create 64 in
+  List.iter
+    (fun atom ->
+      match Chase.Engine.atom_frontier run atom with
+      | Some fr when Term.Set.cardinal fr >= 1 ->
+          let p = Term.Set.min_elt fr in
+          let child =
+            List.find_opt
+              (fun t -> not (Term.Set.mem t fr))
+              (Atom.args atom)
+          in
+          (match child with
+          | Some child_term ->
+              Hashtbl.replace parent_term (Term.hash child_term) (p, atom)
+          | None -> ())
+      | Some _ | None -> ())
+    sensible;
+  (* Root of a term: follow parent links. *)
+  let root_cache = Hashtbl.create 64 in
+  let rec root_of t =
+    match Hashtbl.find_opt root_cache (Term.hash t) with
+    | Some r -> r
+    | None ->
+        let r =
+          if Term.Set.mem t initial_dom then t
+          else
+            match Hashtbl.find_opt parent_term (Term.hash t) with
+            | Some (p, _) -> root_of p
+            | None -> t (* detached term: its own root *)
+        in
+        Hashtbl.replace root_cache (Term.hash t) r;
+        r
+  in
+  let trees = Hashtbl.create 16 in
+  List.iter
+    (fun atom ->
+      (* The tree an atom belongs to is the root of its frontier term. *)
+      match Chase.Engine.atom_frontier run atom with
+      | Some fr when not (Term.Set.is_empty fr) ->
+          let r = root_of (Term.Set.min_elt fr) in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt trees (Term.hash r))
+          in
+          Hashtbl.replace trees (Term.hash r) (atom :: prev)
+      | Some _ | None -> ())
+    sensible;
+  (* Also include empty trees for initial constants without sensible
+     children?  Not needed: ancestor maxima are over non-empty trees. *)
+  Hashtbl.fold
+    (fun _ atoms acc ->
+      match atoms with
+      | [] -> acc
+      | a :: _ ->
+          let root =
+            match Chase.Engine.atom_frontier run a with
+            | Some fr when not (Term.Set.is_empty fr) ->
+                root_of (Term.Set.min_elt fr)
+            | Some _ | None -> List.hd (Atom.args a)
+          in
+          { root; atoms } :: acc)
+    trees []
+
+let max_tree_ancestors ?nullary run chooser =
+  let anc atom =
+    match nullary with
+    | Some n -> connected_ancestors run chooser ~nullary:n atom
+    | None -> ancestors run chooser atom
+  in
+  List.fold_left
+    (fun acc tree ->
+      let union =
+        List.fold_left
+          (fun s atom -> Atom.Set.union s (anc atom))
+          Atom.Set.empty tree.atoms
+      in
+      max acc (Atom.Set.cardinal union))
+    0 (sensible_trees run)

@@ -1,0 +1,48 @@
+(** Parent and ancestor functions over a chase run (Appendix A).
+
+    A *parent function* chooses, for every derived atom, one of its
+    recorded rule applications; ancestors are the original-instance facts
+    reachable through parents. The choice matters: Example 66 shows a
+    parent choice under which a single chase tree accumulates unboundedly
+    many ancestors, while after normalization every choice is bounded
+    (Lemma 77) — hence the [chooser] parameter, including an adversarial
+    one. *)
+
+open Logic
+
+type chooser =
+  | First  (** the derivation that actually created the atom *)
+  | Adversarial of int
+      (** spread choices across the recorded derivations (salted), to
+          maximize ancestor diversity as in Example 66 *)
+
+val parents : Chase.Engine.run -> chooser -> Atom.t -> Atom.t list
+(** [sigma(body(rho))] of the chosen derivation; [[]] for initial facts.
+    Only derivations whose body atoms all appear strictly earlier are
+    eligible (so the parent relation is well-founded). *)
+
+val ancestors : Chase.Engine.run -> chooser -> Atom.t -> Atom.Set.t
+(** The fact-set ancestors: [anc(alpha) = {alpha}] for initial facts,
+    union of the parents' ancestors otherwise. Memoize externally if
+    calling in bulk — an internal cache is keyed per run+chooser call. *)
+
+val connected_ancestors :
+  Chase.Engine.run -> chooser -> nullary:Symbol.Set.t -> Atom.t -> Atom.Set.t
+(** Ancestors through non-nullary parents only ([canc] of Appendix A). *)
+
+type tree = { root : Term.t; atoms : Atom.t list }
+
+val sensible_trees : Chase.Engine.run -> tree list
+(** The forest of Observation 64: edges are the *sensible* atoms (created
+    by existential rules with non-empty frontier); roots are the
+    initial-domain constants and the detached terms. Assumes frontier-one
+    existential rules (the Theorem 3 setting). *)
+
+val max_tree_ancestors :
+  ?nullary:Symbol.Set.t -> Chase.Engine.run -> chooser -> int
+(** [max_t |U_{alpha in S(t)} anc(alpha)|] — the quantity the Crucial Lemma
+    bounds for [T_NF] and Example 66 refutes for raw theories. When
+    [nullary] is given, ancestors are [connected_ancestors] plus the
+    (bounded) nullary contributions, i.e. plain ancestors; the parameter
+    only affects which atoms count as tree edges (nullary atoms never
+    do). *)

@@ -1,0 +1,36 @@
+open Logic
+
+let estimate_n_at ?(max_depth = 6) ?(max_atoms = 50_000) theory samples =
+  List.fold_left
+    (fun acc d ->
+      let run = Chase.Engine.run ~max_depth ~max_atoms theory d in
+      max acc (Rewriting.Exercises.atom_delay run))
+    1 samples
+
+let locality_constant ?budget ?max_depth ?max_atoms theory ~samples =
+  match Normalize.normalize ?budget theory with
+  | None -> None
+  | Some nf ->
+      let m = Normalize.crucial_bound nf in
+      if m = max_int then None
+      else
+        let h =
+          List.fold_left
+            (fun acc r -> max acc (List.length (Tgd.body r)))
+            1 (Theory.rules theory)
+        in
+        let n_at = estimate_n_at ?max_depth ?max_atoms theory samples in
+        (* d_T = h^{n_at}, saturating. *)
+        let rec power acc i =
+          if i = 0 then Some acc
+          else if acc > max_int / (max h 1) then None
+          else power (acc * max h 1) (i - 1)
+        in
+        Option.bind (power 1 n_at) (fun d_t ->
+            if m > max_int / (max d_t 1) then None else Some (m * d_t))
+
+let validate_locality ?depth ?sub_depth ?max_atoms theory ~l instances =
+  List.for_all
+    (fun d ->
+      Rewriting.Locality.defects ?depth ?sub_depth ?max_atoms theory d ~l = [])
+    instances

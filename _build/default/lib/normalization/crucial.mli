@@ -1,0 +1,28 @@
+(** The end of the Theorem 3 pipeline: an explicit locality constant for a
+    binary BDD theory, assembled from the Crucial Lemma bound [M] on
+    existential atoms (Lemma 77 via {!Normalize}) and the Datalog-atom
+    bound [d_T = h^{n_at}] of Observation 79, giving the constant
+    [M * d_T] with which the theory is local. The [n_at] constant of
+    Exercise 17 is undecidable in general; it is estimated empirically from
+    sample chase runs (and the estimate is validated by
+    {!validate_locality}). *)
+
+open Logic
+
+val estimate_n_at :
+  ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t list -> int
+(** Maximal atom delay (Exercise 17) observed across the sample runs. *)
+
+val locality_constant :
+  ?budget:Rewriting.Rewrite.budget ->
+  ?max_depth:int -> ?max_atoms:int ->
+  Theory.t -> samples:Fact_set.t list -> int option
+(** [M * h^{n_at}]: the locality constant Theorem 3 extracts. [None] when
+    normalization does not complete or the numbers overflow. *)
+
+val validate_locality :
+  ?depth:int -> ?sub_depth:int -> ?max_atoms:int ->
+  Theory.t -> l:int -> Fact_set.t list -> bool
+(** No locality defect at constant [l] on any of the given instances
+    (within the chase windows) — the empirical check that the extracted
+    constant indeed works. *)

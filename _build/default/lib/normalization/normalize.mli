@@ -1,0 +1,40 @@
+(** The normalization [T -> T_NF] of Appendix A (proof machinery of
+    Theorem 3, "binary BDD implies local").
+
+    The three steps:
+    - STEP ONE: replace every existential rule's body by each CQ of its
+      rewriting ([T_I = U Rew(rho)]);
+    - STEP TWO: separate each body into the connected component of the
+      frontier plus a leftover, encapsulated behind a fresh *nullary*
+      predicate [M_phi] ([T_II = sep_cc(T_I)]);
+    - STEP THREE: add the rules proving the nullary predicates, with their
+      bodies rewritten ([T_III = U Rew(sep_M(rho))]).
+
+    [T_NF = T_II + T_III] — its chase creates the same existential atoms as
+    [T]'s (Lemma 70) but every existential rule's body is a connected CQ
+    plus one nullary atom, which is what bounds ancestor sets
+    (Lemma 77). *)
+
+open Logic
+
+type t = {
+  original : Theory.t;
+  t_ii : Theory.t;  (** separated existential rules *)
+  t_iii : Theory.t;  (** nullary-predicate producers *)
+  t_nf : Theory.t;  (** the union *)
+  nullary : Symbol.Set.t;  (** all [M_phi] predicates introduced *)
+}
+
+val normalize : ?budget:Rewriting.Rewrite.budget -> Theory.t -> t option
+(** [None] when some body rewriting did not complete within budget (the
+    construction needs [T] to be BDD). Rules with domain variables are not
+    supported (the paper's Appendix A setting is plain binary TGDs). *)
+
+val constants : t -> int * int * int * int
+(** [(k, h, n, cap_n)] of the Crucial Lemma: number of nullary predicates,
+    maximal body size, number of rules of [T_NF], and [N] = the size of the
+    full [n]-ary tree of depth [h]. *)
+
+val crucial_bound : t -> int
+(** [M = N*h + k*h] (Lemma 77): an upper bound on the number of
+    [D]-ancestors of any sensible tree [S(t)] in the [T_NF]-chase. *)

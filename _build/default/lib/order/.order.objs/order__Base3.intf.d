@@ -1,0 +1,1 @@
+lib/order/base3.mli: Fmt

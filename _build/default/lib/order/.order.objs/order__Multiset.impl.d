@@ -1,0 +1,1 @@
+lib/order/multiset.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/order/well_order.mli:

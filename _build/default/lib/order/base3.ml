@@ -1,0 +1,72 @@
+(* Little-endian base-3 digit arrays, no trailing zeros. *)
+type t = int array
+
+let zero : t = [||]
+let is_zero n = Array.length n = 0
+
+let normalize digits =
+  (* Carry-propagate and strip trailing zeros. *)
+  let buf = ref (Array.copy digits) in
+  let carry = ref 0 in
+  let out = ref [] in
+  Array.iter
+    (fun d ->
+      let v = d + !carry in
+      out := v mod 3 :: !out;
+      carry := v / 3)
+    !buf;
+  while !carry > 0 do
+    out := !carry mod 3 :: !out;
+    carry := !carry / 3
+  done;
+  let arr = Array.of_list (List.rev !out) in
+  (* Strip high-order zeros (they are at the end, little-endian). *)
+  let last = ref (Array.length arr) in
+  while !last > 0 && arr.(!last - 1) = 0 do
+    decr last
+  done;
+  Array.sub arr 0 !last
+
+let power_of_3 k =
+  if k < 0 then invalid_arg "Base3.power_of_3: negative exponent";
+  Array.init (k + 1) (fun i -> if i = k then 1 else 0)
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  let digit arr i = if i < Array.length arr then arr.(i) else 0 in
+  normalize (Array.init n (fun i -> digit a i + digit b i))
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let to_int_opt n =
+  let rec go i acc =
+    if i < 0 then Some acc
+    else if acc > (max_int - 2) / 3 then None
+    else go (i - 1) ((acc * 3) + n.(i))
+  in
+  go (Array.length n - 1) 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Base3.of_int: negative";
+  let rec go n acc = if n = 0 then acc else go (n / 3) ((n mod 3) :: acc) in
+  normalize (Array.of_list (List.rev (go n [])))
+
+let pp ppf n =
+  match to_int_opt n with
+  | Some i -> Fmt.int ppf i
+  | None ->
+      Fmt.pf ppf "0t%a"
+        (Fmt.array ~sep:Fmt.nop Fmt.int)
+        (Array.of_list (List.rev (Array.to_list n)))

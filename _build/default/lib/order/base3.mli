@@ -1,0 +1,26 @@
+(** Exact arithmetic for path costs (Definition 60).
+
+    Elevations are powers of 3 up to [3^(2|Q_R|)] and costs are sums of
+    elevations — they overflow native integers already for moderate queries,
+    so costs are represented exactly as naturals in base 3 (little-endian
+    digit arrays). Only the operations the rank computation needs are
+    provided: zero, powers of 3, addition, comparison. *)
+
+type t
+
+val zero : t
+val is_zero : t -> bool
+val power_of_3 : int -> t
+(** [power_of_3 k] is [3^k]; [k >= 0]. *)
+
+val add : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_int_opt : t -> int option
+(** Exact conversion when it fits in a native int. *)
+
+val of_int : int -> t
+(** [of_int n] for [n >= 0]. *)
+
+val pp : t Fmt.t
+(** Decimal when small, otherwise a base-3 digit expansion. *)

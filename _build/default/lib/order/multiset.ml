@@ -1,0 +1,67 @@
+type 'a t = { cmp : 'a -> 'a -> int; elts : ('a * int) list }
+(* [elts] is sorted ascending by [cmp], multiplicities strictly positive. *)
+
+let empty ~cmp = { cmp; elts = [] }
+
+let rec insert cmp x n = function
+  | [] -> [ (x, n) ]
+  | (y, m) :: rest as l ->
+      let c = cmp x y in
+      if c < 0 then (x, n) :: l
+      else if c = 0 then (y, m + n) :: rest
+      else (y, m) :: insert cmp x n rest
+
+let add x t = { t with elts = insert t.cmp x 1 t.elts }
+
+let of_list ~cmp l = List.fold_left (fun t x -> add x t) (empty ~cmp) l
+
+let to_list t =
+  List.concat_map (fun (x, n) -> List.init n (fun _ -> x)) t.elts
+
+let remove x t =
+  let rec go = function
+    | [] -> []
+    | (y, m) :: rest ->
+        let c = t.cmp x y in
+        if c < 0 then (y, m) :: rest
+        else if c = 0 then if m = 1 then rest else (y, m - 1) :: rest
+        else (y, m) :: go rest
+  in
+  { t with elts = go t.elts }
+
+let multiplicity x t =
+  match List.find_opt (fun (y, _) -> t.cmp x y = 0) t.elts with
+  | Some (_, m) -> m
+  | None -> 0
+
+let cardinal t = List.fold_left (fun acc (_, m) -> acc + m) 0 t.elts
+
+let union a b = List.fold_left (fun t (x, n) -> { t with elts = insert t.cmp x n t.elts }) a b.elts
+
+let equal a b =
+  List.length a.elts = List.length b.elts
+  && List.for_all2 (fun (x, n) (y, m) -> a.cmp x y = 0 && n = m) a.elts b.elts
+
+(* For a total element order, [m <_m n] iff at the largest element where the
+   multiplicities differ, [m]'s multiplicity is smaller. We scan the two
+   ascending lists from the back by reversing first. *)
+let compare_dm a b =
+  let ra = List.rev a.elts and rb = List.rev b.elts in
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | (x, n) :: xs', (y, m) :: ys' ->
+        let c = a.cmp x y in
+        if c > 0 then 1
+        else if c < 0 then -1
+        else if n <> m then compare n m
+        else go xs' ys'
+  in
+  Some (go ra rb)
+
+let lt a b = compare_dm a b = Some (-1)
+
+let pp pp_elt ppf t =
+  Fmt.pf ppf "{%a}m" (Fmt.list ~sep:(Fmt.any ",@ ") pp_elt) (to_list t)

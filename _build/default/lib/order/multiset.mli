@@ -1,0 +1,36 @@
+(** Finite multisets and the Dershowitz-Manna multiset ordering.
+
+    Section 10 of the paper proves termination of the marked-query process
+    by descent in a nest of multiset and lexicographic orderings over the
+    naturals; this module provides the multiset layer, generically over an
+    element ordering. *)
+
+type 'a t
+(** A finite multiset with elements of type ['a]. The element ordering used
+    at creation time fixes the notion of equality between elements. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_list : 'a t -> 'a list
+(** Elements in ascending order, repeated according to multiplicity. *)
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+val add : 'a -> 'a t -> 'a t
+val remove : 'a -> 'a t -> 'a t
+(** Removes one occurrence; no-op if absent. *)
+
+val multiplicity : 'a -> 'a t -> int
+val cardinal : 'a t -> int
+val union : 'a t -> 'a t -> 'a t
+val equal : 'a t -> 'a t -> bool
+
+val compare_dm : 'a t -> 'a t -> int option
+(** [compare_dm m n] is the (strict) Dershowitz-Manna multiset ordering
+    [<_m] lifted from the element ordering: [Some 0] when equal,
+    [Some (-1)] when [m <_m n], [Some 1] when [n <_m m]. For a total element
+    order the multiset order is total, so this never returns [None]; the
+    option is kept for future partial element orders. *)
+
+val lt : 'a t -> 'a t -> bool
+(** [lt m n] iff [m <_m n] in the Dershowitz-Manna ordering. *)
+
+val pp : 'a Fmt.t -> 'a t Fmt.t

@@ -1,0 +1,19 @@
+let lex2 cmp_a cmp_b (a1, b1) (a2, b2) =
+  let c = cmp_a a1 a2 in
+  if c <> 0 then c else cmp_b b1 b2
+
+let rec lex_list cmp xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = cmp x y in
+      if c <> 0 then c else lex_list cmp xs' ys'
+
+let strictly_descending ~cmp l =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | x :: (y :: _ as rest) -> cmp x y > 0 && go rest
+  in
+  go l

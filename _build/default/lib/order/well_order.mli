@@ -1,0 +1,16 @@
+(** Lexicographic products and descent checking over well-orderings.
+
+    Section 10 builds the rank domain [R = N x M(N)] ordered
+    lexicographically, then takes multisets over [R]. These combinators
+    build such compound comparisons and check strict-descent sequences. *)
+
+val lex2 : ('a -> 'a -> int) -> ('b -> 'b -> int) -> 'a * 'b -> 'a * 'b -> int
+(** Lexicographic product of two comparisons. *)
+
+val lex_list : ('a -> 'a -> int) -> 'a list -> 'a list -> int
+(** Lexicographic comparison of equal-length lists; shorter lists compare as
+    if padded with minimal elements (a proper prefix is smaller). *)
+
+val strictly_descending : cmp:('a -> 'a -> int) -> 'a list -> bool
+(** [strictly_descending ~cmp [x1; x2; ...]] iff [x1 > x2 > ...]. Used to
+    check rank traces emitted by the marked-query process. *)

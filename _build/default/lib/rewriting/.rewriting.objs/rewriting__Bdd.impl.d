@@ -1,0 +1,1 @@
+lib/rewriting/bdd.ml: Atom Bool Chase Cq Fact_set List Logic Rewrite Term Ucq

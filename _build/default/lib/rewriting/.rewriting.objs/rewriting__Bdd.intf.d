@@ -1,0 +1,1 @@
+lib/rewriting/bdd.mli: Cq Fact_set Logic Rewrite Term Theory Ucq

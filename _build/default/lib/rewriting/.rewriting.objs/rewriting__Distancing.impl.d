@@ -1,0 +1,1 @@
+lib/rewriting/distancing.ml: Chase Fact_set Gaifman List Logic Term

@@ -1,0 +1,1 @@
+lib/rewriting/distancing.mli: Chase Logic Term

@@ -1,0 +1,1 @@
+lib/rewriting/exercises.ml: Atom Chase Fact_set Gaifman List Logic Option Term

@@ -1,0 +1,1 @@
+lib/rewriting/exercises.mli: Chase Logic Term

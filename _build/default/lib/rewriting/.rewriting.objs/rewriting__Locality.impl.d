@@ -1,0 +1,1 @@
+lib/rewriting/locality.ml: Chase Fact_set List Logic Option

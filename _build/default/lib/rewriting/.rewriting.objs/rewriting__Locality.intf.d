@@ -1,0 +1,1 @@
+lib/rewriting/locality.mli: Atom Fact_set Logic Theory

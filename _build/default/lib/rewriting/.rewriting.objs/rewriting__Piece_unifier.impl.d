@@ -1,0 +1,1 @@
+lib/rewriting/piece_unifier.ml: Atom Containment Cq Hashtbl List Logic Option Symbol Term Tgd Theory

@@ -1,0 +1,1 @@
+lib/rewriting/piece_unifier.mli: Cq Logic Tgd Theory

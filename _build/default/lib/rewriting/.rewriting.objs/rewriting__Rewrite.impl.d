@@ -1,0 +1,1 @@
+lib/rewriting/rewrite.ml: Containment Cq List Logic Piece_unifier Queue Single_head Ucq

@@ -1,0 +1,1 @@
+lib/rewriting/rewrite.mli: Cq Logic Theory Ucq

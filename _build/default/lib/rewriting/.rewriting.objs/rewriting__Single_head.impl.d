@@ -1,0 +1,1 @@
+lib/rewriting/single_head.ml: Atom Cq List Logic Printf Symbol Tgd Theory

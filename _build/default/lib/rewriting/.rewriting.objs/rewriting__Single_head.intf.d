@@ -1,0 +1,1 @@
+lib/rewriting/single_head.mli: Cq Logic Symbol Theory

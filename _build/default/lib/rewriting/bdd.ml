@@ -1,0 +1,51 @@
+open Logic
+
+type probe = { query : Cq.t; result : Rewrite.result }
+
+let probe ?budget theory queries =
+  List.map (fun q -> { query = q; result = Rewrite.rewrite ?budget theory q }) queries
+
+let depth_profile ?max_depth ?max_atoms theory q _tuple_opt cases =
+  List.map
+    (fun (d, tuple) ->
+      let run = Chase.Engine.run ?max_depth ?max_atoms theory d in
+      (Fact_set.cardinal d, Chase.Entailment.needed_depth run q tuple))
+    cases
+
+let repeated_bound_vars q =
+  let free = Term.Set.of_list (Cq.free q) in
+  let occurrences v =
+    List.fold_left
+      (fun acc a ->
+        acc + List.length (List.filter (Term.equal v) (Atom.args a)))
+      0 (Cq.atoms q)
+  in
+  List.filter
+    (fun v -> (not (Term.Set.mem v free)) && occurrences v > 1)
+    (Cq.vars q)
+
+let backward_shy_rewriting _q ucq =
+  List.for_all
+    (fun disjunct -> repeated_bound_vars disjunct = [])
+    (Ucq.disjuncts ucq)
+
+let rewriting_certifies ?budget ?max_depth ?max_atoms theory q instances =
+  let r = Rewrite.rewrite ?budget theory q in
+  r.Rewrite.outcome = Rewrite.Complete
+  && List.for_all
+       (fun d ->
+         let run = Chase.Engine.run ?max_depth ?max_atoms theory d in
+         List.for_all
+           (fun tuple ->
+             let chase_says =
+               match Chase.Entailment.entails_run run q tuple with
+               | Chase.Entailment.Entailed _ -> Some true
+               | Chase.Entailment.Not_entailed -> Some false
+               | Chase.Entailment.Unknown -> None
+             in
+             match chase_says with
+             | None -> true (* chase budget insufficient: skip the tuple *)
+             | Some expected ->
+                 Bool.equal (Ucq.holds r.Rewrite.ucq d tuple) expected)
+           (Chase.Entailment.all_tuples d (List.length (Cq.free q))))
+       instances

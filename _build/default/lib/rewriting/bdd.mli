@@ -1,0 +1,45 @@
+(** BDD probing (Definition 11): per-query rewriting certificates and
+    empirical derivation-depth profiles over instance families.
+
+    BDD is undecidable; what can be produced mechanically is (a) a complete
+    rewriting for a given query — a *certificate* that this query has
+    bounded derivation depth — or (b) a divergence signal: the needed chase
+    depth for a fixed query grows along an instance family, the
+    experimental signature of a non-BDD theory (Example 41). *)
+
+open Logic
+
+type probe = { query : Cq.t; result : Rewrite.result }
+
+val probe : ?budget:Rewrite.budget -> Theory.t -> Cq.t list -> probe list
+(** Rewrite each query; [result.outcome = Complete] certifies bounded
+    derivation depth for that query. *)
+
+val depth_profile :
+  ?max_depth:int -> ?max_atoms:int ->
+  Theory.t -> Cq.t -> Term.t list option ->
+  (Fact_set.t * Term.t list) list -> (int * int option) list
+(** [depth_profile t q tuple_opt cases]: for each [(instance, tuple)], the
+    minimal chase depth at which [q(tuple)] becomes true ([None]: not
+    entailed within budget). A bounded profile across a growing family is
+    BDD-consistent; a growing profile refutes [Enough(n, q, _)] for every
+    fixed [n]. The first component is the instance size. *)
+
+val backward_shy_rewriting : Cq.t -> Ucq.t -> bool
+(** Footnote 30: a theory is *backward shy* when in every disjunct of every
+    rewriting only answer variables occur more than once. This checks one
+    computed rewriting for that shape: sticky theories pass (they are
+    backward shy), [T_d]'s exponential path disjuncts fail (their interior
+    variables repeat). *)
+
+val repeated_bound_vars : Cq.t -> Logic.Term.t list
+(** The non-answer variables occurring more than once in the body. *)
+
+val rewriting_certifies :
+  ?budget:Rewrite.budget ->
+  ?max_depth:int -> ?max_atoms:int ->
+  Theory.t -> Cq.t -> Fact_set.t list -> bool
+(** Cross-validation used by the test suite: rewrite the query, then check
+    on every instance that the UCQ evaluated over [D] agrees with chase
+    entailment, for every answer tuple. Returns false when the rewriting
+    did not complete or some instance disagrees. *)

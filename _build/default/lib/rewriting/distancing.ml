@@ -1,0 +1,41 @@
+open Logic
+
+type pair = {
+  a : Term.t;
+  b : Term.t;
+  dist_d : int option;
+  dist_ch : int option;
+}
+
+let pairs run =
+  let d = Chase.Engine.initial run in
+  let g_d = Gaifman.of_fact_set d in
+  let g_ch = Gaifman.of_fact_set (Chase.Engine.result run) in
+  let dom = Term.Set.elements (Fact_set.domain d) in
+  let rec all_pairs = function
+    | [] -> []
+    | x :: rest ->
+        List.map
+          (fun y ->
+            {
+              a = x;
+              b = y;
+              dist_d = Gaifman.distance g_d x y;
+              dist_ch = Gaifman.distance g_ch x y;
+            })
+          rest
+        @ all_pairs rest
+  in
+  all_pairs dom
+
+let max_contraction run =
+  List.fold_left
+    (fun best p ->
+      match (p.dist_d, p.dist_ch) with
+      | Some dd, Some dc when dc > 0 ->
+          let ratio = float_of_int dd /. float_of_int dc in
+          (match best with
+          | Some (_, r) when r >= ratio -> best
+          | Some _ | None -> Some (p, ratio))
+      | _ -> best)
+    None (pairs run)

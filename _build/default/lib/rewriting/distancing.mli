@@ -1,0 +1,22 @@
+(** The distancing analyzer (Definition 43): a theory is distancing when
+    Gaifman distances between original constants cannot contract by more
+    than a constant factor when passing from [D] to [Ch(T, D)]. [T_d]
+    violates this spectacularly ([2^n] vs [~3n], Theorem 5); all previously
+    known BDD classes satisfy it (Observation 44). *)
+
+open Logic
+
+type pair = {
+  a : Term.t;
+  b : Term.t;
+  dist_d : int option;  (** distance in the Gaifman graph of [D] *)
+  dist_ch : int option;  (** distance in the computed chase prefix *)
+}
+
+val pairs : Chase.Engine.run -> pair list
+(** One entry per unordered pair of initial-domain elements. *)
+
+val max_contraction : Chase.Engine.run -> (pair * float) option
+(** The pair maximizing [dist_d / dist_ch] (both finite, [dist_ch > 0]) —
+    the observed distance contraction factor. [None] when no pair
+    qualifies. *)

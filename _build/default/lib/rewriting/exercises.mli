@@ -1,0 +1,24 @@
+(** Executable versions of the paper's exercise-lemmas (Section 4-5).
+
+    These are analyzers extracting, from a chase run, the constants whose
+    existence the exercises assert for BDD theories; the test suite checks
+    the asserted bounds on the zoo. *)
+
+open Logic
+
+val adjacency_contraction : Chase.Engine.run -> int option
+(** Exercise 13: for a connected BDD theory there is a constant [d] such
+    that instance constants adjacent in the chase were already at distance
+    [<= d] in [D]. Returns the maximal [dist_D(c, c')] over pairs of
+    initial constants that are chase-adjacent; [None] when some
+    chase-adjacent pair is disconnected in [D] (witnessing a violation,
+    possible only for disconnected or non-BDD theories). *)
+
+val atom_delay : Chase.Engine.run -> int
+(** Exercise 17: facts about terms appear soon after the terms are created:
+    the maximal [stage(alpha) - max_t stage_of_first_occurrence(t)] over
+    derived atoms [alpha]. For a BDD theory this is bounded by a constant
+    [n_at] independent of the instance. *)
+
+val term_birth_stages : Chase.Engine.run -> int Term.Map.t
+(** First stage in which each active-domain term occurs. *)

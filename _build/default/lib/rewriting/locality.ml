@@ -1,0 +1,84 @@
+open Logic
+
+let subsets_up_to l items =
+  let rec go size =
+    if size > l then []
+    else
+      let rec choose k items =
+        if k = 0 then [ [] ]
+        else
+          match items with
+          | [] -> []
+          | x :: rest ->
+              List.map (fun s -> x :: s) (choose (k - 1) rest) @ choose k rest
+      in
+      choose size items @ go (size + 1)
+  in
+  List.filter (fun s -> s <> []) (go 1)
+
+let union_of_subchases ?(sub_depth = 8) ?(max_atoms = 100_000) theory d ~l =
+  List.fold_left
+    (fun acc subset ->
+      let f = Fact_set.of_list subset in
+      let run = Chase.Engine.run ~max_depth:sub_depth ~max_atoms theory f in
+      Fact_set.union acc (Chase.Engine.result run))
+    Fact_set.empty
+    (subsets_up_to l (Fact_set.atoms d))
+
+let defects ?(depth = 3) ?sub_depth ?max_atoms theory d ~l =
+  let sub_depth = Option.value ~default:((2 * depth) + 2) sub_depth in
+  let run =
+    Chase.Engine.run ~max_depth:depth
+      ?max_atoms theory d
+  in
+  let full = Chase.Engine.result run in
+  let union = union_of_subchases ~sub_depth ?max_atoms theory d ~l in
+  Fact_set.atoms (Fact_set.diff full union)
+
+let min_constant ?depth ?sub_depth ?max_atoms theory d ~max_l =
+  let rec go l =
+    if l > max_l then None
+    else if defects ?depth ?sub_depth ?max_atoms theory d ~l = [] then Some l
+    else go (l + 1)
+  in
+  go 1
+
+let min_constant_family ?depth ?sub_depth ?max_atoms theory instances ~max_l =
+  List.fold_left
+    (fun acc d ->
+      match (acc, min_constant ?depth ?sub_depth ?max_atoms theory d ~max_l) with
+      | Some best, Some l -> Some (max best l)
+      | None, _ | _, None -> None)
+    (Some 0) instances
+
+let atom_support ?(sub_depth = 8) ?(max_atoms = 100_000) theory d atom =
+  let atoms = Fact_set.atoms d in
+  let rec go size =
+    if size > List.length atoms then None
+    else
+      let found =
+        List.exists
+          (fun subset ->
+            List.length subset = size
+            &&
+            let run =
+              Chase.Engine.run ~max_depth:sub_depth ~max_atoms theory
+                (Fact_set.of_list subset)
+            in
+            Fact_set.mem atom (Chase.Engine.result run))
+          (subsets_up_to size atoms)
+      in
+      if found then Some size else go (size + 1)
+  in
+  go 1
+
+let max_support ?(depth = 3) ?sub_depth ?max_atoms theory d =
+  let sub_depth = Option.value ~default:((2 * depth) + 2) sub_depth in
+  let run = Chase.Engine.run ~max_depth:depth ?max_atoms theory d in
+  let derived = Fact_set.atoms (Chase.Engine.result run) in
+  List.fold_left
+    (fun acc atom ->
+      match (acc, atom_support ~sub_depth ?max_atoms theory d atom) with
+      | Some best, Some s -> Some (max best s)
+      | _, None | None, _ -> None)
+    (Some 0) derived

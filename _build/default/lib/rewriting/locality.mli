@@ -1,0 +1,52 @@
+(** Empirical locality analyzers (Definitions 30 and 40).
+
+    A theory is local with constant [l] when the chase of every instance is
+    the literal union of the chases of its at-most-[l]-fact sub-instances —
+    well-defined as a union of sets thanks to the Skolem naming convention.
+    These analyzers check the property on a given instance up to a chase
+    depth: the witness families of Examples 39 and 42 yield their defects at
+    shallow depth, so the bounded check exhibits exactly the paper's
+    phenomena. *)
+
+open Logic
+
+val subsets_up_to : int -> 'a list -> 'a list list
+(** All non-empty subsets of size at most [l], smallest first. *)
+
+val union_of_subchases :
+  ?sub_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> l:int ->
+  Fact_set.t
+(** The union of [Ch_{sub_depth}(T, F)] over sub-instances [F] of size at
+    most [l]. *)
+
+val defects :
+  ?depth:int -> ?sub_depth:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t -> l:int -> Atom.t list
+(** Atoms of [Ch_depth(T, D)] missing from the union of sub-chases
+    (computed to [sub_depth], default [2 * depth + 2]) — locality-defect
+    witnesses for constant [l]. *)
+
+val min_constant :
+  ?depth:int -> ?sub_depth:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t -> max_l:int -> int option
+(** The least [l <= max_l] with no defect on this instance, if any. *)
+
+val min_constant_family :
+  ?depth:int -> ?sub_depth:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t list -> max_l:int -> int option
+(** The bd-locality probe (Definition 40): the largest per-instance minimal
+    constant across a (typically degree-bounded) family — [None] as soon as
+    one instance exceeds [max_l]. *)
+
+val atom_support :
+  ?sub_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> Atom.t ->
+  int option
+(** The minimal cardinality of a sub-instance [F] of [D] whose chase
+    (to [sub_depth]) contains the given atom. [None] if not even the full
+    instance derives it within bounds. *)
+
+val max_support :
+  ?depth:int -> ?sub_depth:int -> ?max_atoms:int ->
+  Theory.t -> Fact_set.t -> int option
+(** The largest [atom_support] over all atoms of [Ch_depth(T,D)] — the
+    locality constant this instance *demands*. *)

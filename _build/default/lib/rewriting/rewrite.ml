@@ -1,0 +1,72 @@
+open Logic
+
+type budget = {
+  max_disjuncts : int;
+  max_atoms_per_disjunct : int;
+  max_steps : int;
+}
+
+let default_budget =
+  { max_disjuncts = 2_000; max_atoms_per_disjunct = 40; max_steps = 5_000 }
+
+type outcome = Complete | Disjunct_budget | Size_budget | Step_budget
+
+type result = { ucq : Ucq.t; outcome : outcome; steps : int; generated : int }
+
+let rewrite ?(budget = default_budget) theory q =
+  let compiled, aux = Single_head.compile theory in
+  let q0 = Containment.core_of_query q in
+  let ucq = ref (fst (Ucq.add_minimal Ucq.empty q0)) in
+  let worklist = Queue.create () in
+  Queue.add q0 worklist;
+  let steps = ref 0 in
+  let generated = ref 0 in
+  let outcome = ref Complete in
+  (try
+     while not (Queue.is_empty worklist) do
+       if !steps >= budget.max_steps then begin
+         outcome := Step_budget;
+         raise Exit
+       end;
+       let current = Queue.pop worklist in
+       (* A query subsumed since it was enqueued need not be expanded. *)
+       if Ucq.exists (fun d -> d == current) !ucq then begin
+         incr steps;
+         List.iter
+           (fun q' ->
+             incr generated;
+             if Cq.size q' > budget.max_atoms_per_disjunct then begin
+               outcome := Size_budget;
+               raise Exit
+             end;
+             let ucq', status = Ucq.add_minimal !ucq q' in
+             ucq := ucq';
+             match status with
+             | `Added ->
+                 Queue.add q' worklist;
+                 if Ucq.cardinal !ucq > budget.max_disjuncts then begin
+                   outcome := Disjunct_budget;
+                   raise Exit
+                 end
+             | `Subsumed -> ())
+           (Piece_unifier.one_step_theory current compiled)
+       end
+     done
+   with Exit -> ());
+  let visible =
+    List.filter
+      (fun d -> not (Single_head.mentions_aux aux d))
+      (Ucq.disjuncts !ucq)
+  in
+  {
+    ucq = Ucq.of_list visible;
+    outcome = !outcome;
+    steps = !steps;
+    generated = !generated;
+  }
+
+let rs ?budget theory q =
+  let r = rewrite ?budget theory q in
+  match r.outcome with
+  | Complete -> Some (Ucq.max_disjunct_size r.ucq)
+  | Disjunct_budget | Size_budget | Step_budget -> None

@@ -1,0 +1,43 @@
+(** UCQ rewriting by saturation (Theorem 1).
+
+    Starting from the input query, repeatedly apply one-step piece
+    rewritings through every rule, keeping the set minimal (no disjunct
+    implied by another). If saturation completes, the result is the unique
+    minimal [rew(q)] of Exercise 14 and certifies bounded derivation depth
+    *for this query*; running out of budget is the experimental signature of
+    a non-BDD theory (or an undersized budget — the verdict says which
+    resource was exhausted). *)
+
+open Logic
+
+type budget = {
+  max_disjuncts : int;
+  max_atoms_per_disjunct : int;
+  max_steps : int;  (** worklist pops *)
+}
+
+val default_budget : budget
+
+type outcome =
+  | Complete
+      (** Saturation reached a fixpoint: the UCQ is the full rewriting. *)
+  | Disjunct_budget
+  | Size_budget  (** Some disjunct exceeded [max_atoms_per_disjunct]. *)
+  | Step_budget
+
+type result = {
+  ucq : Ucq.t;
+  outcome : outcome;
+  steps : int;
+  generated : int;  (** one-step rewritings produced, pre-minimization *)
+}
+
+val rewrite : ?budget:budget -> Theory.t -> Cq.t -> result
+(** Multi-head rules are compiled via {!Single_head.compile}; auxiliary
+    disjuncts are dropped from the final UCQ (kept during saturation).
+    Rules with empty bodies or domain variables are skipped by the piece
+    rewriter — for [T_d]-style theories use the marked-query engine. *)
+
+val rs : ?budget:budget -> Theory.t -> Cq.t -> int option
+(** [rs_T(q)] of Section 7: the maximal disjunct size of the full rewriting;
+    [None] when the rewriting did not complete within budget. *)

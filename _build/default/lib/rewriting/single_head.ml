@@ -1,0 +1,43 @@
+open Logic
+
+let compile theory =
+  let aux_syms = ref Symbol.Set.empty in
+  let counter = ref 0 in
+  let compile_rule rule =
+    if Tgd.is_single_head rule then [ rule ]
+    else begin
+      incr counter;
+      let frontier = Tgd.frontier rule in
+      let exist = Tgd.exist_vars rule in
+      let args = frontier @ exist in
+      let aux =
+        Symbol.make
+          (Printf.sprintf "Aux_%s_%d"
+             (match Tgd.name rule with "" -> "rule" | n -> n)
+             !counter)
+          ~arity:(List.length args)
+      in
+      aux_syms := Symbol.Set.add aux !aux_syms;
+      let aux_atom = Atom.make aux args in
+      let generator =
+        Tgd.make
+          ~name:(Tgd.name rule ^ "#gen")
+          ~dom_vars:(Tgd.dom_vars rule) ~body:(Tgd.body rule)
+          ~head:[ aux_atom ] ()
+      in
+      let projections =
+        List.mapi
+          (fun i h ->
+            Tgd.make
+              ~name:(Printf.sprintf "%s#proj%d" (Tgd.name rule) i)
+              ~body:[ aux_atom ] ~head:[ h ] ())
+          (Tgd.head rule)
+      in
+      generator :: projections
+    end
+  in
+  let rules = List.concat_map compile_rule (Theory.rules theory) in
+  (Theory.make ~name:(Theory.name theory ^ "#1h") rules, !aux_syms)
+
+let mentions_aux aux q =
+  List.exists (fun a -> Symbol.Set.mem (Atom.rel a) aux) (Cq.atoms q)

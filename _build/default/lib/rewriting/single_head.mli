@@ -1,0 +1,19 @@
+(** Compilation of multi-head TGDs to single-head ones (footnote 31 of the
+    paper): a rule [B -> exists w. H1, ..., Hk] becomes
+
+    {v
+      B -> exists w. Aux(y, w)          (Aux fresh)
+      Aux(y, w) -> Hi                   (one Datalog projection per i)
+    v}
+
+    with [y] the frontier. The chase over the compiled theory coincides with
+    the original on the original signature, so a UCQ rewriting computed over
+    the compiled theory is correct once disjuncts mentioning an auxiliary
+    predicate are discarded (instances never contain them). *)
+
+open Logic
+
+val compile : Theory.t -> Theory.t * Symbol.Set.t
+(** Returns the compiled theory and the set of auxiliary predicates. *)
+
+val mentions_aux : Symbol.Set.t -> Cq.t -> bool

@@ -1,0 +1,1 @@
+lib/theories/classes.ml: Atom Fmt Fun Hashtbl Int List Logic Option Set Symbol Term Tgd Theory

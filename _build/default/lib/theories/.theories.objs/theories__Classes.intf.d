@@ -1,0 +1,1 @@
+lib/theories/classes.mli: Fmt Logic Symbol Theory

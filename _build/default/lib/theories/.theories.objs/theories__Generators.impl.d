@@ -1,0 +1,1 @@
+lib/theories/generators.ml: Array Atom Fact_set Instances List Logic Printf Random Symbol Term Tgd Theory

@@ -1,0 +1,1 @@
+lib/theories/generators.mli: Fact_set Logic Theory

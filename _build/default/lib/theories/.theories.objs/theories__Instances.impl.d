@@ -1,0 +1,1 @@
+lib/theories/instances.ml: Atom Fact_set List Logic Printf Random Symbol Term Zoo

@@ -1,0 +1,1 @@
+lib/theories/instances.mli: Fact_set Logic Symbol Term

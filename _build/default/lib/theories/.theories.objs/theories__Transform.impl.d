@@ -1,0 +1,1 @@
+lib/theories/transform.ml: Atom Cq Fact_set List Logic Symbol Term Tgd Theory

@@ -1,0 +1,1 @@
+lib/theories/transform.mli: Cq Fact_set Logic Symbol Term Theory

@@ -1,0 +1,1 @@
+lib/theories/zoo.ml: Atom Cq List Logic Printf Symbol Term Tgd Theory

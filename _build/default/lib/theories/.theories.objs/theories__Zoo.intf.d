@@ -1,0 +1,1 @@
+lib/theories/zoo.mli: Cq Logic Symbol Term Theory

@@ -1,0 +1,217 @@
+open Logic
+
+module Pos = struct
+  type t = Symbol.t * int
+
+  let compare (s1, i1) (s2, i2) =
+    let c = Symbol.compare s1 s2 in
+    if c <> 0 then c else Int.compare i1 i2
+end
+
+module Pos_set = Set.Make (Pos)
+
+let var_positions_in_atoms atoms v =
+  List.concat_map
+    (fun a ->
+      List.mapi (fun i t -> (i, t)) (Atom.args a)
+      |> List.filter_map (fun (i, t) ->
+             if Term.equal t v then Some (Atom.rel a, i) else None))
+    atoms
+
+let marked_positions theory =
+  let rules = Theory.rules theory in
+  (* Initial marking: positions of body variables that some head forgets. *)
+  let initial =
+    List.fold_left
+      (fun acc rule ->
+        let head_vars =
+          Term.Set.of_list (List.concat_map Atom.vars (Tgd.head rule))
+        in
+        List.fold_left
+          (fun acc v ->
+            if Term.Set.mem v head_vars then acc
+            else
+              List.fold_left
+                (fun acc pos -> Pos_set.add pos acc)
+                acc
+                (var_positions_in_atoms (Tgd.body rule) v))
+          acc
+          (List.concat_map Atom.vars (Tgd.body rule)))
+      Pos_set.empty rules
+  in
+  (* Propagation: a variable sitting at a marked head position transfers the
+     mark to all its body positions. *)
+  let step marked =
+    List.fold_left
+      (fun acc rule ->
+        List.fold_left
+          (fun acc head_atom ->
+            List.fold_left
+              (fun acc (i, t) ->
+                if
+                  Term.is_var t
+                  && Pos_set.mem (Atom.rel head_atom, i) marked
+                then
+                  List.fold_left
+                    (fun acc pos -> Pos_set.add pos acc)
+                    acc
+                    (var_positions_in_atoms (Tgd.body rule) t)
+                else acc)
+              acc
+              (List.mapi (fun i t -> (i, t)) (Atom.args head_atom)))
+          acc (Tgd.head rule))
+      marked rules
+  in
+  let rec fixpoint marked =
+    let next = step marked in
+    if Pos_set.equal next marked then marked else fixpoint next
+  in
+  Pos_set.elements (fixpoint initial)
+
+let is_sticky theory =
+  let marked = Pos_set.of_list (marked_positions theory) in
+  List.for_all
+    (fun rule ->
+      let body = Tgd.body rule in
+      let body_vars = List.concat_map Atom.vars body in
+      let occurrence_count v =
+        List.fold_left
+          (fun acc a ->
+            acc + List.length (List.filter (Term.equal v) (Atom.args a)))
+          0 body
+      in
+      List.for_all
+        (fun v ->
+          occurrence_count v <= 1
+          || List.for_all
+               (fun pos -> not (Pos_set.mem pos marked))
+               (var_positions_in_atoms body v))
+        body_vars)
+    (Theory.rules theory)
+
+(* Weak acyclicity: dependency graph over positions (R, i). *)
+type wa_edge = Ordinary | Special
+
+let dependency_edges theory =
+  let edges = ref [] in
+  List.iter
+    (fun rule ->
+      let body = Tgd.body rule in
+      let body_positions v = var_positions_in_atoms body v in
+      (* Domain variables occur in no body atom; the universal variable
+         reads from the whole active domain, i.e. conservatively from every
+         position of the signature. *)
+      let dom_positions =
+        Symbol.Set.fold
+          (fun s acc ->
+            List.init (Symbol.arity s) (fun i -> (s, i)) @ acc)
+          (Theory.signature theory) []
+      in
+      let exist = Term.Set.of_list (Tgd.exist_vars rule) in
+      let is_dom v = List.exists (Term.equal v) (Tgd.dom_vars rule) in
+      List.iter
+        (fun v ->
+          let sources =
+            if is_dom v then dom_positions else body_positions v
+          in
+          if sources <> [] || is_dom v then
+            List.iter
+              (fun head_atom ->
+                List.iteri
+                  (fun i t ->
+                    if Term.equal t v then
+                      List.iter
+                        (fun src ->
+                          edges :=
+                            (src, (Atom.rel head_atom, i), Ordinary)
+                            :: !edges)
+                        sources
+                    else if Term.is_var t && Term.Set.mem t exist then
+                      List.iter
+                        (fun src ->
+                          edges :=
+                            (src, (Atom.rel head_atom, i), Special) :: !edges)
+                        sources)
+                  (Atom.args head_atom))
+              (Tgd.head rule))
+        (Tgd.frontier rule))
+    (Theory.rules theory);
+  !edges
+
+let weak_acyclicity_witness theory =
+  let edges = dependency_edges theory in
+  let vertices =
+    List.sort_uniq compare
+      (List.concat_map (fun (a, b, _) -> [ a; b ]) edges)
+  in
+  (* A special edge u =>s v lies on a cycle iff v reaches u. *)
+  let succs u =
+    List.filter_map
+      (fun (a, b, _) -> if a = u then Some b else None)
+      edges
+  in
+  let reaches start target =
+    let visited = Hashtbl.create 16 in
+    let rec go v =
+      v = target
+      || (not (Hashtbl.mem visited v))
+         && begin
+              Hashtbl.add visited v ();
+              List.exists go (succs v)
+            end
+    in
+    go start
+  in
+  ignore vertices;
+  List.find_map
+    (fun (u, v, kind) ->
+      if kind = Special && reaches v u then Some [ u; v ] else None)
+    edges
+  |> Option.map (fun l -> l)
+
+let is_weakly_acyclic theory = weak_acyclicity_witness theory = None
+
+type report = {
+  linear : bool;
+  datalog : bool;
+  guarded : bool;
+  sticky : bool;
+  weakly_acyclic : bool;
+  binary : bool;
+  connected : bool;
+  single_head : bool;
+  frontier_one : bool;
+}
+
+let classify theory =
+  {
+    linear = Theory.is_linear theory;
+    datalog = Theory.is_datalog theory;
+    guarded = Theory.is_guarded theory;
+    sticky = is_sticky theory;
+    weakly_acyclic = is_weakly_acyclic theory;
+    binary = Theory.is_binary theory;
+    connected = Theory.is_connected theory;
+    single_head = Theory.is_single_head theory;
+    frontier_one = Theory.is_frontier_one theory;
+  }
+
+let pp_report ppf r =
+  let flag name b = if b then Some name else None in
+  let flags =
+    List.filter_map Fun.id
+      [
+        flag "linear" r.linear;
+        flag "datalog" r.datalog;
+        flag "guarded" r.guarded;
+        flag "sticky" r.sticky;
+        flag "weakly-acyclic" r.weakly_acyclic;
+        flag "binary" r.binary;
+        flag "connected" r.connected;
+        flag "single-head" r.single_head;
+        flag "frontier-one" r.frontier_one;
+      ]
+  in
+  match flags with
+  | [] -> Fmt.string ppf "(no syntactic class)"
+  | _ -> Fmt.pf ppf "%a" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) flags

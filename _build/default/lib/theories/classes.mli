@@ -1,0 +1,45 @@
+(** Syntactic class membership for the BDD subclasses of Section 1:
+    linear, (bounded) Datalog, guarded, sticky, plus structural properties
+    (binary signature, connectedness). Sticky uses the marking procedure of
+    Cali-Gottlob-Pieris [5]. *)
+
+open Logic
+
+type report = {
+  linear : bool;
+  datalog : bool;
+  guarded : bool;
+  sticky : bool;
+  weakly_acyclic : bool;
+  binary : bool;
+  connected : bool;
+  single_head : bool;
+  frontier_one : bool;
+}
+
+val classify : Theory.t -> report
+val pp_report : report Fmt.t
+
+val is_sticky : Theory.t -> bool
+(** The marking procedure: mark body positions of variables lost by the
+    head, propagate backwards through head positions, and require that no
+    variable occurring twice in a body sits at a marked position.
+    Only meaningful for single-head rules without domain variables; rules
+    with domain variables or multi-atom heads are handled conservatively
+    (each head atom is considered separately). *)
+
+val marked_positions : Theory.t -> (Symbol.t * int) list
+(** The fixpoint of the marking procedure, for inspection and tests. *)
+
+val is_weakly_acyclic : Theory.t -> bool
+(** The classic sufficient criterion for all-instances termination of the
+    (semi-oblivious) chase: the dependency graph over predicate positions —
+    ordinary edges from body positions to the head positions of shared
+    frontier variables, special edges from body positions of frontier
+    variables to head positions of existential variables — has no cycle
+    through a special edge. Rules with domain variables are treated as if
+    the domain variable occurred at every position (conservative). *)
+
+val weak_acyclicity_witness : Theory.t -> (Symbol.t * int) list option
+(** A position on a cycle through a special edge, when not weakly
+    acyclic. *)

@@ -1,0 +1,58 @@
+open Logic
+
+let rel_symbol i = Symbol.make (Printf.sprintf "L%d" i) ~arity:2
+
+let random_linear_binary ~seed ~rels ~rules =
+  if rels < 1 || rules < 1 then
+    invalid_arg "Generators.random_linear_binary: need rels, rules >= 1";
+  let state = Random.State.make [| seed; rels; rules |] in
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  let rel () = rel_symbol (Random.State.int state rels) in
+  let rule i =
+    let body = [ Atom.make (rel ()) [ x; y ] ] in
+    let head =
+      match Random.State.int state 5 with
+      | 0 -> Atom.make (rel ()) [ y; z ]
+      | 1 -> Atom.make (rel ()) [ x; z ]
+      | 2 -> Atom.make (rel ()) [ y; x ]
+      | 3 -> Atom.make (rel ()) [ x; x ]
+      | _ -> Atom.make (rel ()) [ y; y ]
+    in
+    Tgd.make ~name:(Printf.sprintf "lin%d" i) ~body ~head:[ head ] ()
+  in
+  Theory.make
+    ~name:(Printf.sprintf "linear[%d]" seed)
+    (List.init rules rule)
+
+let random_datalog_binary ~seed ~rels ~rules =
+  if rels < 1 || rules < 1 then
+    invalid_arg "Generators.random_datalog_binary: need rels, rules >= 1";
+  let state = Random.State.make [| seed + 7919; rels; rules |] in
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  let rel () = rel_symbol (Random.State.int state rels) in
+  let rule i =
+    let two_atoms = Random.State.bool state in
+    let body =
+      if two_atoms then
+        [ Atom.make (rel ()) [ x; y ]; Atom.make (rel ()) [ y; z ] ]
+      else [ Atom.make (rel ()) [ x; y ] ]
+    in
+    let vars = if two_atoms then [| x; y; z |] else [| x; y |] in
+    let pick () = vars.(Random.State.int state (Array.length vars)) in
+    let head = Atom.make (rel ()) [ pick (); pick () ] in
+    Tgd.make ~name:(Printf.sprintf "dl%d" i) ~body ~head:[ head ] ()
+  in
+  Theory.make
+    ~name:(Printf.sprintf "datalog[%d]" seed)
+    (List.init rules rule)
+
+let random_instance_for ~seed theory ~nodes ~facts =
+  let rels =
+    Symbol.Set.elements
+      (Symbol.Set.filter
+         (fun s -> Symbol.arity s = 2)
+         (Theory.signature theory))
+  in
+  match rels with
+  | [] -> Fact_set.empty
+  | _ :: _ -> Instances.random_binary ~seed ~rels ~nodes ~facts

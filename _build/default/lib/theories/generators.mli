@@ -1,0 +1,24 @@
+(** Random theory generators for property-based testing.
+
+    Linear theories are always BDD (Section 1), so on any random linear
+    theory the saturating rewriter must terminate and agree with the chase
+    — a strong end-to-end oracle. Datalog theories always saturate on
+    finite instances, giving a model oracle for the chase engine. Both
+    generators are deterministic in the seed. *)
+
+open Logic
+
+val random_linear_binary :
+  seed:int -> rels:int -> rules:int -> Theory.t
+(** Rules with a single binary body atom [E_i(x,y)] and a head drawn from
+    the patterns [E_j(y,z)], [E_j(x,z)] (existential) and [E_j(y,x)],
+    [E_j(x,x)], [E_j(y,y)] (Datalog), over relations [L0 .. L_{rels-1}]. *)
+
+val random_datalog_binary :
+  seed:int -> rels:int -> rules:int -> Theory.t
+(** One- or two-atom bodies, Datalog heads over the body variables. *)
+
+val random_instance_for :
+  seed:int -> Theory.t -> nodes:int -> facts:int -> Fact_set.t
+(** A random instance over the binary relations of the theory's own
+    signature. *)

@@ -1,0 +1,78 @@
+open Logic
+
+let const = Term.const
+let atom = Atom.make
+
+let path rel ?(prefix = "a") n =
+  if n < 1 then invalid_arg "Instances.path: length must be positive";
+  let node i = const (Printf.sprintf "%s%d" prefix i) in
+  let facts = List.init n (fun i -> atom rel [ node i; node (i + 1) ]) in
+  (node 0, node n, Fact_set.of_list facts)
+
+let cycle rel ?(prefix = "a") n =
+  if n < 2 then invalid_arg "Instances.cycle: need at least two nodes";
+  let node i = const (Printf.sprintf "%s%d" prefix (i mod n)) in
+  Fact_set.of_list (List.init n (fun i -> atom rel [ node i; node (i + 1) ]))
+
+let grid right down ~width ~height =
+  if width < 1 || height < 1 then
+    invalid_arg "Instances.grid: dimensions must be positive";
+  let node i j = const (Printf.sprintf "g%d_%d" i j) in
+  let rights =
+    List.concat_map
+      (fun i ->
+        List.init (width - 1) (fun j ->
+            atom right [ node i j; node i (j + 1) ]))
+      (List.init height (fun i -> i))
+  in
+  let downs =
+    List.concat_map
+      (fun i ->
+        List.init width (fun j -> atom down [ node i j; node (i + 1) j ]))
+      (List.init (height - 1) (fun i -> i))
+  in
+  Fact_set.of_list (rights @ downs)
+
+let sticky_star l =
+  if l < 1 then invalid_arg "Instances.sticky_star: need at least one colour";
+  let a = const "a" and b1 = const "b1" and b2 = const "b2" in
+  let colour i = const (Printf.sprintf "c%d" i) in
+  Fact_set.of_list
+    (atom Zoo.e4 [ a; b1; b2; colour 1 ]
+    :: List.init l (fun i -> atom Zoo.r2 [ a; colour (i + 1) ]))
+
+let ex66_instance m =
+  let a0 = const "a0" and a1 = const "a1" in
+  Fact_set.of_list
+    (atom Zoo.e2 [ a0; a1 ]
+    :: List.init m (fun i -> atom Zoo.p1 [ const (Printf.sprintf "b%d" (i + 1)) ]))
+
+let e28_start n =
+  Fact_set.of_list [ atom (Zoo.e_k n) [ const "a"; const "b" ] ]
+
+let human_abel = Fact_set.of_list [ atom Zoo.human [ const "Abel" ] ]
+
+let single_edge rel = Fact_set.of_list [ atom rel [ const "a"; const "b" ] ]
+
+let random_binary ~seed ~rels ~nodes ~facts =
+  if nodes < 1 then invalid_arg "Instances.random_binary: nodes must be positive";
+  List.iter
+    (fun rel ->
+      if Symbol.arity rel <> 2 then
+        invalid_arg "Instances.random_binary: relations must be binary")
+    rels;
+  let state = Random.State.make [| seed |] in
+  let node () = const (Printf.sprintf "n%d" (Random.State.int state nodes)) in
+  let rel () =
+    List.nth rels (Random.State.int state (List.length rels))
+  in
+  Fact_set.of_list
+    (List.init facts (fun _ -> atom (rel ()) [ node (); node () ]))
+
+let nonbdd_chain n =
+  if n < 1 then invalid_arg "Instances.nonbdd_chain: length must be positive";
+  let node i = const (Printf.sprintf "a%d" i) in
+  let c = const "c" in
+  Fact_set.of_list
+    (atom Zoo.r2 [ node 0; c ]
+    :: List.init n (fun i -> atom Zoo.e3 [ node i; node (i + 1); c ]))

@@ -1,0 +1,45 @@
+(** Instance families used throughout the paper's examples and our
+    experiments. *)
+
+open Logic
+
+val const : string -> Term.t
+
+val path : Symbol.t -> ?prefix:string -> int -> Term.t * Term.t * Fact_set.t
+(** [path rel n]: facts [rel(a0,a1) ... rel(a_{n-1}, a_n)]; returns the two
+    endpoints. [G^n(a, b)] of Section 10 is [path Zoo.g2 n]. *)
+
+val cycle : Symbol.t -> ?prefix:string -> int -> Fact_set.t
+(** [cycle rel n]: the instance [D_n] of Example 42 — an [n]-cycle. *)
+
+val grid : Symbol.t -> Symbol.t -> width:int -> height:int -> Fact_set.t
+(** A [width x height] grid: [right]-edges along rows, [down]-edges along
+    columns — a bounded-degree instance family with many joins, useful for
+    stressing the locality analyzers away from paths and cycles. *)
+
+val sticky_star : int -> Fact_set.t
+(** Example 39's witness: [E4(a, b1, b2, c1)] plus [R(a, c_i)] for
+    [1 <= i <= l] — the observer [a] sees one edge and believes [l]
+    colours. *)
+
+val ex66_instance : int -> Fact_set.t
+(** Example 66's witness: [E(a0, a1)] plus [P(b_i)] for [1 <= i <= m]. *)
+
+val e28_start : int -> Fact_set.t
+(** A single fact [E_n(a, b)] — chase then walks all the way down to
+    [E_0]. *)
+
+val human_abel : Fact_set.t
+(** Example 1's [{Human(Abel)}]. *)
+
+val single_edge : Symbol.t -> Fact_set.t
+(** One binary fact [rel(a, b)]. *)
+
+val random_binary :
+  seed:int -> rels:Symbol.t list -> nodes:int -> facts:int -> Fact_set.t
+(** A pseudo-random instance over binary relations: [facts] edges drawn
+    uniformly over [nodes] named constants. Deterministic in [seed]. *)
+
+val nonbdd_chain : int -> Fact_set.t
+(** For Example 41: [E3(a_i, a_{i+1}, c)] for [i < n] plus [R(a_0, c)]:
+    the [R]-atom must travel the whole chain, showing non-BDD behaviour. *)

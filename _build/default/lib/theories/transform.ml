@@ -1,0 +1,32 @@
+open Logic
+
+let lifted_symbol s =
+  Symbol.make (Symbol.name s ^ "+") ~arity:(Symbol.arity s + 1)
+
+let lift_atom world a =
+  Atom.make (lifted_symbol (Atom.rel a)) (world :: Atom.args a)
+
+let connectize theory =
+  let rules =
+    List.map
+      (fun rule ->
+        let world = Cq.fresh_var ~prefix:"w" () in
+        Tgd.make ~name:(Tgd.name rule ^ "+")
+          ~dom_vars:(Tgd.dom_vars rule)
+          ~body:(List.map (lift_atom world) (Tgd.body rule))
+          ~head:(List.map (lift_atom world) (Tgd.head rule))
+          ())
+      (Theory.rules theory)
+  in
+  Theory.make ~name:(Theory.name theory ^ "+") rules
+
+let default_world = Term.const "world#"
+
+let lift_instance ?(world = default_world) fs =
+  Fact_set.of_list (List.map (lift_atom world) (Fact_set.atoms fs))
+
+let lift_query ?world q =
+  let world =
+    match world with Some w -> w | None -> Cq.fresh_var ~prefix:"wq" ()
+  in
+  Cq.make ~free:(Cq.free q) (List.map (lift_atom world) (Cq.atoms q))

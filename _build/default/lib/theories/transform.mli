@@ -1,0 +1,26 @@
+(** The "trivial trick" of Section 2: adding a fresh variable as an extra
+    first argument of every atom makes any theory connected while
+    preserving its BDD and core-termination status — at the price of
+    raising the arity and destroying degree bounds (every pair of
+    constants ends up at Gaifman distance <= 2).
+
+    [connectize] rewrites a theory over a lifted signature (each relation's
+    arity + 1) with one shared fresh variable threaded through every body
+    and head atom; [lift_instance] threads a single fresh "world" constant
+    through an instance, and [lift_query] does the same for queries, so
+    entailment transfers back and forth. *)
+
+open Logic
+
+val lifted_symbol : Symbol.t -> Symbol.t
+(** Same name with a ["+"] suffix, arity + 1. *)
+
+val connectize : Theory.t -> Theory.t
+val lift_instance : ?world:Term.t -> Fact_set.t -> Fact_set.t
+val lift_query : ?world:Term.t -> Cq.t -> Cq.t
+(** When [world] is a variable it is added as an extra (existential or
+    free, caller's choice via the query's own free list) variable; the
+    default is a fresh existential variable shared by all atoms. *)
+
+val default_world : Term.t
+(** The constant used by [lift_instance] by default. *)

@@ -1,0 +1,222 @@
+open Logic
+
+let human = Symbol.make "Human" ~arity:1
+let mother = Symbol.make "Mother" ~arity:2
+let e2 = Symbol.make "E" ~arity:2
+let r2 = Symbol.make "R" ~arity:2
+let g2 = Symbol.make "G" ~arity:2
+let p1 = Symbol.make "P" ~arity:1
+let e4 = Symbol.make "E4" ~arity:4
+let r4 = Symbol.make "Rc" ~arity:4
+let e3 = Symbol.make "E3" ~arity:3
+let i_k k = Symbol.make (Printf.sprintf "I%d" k) ~arity:2
+let e_k k = Symbol.make (Printf.sprintf "E%d" k) ~arity:2
+
+let v = Term.var
+let atom = Atom.make
+
+let t_a =
+  let x = v "x" and y = v "y" and z = v "z" in
+  Theory.make ~name:"T_a"
+    [
+      Tgd.make ~name:"mother"
+        ~body:[ atom human [ y ] ]
+        ~head:[ atom mother [ y; z ] ]
+        ();
+      Tgd.make ~name:"human"
+        ~body:[ atom mother [ x; y ] ]
+        ~head:[ atom human [ y ] ]
+        ();
+    ]
+
+let t_p =
+  let x = v "x" and y = v "y" and z = v "z" in
+  Theory.make ~name:"T_p"
+    [
+      Tgd.make ~name:"extend"
+        ~body:[ atom e2 [ x; y ] ]
+        ~head:[ atom e2 [ y; z ] ]
+        ();
+    ]
+
+let t_loopcut =
+  let x = v "x" and x' = v "x'" and x'' = v "x''" in
+  Theory.make ~name:"T_loopcut"
+    (Theory.rules t_p
+    @ [
+        Tgd.make ~name:"selfloop"
+          ~body:[ atom e2 [ x; x' ]; atom e2 [ x'; x'' ] ]
+          ~head:[ atom e2 [ x'; x' ] ]
+          ();
+      ])
+
+let t_sticky =
+  let x = v "x" and y = v "y" and y' = v "y'" and y'' = v "y''" in
+  let t = v "t" and t' = v "t'" in
+  Theory.make ~name:"T_sticky"
+    [
+      Tgd.make ~name:"see"
+        ~body:[ atom e4 [ x; y; y'; t ]; atom r2 [ x; t' ] ]
+        ~head:[ atom e4 [ x; y'; y''; t' ] ]
+        ();
+    ]
+
+let t_nonbdd =
+  let x = v "x" and y = v "y" and z = v "z" in
+  Theory.make ~name:"T_nonbdd"
+    [
+      Tgd.make ~name:"push"
+        ~body:[ atom e3 [ x; y; z ]; atom r2 [ x; z ] ]
+        ~head:[ atom r2 [ y; z ] ]
+        ();
+    ]
+
+let t_c =
+  let x = v "x" and y = v "y" and z = v "z" in
+  let x' = v "x'" and y' = v "y'" and z' = v "z'" in
+  Theory.make ~name:"T_c"
+    [
+      Tgd.make ~name:"start"
+        ~body:[ atom e2 [ x; y ] ]
+        ~head:[ atom r4 [ x; y; x'; y' ] ]
+        ();
+      Tgd.make ~name:"advance"
+        ~body:[ atom r4 [ x; y; x'; y' ]; atom e2 [ y; z ] ]
+        ~head:[ atom r4 [ y; z; y'; z' ] ]
+        ();
+    ]
+
+let grid_rule ~upper ~lower ~name =
+  let x = v "x" and x' = v "x'" and u = v "u" and u' = v "u'" and z = v "z" in
+  Tgd.make ~name
+    ~body:[ atom upper [ x; x' ]; atom lower [ x; u ]; atom lower [ u; u' ] ]
+    ~head:[ atom upper [ u'; z ]; atom lower [ x'; z ] ]
+    ()
+
+let t_d =
+  let x = v "x" and z = v "z" and z' = v "z'" in
+  Theory.make ~name:"T_d"
+    [
+      Tgd.make ~name:"loop" ~body:[]
+        ~head:[ atom r2 [ x; x ]; atom g2 [ x; x ] ]
+        ();
+      Tgd.make ~name:"pins" ~dom_vars:[ x ] ~body:[]
+        ~head:[ atom r2 [ x; z ]; atom g2 [ x; z' ] ]
+        ();
+      grid_rule ~upper:r2 ~lower:g2 ~name:"grid";
+    ]
+
+let t_d_noloop =
+  Theory.make ~name:"T_d_noloop"
+    (List.filter (fun r -> Tgd.name r <> "loop") (Theory.rules t_d))
+
+let t_dk kk =
+  if kk < 2 then invalid_arg "Zoo.t_dk: K must be at least 2";
+  let x = v "x" and z = v "z" in
+  let loop =
+    Tgd.make ~name:"loop" ~body:[]
+      ~head:(List.init kk (fun j -> atom (i_k (j + 1)) [ x; x ]))
+      ()
+  in
+  let pins =
+    List.init kk (fun j ->
+        Tgd.make
+          ~name:(Printf.sprintf "pins%d" (j + 1))
+          ~dom_vars:[ x ] ~body:[]
+          ~head:[ atom (i_k (j + 1)) [ x; z ] ]
+          ())
+  in
+  let grids =
+    List.init (kk - 1) (fun j ->
+        let i = j + 1 in
+        grid_rule ~upper:(i_k (i + 1)) ~lower:(i_k i)
+          ~name:(Printf.sprintf "grid%d" i))
+  in
+  Theory.make ~name:(Printf.sprintf "T_d^%d" kk) ((loop :: pins) @ grids)
+
+let t_e28 n =
+  if n < 1 then invalid_arg "Zoo.t_e28: need at least one level";
+  let x = v "x" and y = v "y" and z = v "z" in
+  Theory.make
+    ~name:(Printf.sprintf "T_e28[%d]" n)
+    (List.init n (fun j ->
+         let i = j + 1 in
+         Tgd.make
+           ~name:(Printf.sprintf "down%d" i)
+           ~body:[ atom (e_k i) [ x; y ] ]
+           ~head:[ atom (e_k (i - 1)) [ y; z ] ]
+           ()))
+
+let knows = Symbol.make "Knows" ~arity:2
+let person = Symbol.make "Person" ~arity:1
+
+let t_spouse =
+  let x = v "x" and y = v "y" and z = v "z" in
+  Theory.make ~name:"T_spouse"
+    [
+      Tgd.make ~name:"has"
+        ~body:[ atom person [ x ] ]
+        ~head:[ atom knows [ x; z ] ]
+        ();
+      Tgd.make ~name:"sym"
+        ~body:[ atom knows [ x; y ] ]
+        ~head:[ atom knows [ y; x ] ]
+        ();
+      Tgd.make ~name:"is_person"
+        ~body:[ atom knows [ x; y ] ]
+        ~head:[ atom person [ y ] ]
+        ();
+    ]
+
+let t_ex66 =
+  let x = v "x" and y = v "y" and z = v "z" and w = v "w" in
+  Theory.make ~name:"T_ex66"
+    [
+      Tgd.make ~name:"extend"
+        ~body:[ atom e2 [ x; y ]; atom r2 [ z; y ] ]
+        ~head:[ atom e2 [ y; w ] ]
+        ();
+      Tgd.make ~name:"colour"
+        ~body:[ atom e2 [ x; y ]; atom p1 [ z ] ]
+        ~head:[ atom r2 [ z; y ] ]
+        ();
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Query families                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let path_query rel prefix n =
+  if n < 1 then invalid_arg "Zoo.path_query: length must be positive";
+  let node i = v (Printf.sprintf "%s%d" prefix i) in
+  let atoms = List.init n (fun i -> atom rel [ node i; node (i + 1) ]) in
+  let x0 = node 0 and xn = node n in
+  (x0, xn, Cq.make ~free:[ x0; xn ] atoms)
+
+let g_path_query n = path_query g2 "gq" n
+let r_path_query n = path_query r2 "rq" n
+let e_path_query n = path_query e2 "eq" n
+let i_path_query k n = path_query (i_k k) (Printf.sprintf "i%dq" k) n
+
+let phi_with ~upper ~lower n =
+  let x = v "x" and y = v "y" and x' = v "x'" and y' = v "y'" in
+  let chain start stop prefix =
+    if n = 0 then ([], start, stop)
+    else
+      let node i =
+        if i = 0 then start
+        else if i = n then stop
+        else v (Printf.sprintf "%s%d" prefix i)
+      in
+      (List.init n (fun i -> atom upper [ node i; node (i + 1) ]), start, stop)
+  in
+  let left_atoms, _, _ = chain x x' "pl" in
+  let right_atoms, _, _ = chain y y' "pr" in
+  let atoms = left_atoms @ right_atoms @ [ atom lower [ x'; y' ] ] in
+  if n = 0 then
+    (* phi_R^0(x,y) is just G(x,y). *)
+    (x, y, Cq.make ~free:[ x; y ] [ atom lower [ x; y ] ])
+  else (x, y, Cq.make ~free:[ x; y ] atoms)
+
+let phi_r n = phi_with ~upper:r2 ~lower:g2 n
+let phi_i k n = phi_with ~upper:(i_k k) ~lower:(i_k (k - 1)) n

@@ -1,0 +1,112 @@
+(** Every concrete theory the paper mentions, under one roof.
+
+    Each value is referenced from DESIGN.md's inventory and exercised by the
+    experiments in [bench/main.ml]. *)
+
+open Logic
+
+(** {1 Signatures} *)
+
+val human : Symbol.t
+val mother : Symbol.t
+
+val e2 : Symbol.t
+(** binary [E] *)
+
+val r2 : Symbol.t
+(** binary [R] (red edges of [T_d]) *)
+
+val g2 : Symbol.t
+(** binary [G] (green edges of [T_d]) *)
+
+val p1 : Symbol.t
+(** unary [P] (Example 66) *)
+
+val e4 : Symbol.t
+(** arity-4 [E] of the sticky Example 39 *)
+
+val r4 : Symbol.t
+(** arity-4 [R_c] of Example 42 *)
+
+val e3 : Symbol.t
+(** ternary [E] of Example 41 *)
+
+val i_k : int -> Symbol.t
+(** [I_k] of Section 12 *)
+
+val e_k : int -> Symbol.t
+(** [E_k] of Example 28 *)
+
+(** {1 Theories} *)
+
+val t_a : Theory.t
+(** Example 1: [Human(y) -> exists z. Mother(y,z)] and
+    [Mother(x,y) -> Human(y)]. Core-terminating, local. *)
+
+val t_p : Theory.t
+(** Exercise 12: [E(x,y) -> exists z. E(y,z)]. Linear, BDD; not
+    core-terminating (Exercise 22). *)
+
+val t_loopcut : Theory.t
+(** Exercise 23: [t_p] plus [E(x,x'), E(x',x'') -> E(x',x')].
+    Core-terminating but not all-instances-terminating. *)
+
+val t_sticky : Theory.t
+(** Example 39: the one-rule sticky theory over colored visible edges.
+    BDD, bd-local, not local. *)
+
+val t_nonbdd : Theory.t
+(** Example 41: [E(x,y,z), R(x,z) -> R(y,z)]. bd-local but not BDD. *)
+
+val t_c : Theory.t
+(** Example 42: BDD but not bd-local. *)
+
+val t_d : Theory.t
+(** Definition 45: (loop), (pins), (grid). BDD, not distancing,
+    exponential-size rewritings (Theorem 5). *)
+
+val t_d_noloop : Theory.t
+(** Exercise 46's ablation: [T_d] without (loop) — no longer BDD. *)
+
+val t_dk : int -> Theory.t
+(** Section 12: [T_d^K] over [I_1 .. I_K]; [t_dk 2] is [T_d] up to renaming. *)
+
+val t_e28 : int -> Theory.t
+(** Example 28 truncated to [E_0 .. E_n]: [E_i(x,y) -> exists z. E_{i-1}(y,z)]. *)
+
+val knows : Symbol.t
+val person : Symbol.t
+
+val t_spouse : Theory.t
+(** A linear (hence local) and core-terminating companion theory:
+    [Person(x) -> exists z. Knows(x,z)], [Knows(x,y) -> Knows(y,x)],
+    [Knows(x,y) -> Person(y)]. Invented acquaintances fold back after one
+    round, so the FUS/FES hypothesis of Theorem 4 applies with a small
+    uniform constant — the positive side of experiment E4. *)
+
+val t_ex66 : Theory.t
+(** Example 66 of Appendix A: the theory defeating the naive ancestor
+    bound. *)
+
+(** {1 Query families} *)
+
+val g_path_query : int -> Term.t * Term.t * Cq.t
+(** [G^n(x0, xn)]: a green path of length [n]; returns (x0, xn, query) with
+    free variables x0, xn. *)
+
+val r_path_query : int -> Term.t * Term.t * Cq.t
+(** [R^n(x0, xn)], analogously. *)
+
+val phi_r : int -> Term.t * Term.t * Cq.t
+(** [phi_R^n(x,y) = exists x' y'. R^n(x,x'), R^n(y,y'), G(x',y')]
+    (Section 10). *)
+
+val e_path_query : int -> Term.t * Term.t * Cq.t
+(** [E^n(x0, xn)] over the binary [E]. *)
+
+val i_path_query : int -> int -> Term.t * Term.t * Cq.t
+(** [i_path_query k n]: an [I_k^n] path (Section 12 signature). *)
+
+val phi_i : int -> int -> Term.t * Term.t * Cq.t
+(** [phi_i k n]: the Section 12 analogue of [phi_r] one level down:
+    [exists x' y'. I_k^n(x,x'), I_k^n(y,y'), I_{k-1}(x',y')]. *)

@@ -1,0 +1,1 @@
+test/test_chase.ml: Alcotest Atom Chase Cq Fact_set Fmt Hashtbl List Logic Option Printf QCheck QCheck_alcotest Symbol Term Tgd Theories Theory

@@ -1,0 +1,1 @@
+test/test_frontier.ml: Alcotest Atom Bdd_probe Containment Cq Fact_set Frontier Gaifman Instances List Reasoner Rewrite String Term Theory Transform Ucq Zoo

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Atom Containment Cq Fact_set Fmt Gaifman Homomorphism List Logic Parser Printf QCheck QCheck_alcotest Symbol Term Tgd Theories Theory Ucq

@@ -1,0 +1,1 @@
+test/test_marked.ml: Alcotest Array Atom Bool Chase Containment Cq Fact_set Fmt Hashtbl Int Lazy List Logic Marked Option Order Printf QCheck QCheck_alcotest String Symbol Term Theories Ucq

@@ -1,0 +1,1 @@
+test/test_normalization.ml: Alcotest Atom Chase Fact_set Fmt Gaifman List Logic Normalization Symbol Term Tgd Theories Theory

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Bool Fun Gen Int List Order QCheck QCheck_alcotest

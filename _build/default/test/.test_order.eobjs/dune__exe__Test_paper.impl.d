@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Atom Chase Containment Cq Fact_set Fmt List Logic Printf Rewriting String Symbol Term Theories Theory Ucq

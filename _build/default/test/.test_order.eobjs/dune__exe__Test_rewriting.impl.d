@@ -1,0 +1,1 @@
+test/test_rewriting.ml: Alcotest Atom Chase Containment Cq Fact_set Fmt List Logic Marked Printf QCheck QCheck_alcotest Rewriting Symbol Term Theories Theory Ucq

@@ -1,0 +1,1 @@
+test/test_theories.ml: Alcotest Atom Chase Cq Fact_set Gaifman List Logic Printf Symbol Term Tgd Theories Theory

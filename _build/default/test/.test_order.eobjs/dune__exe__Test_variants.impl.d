@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Atom Chase Cq Fact_set List Logic Printf QCheck QCheck_alcotest Render Rewriting String Symbol Term Theories Theory

@@ -1,0 +1,218 @@
+(* Tests for the Appendix A normalization pipeline: T_NF construction,
+   chase equivalence on existential atoms (Lemma 70), ancestor analysis and
+   the Crucial Lemma bound, with Example 66 as the star witness. *)
+
+open Logic
+module Normalize = Normalization.Normalize
+module Ancestry = Normalization.Ancestry
+
+let test_normalize_ta () =
+  match Normalize.normalize Theories.Zoo.t_a with
+  | None -> Alcotest.fail "T_a normalization should complete"
+  | Some nf ->
+      (* rew(Human(y)) = {Human(y), Mother(z,y)}: two T_II rules. *)
+      Alcotest.(check int) "two separated rules" 2
+        (List.length (Theory.rules nf.Normalize.t_ii));
+      Alcotest.(check int) "one nullary predicate (M_empty)" 1
+        (Symbol.Set.cardinal nf.Normalize.nullary);
+      (* Every T_II rule body is a connected CQ plus one nullary atom. *)
+      List.iter
+        (fun rule ->
+          let nullary, rest =
+            List.partition
+              (fun a -> Symbol.Set.mem (Atom.rel a) nf.Normalize.nullary)
+              (Tgd.body rule)
+          in
+          Alcotest.(check int) "one nullary atom" 1 (List.length nullary);
+          Alcotest.(check bool) "rest connected" true
+            (rest = [] || Gaifman.connected (Gaifman.of_atoms rest)))
+        (Theory.rules nf.Normalize.t_ii)
+
+let test_normalize_ex66 () =
+  match Normalize.normalize Theories.Zoo.t_ex66 with
+  | None -> Alcotest.fail "Example 66 normalization should complete"
+  | Some nf ->
+      (* The extend-rule body rewrites to {E,R} and {E,P}; the {E,P} variant
+         separates P(z) behind a non-trivial nullary predicate. *)
+      Alcotest.(check bool) "at least two nullary predicates" true
+        (Symbol.Set.cardinal nf.Normalize.nullary >= 2);
+      Alcotest.(check bool) "crucial bound finite" true
+        (Normalize.crucial_bound nf < max_int)
+
+let test_lemma70_existential_atoms () =
+  (* The existential atoms of Ch(T, D) and Ch(T_NF, D) coincide literally —
+     thanks to Skolem naming by head type. *)
+  match Normalize.normalize Theories.Zoo.t_ex66 with
+  | None -> Alcotest.fail "normalization failed"
+  | Some nf ->
+      let d = Theories.Instances.ex66_instance 3 in
+      (* T_NF derives faster (rewritten bodies skip Datalog detours), so
+         give the raw theory a much deeper window. *)
+      let run_t = Chase.Engine.run ~max_depth:14 Theories.Zoo.t_ex66 d in
+      let run_nf = Chase.Engine.run ~max_depth:4 nf.Normalize.t_nf d in
+      let existential_atoms run =
+        List.filter
+          (fun a ->
+            Symbol.equal (Atom.rel a) Theories.Zoo.e2
+            && not (Fact_set.mem a d))
+          (Fact_set.atoms (Chase.Engine.result run))
+      in
+      let et = existential_atoms run_t in
+      let enf = existential_atoms run_nf in
+      Alcotest.(check bool) "both chases derived something" true
+        (et <> [] && enf <> []);
+      (* Every NF existential atom appears, literally, in the T chase. *)
+      List.iter
+        (fun a ->
+          Alcotest.(check bool)
+            (Fmt.str "NF atom %a in T chase" Atom.pp a)
+            true
+            (List.exists (Atom.equal a) et))
+        enf;
+      (* Conversely, shallow T atoms appear in the NF prefix. *)
+      List.iter
+        (fun a ->
+          match Chase.Engine.stage_of_atom run_t a with
+          | Some s when s <= 4 ->
+              Alcotest.(check bool)
+                (Fmt.str "T atom %a in NF chase" Atom.pp a)
+                true
+                (List.exists (Atom.equal a) enf)
+          | Some _ | None -> ())
+        et
+
+let test_sensible_trees_ta () =
+  let run = Chase.Engine.run ~max_depth:4 Theories.Zoo.t_a Theories.Instances.human_abel in
+  let trees = Ancestry.sensible_trees run in
+  Alcotest.(check int) "one tree" 1 (List.length trees);
+  let tree = List.hd trees in
+  Alcotest.(check string) "rooted at Abel" "Abel"
+    (Fmt.str "%a" Term.pp tree.Ancestry.root);
+  (* Depth 4 alternates Mother / Human stages: two sensible atoms. *)
+  Alcotest.(check int) "mother chain atoms" 2
+    (List.length tree.Ancestry.atoms)
+
+let test_ancestors_basic () =
+  let d = Theories.Instances.human_abel in
+  let run = Chase.Engine.run ~max_depth:3 Theories.Zoo.t_a d in
+  let mother_atoms =
+    List.filter
+      (fun a -> Symbol.equal (Atom.rel a) Theories.Zoo.mother)
+      (Fact_set.atoms (Chase.Engine.result run))
+  in
+  List.iter
+    (fun a ->
+      let anc = Ancestry.ancestors run Ancestry.First a in
+      Alcotest.(check int) "single ancestor Human(Abel)" 1
+        (Atom.Set.cardinal anc);
+      Alcotest.(check bool) "ancestors in D" true
+        (Fact_set.subset (Fact_set.of_set anc) d))
+    mother_atoms
+
+let test_example66_unbounded_vs_nf () =
+  (* The paper's Example 66 phenomenon: under T with an adversarial parent
+     choice the chain's ancestor set grows with the number of P-facts;
+     under T_NF it stays bounded by the crucial bound. *)
+  let counts =
+    List.map
+      (fun m ->
+        let d = Theories.Instances.ex66_instance m in
+        let run =
+          Chase.Engine.run ~max_depth:(m + 2) Theories.Zoo.t_ex66 d
+        in
+        Ancestry.max_tree_ancestors run (Ancestry.Adversarial 17))
+      [ 2; 5; 8 ]
+  in
+  (match counts with
+  | [ c2; c5; c8 ] ->
+      Alcotest.(check bool)
+        (Fmt.str "ancestors grow: %d < %d <= %d" c2 c5 c8)
+        true
+        (c2 < c5 && c5 <= c8)
+  | _ -> Alcotest.fail "unexpected");
+  match Normalize.normalize Theories.Zoo.t_ex66 with
+  | None -> Alcotest.fail "normalization failed"
+  | Some nf ->
+      let bound = Normalize.crucial_bound nf in
+      List.iter
+        (fun m ->
+          let d = Theories.Instances.ex66_instance m in
+          let run = Chase.Engine.run ~max_depth:(m + 2) nf.Normalize.t_nf d in
+          let worst =
+            List.fold_left max 0
+              (List.map
+                 (fun salt ->
+                   Ancestry.max_tree_ancestors run (Ancestry.Adversarial salt))
+                 [ 1; 17; 99 ])
+          in
+          Alcotest.(check bool)
+            (Fmt.str "NF ancestors %d within bound %d (m=%d)" worst bound m)
+            true (worst <= bound))
+        [ 2; 5; 8 ]
+
+let test_crucial_constants () =
+  match Normalize.normalize Theories.Zoo.t_a with
+  | None -> Alcotest.fail "normalization failed"
+  | Some nf ->
+      let k, h, n, cap_n = Normalize.constants nf in
+      Alcotest.(check bool) "k >= 1" true (k >= 1);
+      Alcotest.(check bool) "h >= 1" true (h >= 1);
+      Alcotest.(check bool) "n >= 2" true (n >= 2);
+      Alcotest.(check bool) "N >= n" true (cap_n >= n)
+
+let test_locality_constant_pipeline () =
+  (* The full Theorem 3 pipeline on T_a: normalize, extract M * h^{n_at},
+     and validate the constant on sample instances. *)
+  let samples =
+    [
+      Theories.Instances.human_abel;
+      Fact_set.of_list
+        [
+          Atom.make Theories.Zoo.human [ Term.const "h1" ];
+          Atom.make Theories.Zoo.mother [ Term.const "m"; Term.const "h1" ];
+        ];
+    ]
+  in
+  match
+    Normalization.Crucial.locality_constant Theories.Zoo.t_a ~samples
+  with
+  | Some l ->
+      Alcotest.(check bool) "constant positive" true (l >= 1);
+      Alcotest.(check bool) "validates on samples" true
+        (Normalization.Crucial.validate_locality ~depth:3 Theories.Zoo.t_a
+           ~l:(min l 4) samples)
+  | None -> Alcotest.fail "pipeline should produce a constant for T_a"
+
+let test_n_at_estimate () =
+  let samples =
+    [ (let _, _, d = Theories.Instances.path Theories.Zoo.e2 4 in d) ]
+  in
+  let n_at =
+    Normalization.Crucial.estimate_n_at Theories.Zoo.t_loopcut samples
+  in
+  Alcotest.(check bool) "n_at in [1;2]" true (n_at >= 1 && n_at <= 2)
+
+let () =
+  Alcotest.run "normalization"
+    [
+      ( "normalize",
+        [
+          Alcotest.test_case "T_a" `Quick test_normalize_ta;
+          Alcotest.test_case "Example 66" `Quick test_normalize_ex66;
+          Alcotest.test_case "Lemma 70" `Quick test_lemma70_existential_atoms;
+          Alcotest.test_case "crucial constants" `Quick test_crucial_constants;
+        ] );
+      ( "ancestry",
+        [
+          Alcotest.test_case "sensible trees" `Quick test_sensible_trees_ta;
+          Alcotest.test_case "ancestors" `Quick test_ancestors_basic;
+          Alcotest.test_case "Example 66 vs T_NF" `Quick
+            test_example66_unbounded_vs_nf;
+        ] );
+      ( "crucial",
+        [
+          Alcotest.test_case "locality constant pipeline" `Quick
+            test_locality_constant_pipeline;
+          Alcotest.test_case "n_at estimate" `Quick test_n_at_estimate;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the order library: Dershowitz-Manna multiset ordering and
+   lexicographic combinators (the termination scaffolding of Section 10). *)
+
+let cmp = Int.compare
+
+let ms l = Order.Multiset.of_list ~cmp l
+
+(* The textbook Dershowitz-Manna definition, used as an oracle: M < N iff
+   M <> N and for every x with M(x) > N(x) there is y > x with N(y) > M(y). *)
+let naive_dm_lt m n =
+  let mult x t = Order.Multiset.multiplicity x t in
+  let support = List.sort_uniq cmp (Order.Multiset.to_list m @ Order.Multiset.to_list n) in
+  (not (Order.Multiset.equal m n))
+  && List.for_all
+       (fun x ->
+         mult x m <= mult x n
+         || List.exists (fun y -> y > x && mult y n > mult y m) support)
+       support
+
+let test_empty () =
+  Alcotest.(check bool) "empty < {1}" true (Order.Multiset.lt (ms []) (ms [ 1 ]));
+  Alcotest.(check bool) "not {1} < empty" false (Order.Multiset.lt (ms [ 1 ]) (ms []));
+  Alcotest.(check bool) "empty = empty" true (Order.Multiset.equal (ms []) (ms []))
+
+let test_classic_descent () =
+  (* Replacing one big element by many smaller ones descends. *)
+  Alcotest.(check bool) "{3;3} > {3;2;2;2;2}" true
+    (Order.Multiset.lt (ms [ 3; 2; 2; 2; 2 ]) (ms [ 3; 3 ]));
+  Alcotest.(check bool) "{5} > {4;4;4;4}" true
+    (Order.Multiset.lt (ms [ 4; 4; 4; 4 ]) (ms [ 5 ]));
+  Alcotest.(check bool) "{2;2} < {2;3}" true
+    (Order.Multiset.lt (ms [ 2; 2 ]) (ms [ 2; 3 ]))
+
+let test_operations () =
+  let m = ms [ 1; 2; 2; 3 ] in
+  Alcotest.(check int) "cardinal" 4 (Order.Multiset.cardinal m);
+  Alcotest.(check int) "multiplicity 2" 2 (Order.Multiset.multiplicity 2 m);
+  Alcotest.(check int) "multiplicity 7" 0 (Order.Multiset.multiplicity 7 m);
+  let m' = Order.Multiset.remove 2 m in
+  Alcotest.(check int) "after remove" 1 (Order.Multiset.multiplicity 2 m');
+  Alcotest.(check bool) "remove descends" true (Order.Multiset.lt m' m);
+  let u = Order.Multiset.union (ms [ 1 ]) (ms [ 1; 5 ]) in
+  Alcotest.(check int) "union multiplicity" 2 (Order.Multiset.multiplicity 1 u);
+  Alcotest.(check (list int)) "to_list sorted" [ 1; 1; 5 ] (Order.Multiset.to_list u)
+
+let arbitrary_small_list =
+  QCheck.(list_of_size Gen.(0 -- 6) (int_bound 5))
+
+let prop_agrees_with_naive =
+  QCheck.Test.make ~count:500 ~name:"multiset lt agrees with textbook DM"
+    (QCheck.pair arbitrary_small_list arbitrary_small_list)
+    (fun (l1, l2) ->
+      let m = ms l1 and n = ms l2 in
+      Bool.equal (Order.Multiset.lt m n) (naive_dm_lt m n))
+
+let prop_irreflexive =
+  QCheck.Test.make ~count:200 ~name:"multiset lt irreflexive"
+    arbitrary_small_list
+    (fun l -> not (Order.Multiset.lt (ms l) (ms l)))
+
+let prop_total =
+  QCheck.Test.make ~count:500 ~name:"multiset order total"
+    (QCheck.pair arbitrary_small_list arbitrary_small_list)
+    (fun (l1, l2) ->
+      let m = ms l1 and n = ms l2 in
+      let lt = Order.Multiset.lt m n
+      and gt = Order.Multiset.lt n m
+      and eq = Order.Multiset.equal m n in
+      List.length (List.filter Fun.id [ lt; gt; eq ]) = 1)
+
+let prop_transitive =
+  QCheck.Test.make ~count:500 ~name:"multiset lt transitive"
+    (QCheck.triple arbitrary_small_list arbitrary_small_list
+       arbitrary_small_list)
+    (fun (l1, l2, l3) ->
+      let a = ms l1 and b = ms l2 and c = ms l3 in
+      (not (Order.Multiset.lt a b && Order.Multiset.lt b c))
+      || Order.Multiset.lt a c)
+
+let prop_add_increases =
+  QCheck.Test.make ~count:200 ~name:"adding an element strictly increases"
+    (QCheck.pair arbitrary_small_list (QCheck.int_bound 5))
+    (fun (l, x) ->
+      let m = ms l in
+      Order.Multiset.lt m (Order.Multiset.add x m))
+
+(* ------------------------------------------------------------------ *)
+(* Base-3 exact cost arithmetic (used by the rank computation)         *)
+(* ------------------------------------------------------------------ *)
+
+let b3 = Order.Base3.of_int
+
+let test_base3_basics () =
+  Alcotest.(check bool) "zero" true (Order.Base3.is_zero Order.Base3.zero);
+  Alcotest.(check (option int)) "27" (Some 27)
+    (Order.Base3.to_int_opt (Order.Base3.power_of_3 3));
+  Alcotest.(check (option int)) "3^0 = 1" (Some 1)
+    (Order.Base3.to_int_opt (Order.Base3.power_of_3 0));
+  Alcotest.(check (option int)) "9 + 27 = 36" (Some 36)
+    (Order.Base3.to_int_opt
+       (Order.Base3.add (Order.Base3.power_of_3 2) (Order.Base3.power_of_3 3)))
+
+let test_base3_huge () =
+  (* Far beyond native integers: 3^80 vs 3^80 + 1. *)
+  let huge = Order.Base3.power_of_3 80 in
+  Alcotest.(check (option int)) "does not fit an int" None
+    (Order.Base3.to_int_opt huge);
+  let bigger = Order.Base3.add huge (b3 1) in
+  Alcotest.(check bool) "3^80 < 3^80 + 1" true
+    (Order.Base3.compare huge bigger < 0);
+  Alcotest.(check bool) "equal to itself" true
+    (Order.Base3.equal huge (Order.Base3.power_of_3 80))
+
+let prop_base3_add_agrees_with_int =
+  QCheck.Test.make ~count:500 ~name:"base3 add agrees with int arithmetic"
+    QCheck.(pair (int_bound 100_000) (int_bound 100_000))
+    (fun (a, b) ->
+      Order.Base3.to_int_opt (Order.Base3.add (b3 a) (b3 b)) = Some (a + b))
+
+let prop_base3_compare_agrees_with_int =
+  QCheck.Test.make ~count:500 ~name:"base3 compare agrees with int compare"
+    QCheck.(pair (int_bound 100_000) (int_bound 100_000))
+    (fun (a, b) ->
+      let c = Order.Base3.compare (b3 a) (b3 b) in
+      (c < 0 && a < b) || (c = 0 && a = b) || (c > 0 && a > b))
+
+let prop_base3_add_commutative =
+  QCheck.Test.make ~count:300 ~name:"base3 add commutative"
+    QCheck.(pair (int_bound 10_000) (int_bound 10_000))
+    (fun (a, b) ->
+      Order.Base3.equal
+        (Order.Base3.add (b3 a) (b3 b))
+        (Order.Base3.add (b3 b) (b3 a)))
+
+let test_lex2 () =
+  let c = Order.Well_order.lex2 Int.compare Int.compare in
+  Alcotest.(check bool) "(1,9) < (2,0)" true (c (1, 9) (2, 0) < 0);
+  Alcotest.(check bool) "(1,1) < (1,2)" true (c (1, 1) (1, 2) < 0);
+  Alcotest.(check bool) "(2,2) = (2,2)" true (c (2, 2) (2, 2) = 0)
+
+let test_lex_list () =
+  let c = Order.Well_order.lex_list Int.compare in
+  Alcotest.(check bool) "[1;2] < [1;3]" true (c [ 1; 2 ] [ 1; 3 ] < 0);
+  Alcotest.(check bool) "[1] < [1;0]" true (c [ 1 ] [ 1; 0 ] < 0);
+  Alcotest.(check bool) "[] < [0]" true (c [] [ 0 ] < 0)
+
+let test_descending () =
+  let desc = Order.Well_order.strictly_descending ~cmp in
+  Alcotest.(check bool) "5 3 1 descends" true (desc [ 5; 3; 1 ]);
+  Alcotest.(check bool) "5 5 fails" false (desc [ 5; 5 ]);
+  Alcotest.(check bool) "singleton ok" true (desc [ 42 ]);
+  Alcotest.(check bool) "empty ok" true (desc [])
+
+let () =
+  Alcotest.run "order"
+    [
+      ( "multiset",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "classic descents" `Quick test_classic_descent;
+          Alcotest.test_case "operations" `Quick test_operations;
+          QCheck_alcotest.to_alcotest prop_agrees_with_naive;
+          QCheck_alcotest.to_alcotest prop_irreflexive;
+          QCheck_alcotest.to_alcotest prop_total;
+          QCheck_alcotest.to_alcotest prop_transitive;
+          QCheck_alcotest.to_alcotest prop_add_increases;
+        ] );
+      ( "base3",
+        [
+          Alcotest.test_case "basics" `Quick test_base3_basics;
+          Alcotest.test_case "huge values" `Quick test_base3_huge;
+          QCheck_alcotest.to_alcotest prop_base3_add_agrees_with_int;
+          QCheck_alcotest.to_alcotest prop_base3_compare_agrees_with_int;
+          QCheck_alcotest.to_alcotest prop_base3_add_commutative;
+        ] );
+      ( "well_order",
+        [
+          Alcotest.test_case "lex2" `Quick test_lex2;
+          Alcotest.test_case "lex_list" `Quick test_lex_list;
+          Alcotest.test_case "strictly_descending" `Quick test_descending;
+        ] );
+    ]

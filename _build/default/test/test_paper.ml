@@ -1,0 +1,325 @@
+(* The paper-conformance suite: each numbered statement of the paper that
+   has executable content is asserted here on randomly generated theories
+   and instances (deterministic seeds), complementing the per-module unit
+   tests. Linear theories are the workhorse: they are provably BDD, so the
+   saturating rewriter is a terminating oracle against the chase. *)
+
+open Logic
+
+let seeds = [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+
+let linear_theory seed =
+  Theories.Generators.random_linear_binary ~seed ~rels:3 ~rules:4
+
+let datalog_theory seed =
+  Theories.Generators.random_datalog_binary ~seed ~rels:3 ~rules:4
+
+let instance_for seed theory =
+  Theories.Generators.random_instance_for ~seed theory ~nodes:4 ~facts:6
+
+let atomic_query theory =
+  (* A boolean atomic query over the theory's first binary relation. *)
+  let rel =
+    List.hd
+      (Symbol.Set.elements
+         (Symbol.Set.filter
+            (fun s -> Symbol.arity s = 2)
+            (Theory.signature theory)))
+  in
+  Cq.make ~free:[] [ Atom.make rel [ Term.var "qa"; Term.var "qb" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Observation 2: homomorphic images of models are models              *)
+(* ------------------------------------------------------------------ *)
+
+let test_observation2 () =
+  List.iter
+    (fun seed ->
+      let theory = datalog_theory seed in
+      let d = instance_for seed theory in
+      let run = Chase.Engine.run ~max_depth:20 theory d in
+      if Chase.Engine.saturated run then begin
+        let model = Chase.Engine.result run in
+        Alcotest.(check bool) "saturated chase is a model" true
+          (Theory.satisfied_in theory model);
+        (* Fold it: the core is an endomorphic image, hence also a model. *)
+        let folded = Chase.Core_model.core_of model in
+        Alcotest.(check bool)
+          (Printf.sprintf "folded model still a model (seed %d)" seed)
+          true
+          (Theory.satisfied_in theory folded)
+      end)
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Observation 8: literal restart equality on random linear theories   *)
+(* ------------------------------------------------------------------ *)
+
+let test_observation8_random () =
+  List.iter
+    (fun seed ->
+      let theory = linear_theory seed in
+      let d = instance_for seed theory in
+      if not (Fact_set.is_empty d) then begin
+        let run1 = Chase.Engine.run ~max_depth:6 ~max_atoms:20_000 theory d in
+        let f = Chase.Engine.stage run1 (min 2 (Chase.Engine.depth run1)) in
+        let run2 = Chase.Engine.run ~max_depth:4 ~max_atoms:20_000 theory f in
+        Alcotest.(check bool)
+          (Printf.sprintf "restart stays inside (seed %d)" seed)
+          true
+          (Fact_set.subset
+             (Chase.Engine.stage run2 (min 2 (Chase.Engine.depth run2)))
+             (Chase.Engine.result run1))
+      end)
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Observation 10: unique birth atoms                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_observation10_random () =
+  List.iter
+    (fun seed ->
+      let theory = linear_theory seed in
+      let d = instance_for seed theory in
+      let run = Chase.Engine.run ~max_depth:4 ~max_atoms:10_000 theory d in
+      Term.Set.iter
+        (fun t ->
+          (* Count atoms in which t occurs outside the frontier. *)
+          let count =
+            List.length
+              (List.filter
+                 (fun atom ->
+                   List.exists (Term.equal t) (Atom.args atom)
+                   &&
+                   match Chase.Engine.atom_frontier run atom with
+                   | Some fr -> not (Term.Set.mem t fr)
+                   | None -> false)
+                 (Fact_set.atoms (Chase.Engine.result run)))
+          in
+          Alcotest.(check int)
+            (Fmt.str "unique birth atom for %a (seed %d)" Term.pp t seed)
+            1 count)
+        (Chase.Engine.invented_terms run))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1: rew terminates on linear theories, is an antichain, and  *)
+(* agrees with the chase                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_theorem1_linear () =
+  List.iter
+    (fun seed ->
+      let theory = linear_theory seed in
+      let q = atomic_query theory in
+      let r = Rewriting.Rewrite.rewrite theory q in
+      Alcotest.(check bool)
+        (Printf.sprintf "linear rewriting completes (seed %d)" seed)
+        true
+        (r.Rewriting.Rewrite.outcome = Rewriting.Rewrite.Complete);
+      (* Minimality: no disjunct implies another (the antichain property of
+         Theorem 1's second bullet). *)
+      let disjuncts = Ucq.disjuncts r.Rewriting.Rewrite.ucq in
+      List.iteri
+        (fun i qi ->
+          List.iteri
+            (fun j qj ->
+              if i <> j then
+                Alcotest.(check bool)
+                  (Printf.sprintf "antichain %d-%d (seed %d)" i j seed)
+                  false
+                  (Containment.implies qi qj))
+            disjuncts)
+        disjuncts;
+      (* Chase agreement on random instances. *)
+      List.iter
+        (fun iseed ->
+          let d = instance_for iseed theory in
+          Alcotest.(check bool)
+            (Printf.sprintf "chase agreement (seed %d/%d)" seed iseed)
+            true
+            (Rewriting.Bdd.rewriting_certifies ~max_depth:8 ~max_atoms:20_000
+               theory q [ d ]))
+        [ 101; 102 ])
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Exercise 14: rew is unique (canonical up to equivalence)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_exercise14_uniqueness () =
+  List.iter
+    (fun seed ->
+      let theory = linear_theory seed in
+      let q = atomic_query theory in
+      (* Rewrite the query and an alpha-renamed copy: the two rewritings
+         must be equivalent disjunct-by-disjunct. *)
+      let q', _ = Cq.refresh q in
+      let r1 = Rewriting.Rewrite.rewrite theory q in
+      let r2 = Rewriting.Rewrite.rewrite theory q' in
+      let covered u1 u2 =
+        List.for_all
+          (fun d1 ->
+            List.exists
+              (fun d2 -> Containment.equivalent d1 d2)
+              (Ucq.disjuncts u2))
+          (Ucq.disjuncts u1)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "rew unique up to equivalence (seed %d)" seed)
+        true
+        (covered r1.Rewriting.Rewrite.ucq r2.Rewriting.Rewrite.ucq
+        && covered r2.Rewriting.Rewrite.ucq r1.Rewriting.Rewrite.ucq))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Exercise 16: disjuncts of rew(q) entail q over the chase            *)
+(* ------------------------------------------------------------------ *)
+
+let test_exercise16 () =
+  List.iter
+    (fun seed ->
+      let theory = linear_theory seed in
+      let q = atomic_query theory in
+      let r = Rewriting.Rewrite.rewrite theory q in
+      let d = instance_for (seed + 50) theory in
+      let run = Chase.Engine.run ~max_depth:8 ~max_atoms:20_000 theory d in
+      let ch = Chase.Engine.result run in
+      List.iter
+        (fun disjunct ->
+          if Cq.boolean_holds disjunct ch then
+            Alcotest.(check bool)
+              (Printf.sprintf "disjunct entails q (seed %d)" seed)
+              true (Cq.boolean_holds q ch))
+        (Ucq.disjuncts r.Rewriting.Rewrite.ucq))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Exercise 15: a disjunct true in the chase implies one true in D     *)
+(* ------------------------------------------------------------------ *)
+
+let test_exercise15 () =
+  List.iter
+    (fun seed ->
+      let theory = linear_theory seed in
+      let q = atomic_query theory in
+      let r = Rewriting.Rewrite.rewrite theory q in
+      let d = instance_for (seed + 77) theory in
+      let run = Chase.Engine.run ~max_depth:6 ~max_atoms:20_000 theory d in
+      let ch = Chase.Engine.result run in
+      let some_disjunct_on f =
+        List.exists
+          (fun disjunct -> Cq.boolean_holds disjunct f)
+          (Ucq.disjuncts r.Rewriting.Rewrite.ucq)
+      in
+      if some_disjunct_on ch then
+        Alcotest.(check bool)
+          (Printf.sprintf "some disjunct already true in D (seed %d)" seed)
+          true (some_disjunct_on d))
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Observation 29 via explanations                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_observation29_explain () =
+  List.iter
+    (fun seed ->
+      let theory = linear_theory seed in
+      let d = instance_for seed theory in
+      let q = atomic_query theory in
+      let run = Chase.Engine.run ~max_depth:5 ~max_atoms:20_000 theory d in
+      if Cq.boolean_holds q (Chase.Engine.result run) then begin
+        match Chase.Explain.explain run q [] with
+        | Some expl ->
+            Alcotest.(check bool)
+              (Printf.sprintf "support inside D (seed %d)" seed)
+              true
+              (Fact_set.subset expl.Chase.Explain.support d);
+            Alcotest.(check bool)
+              (Printf.sprintf "support sufficient (seed %d)" seed)
+              true
+              (Chase.Explain.support_is_sufficient ~max_depth:8 run expl q []);
+            (* Linear rules: each derivation consumes one fact, so the
+               support of an atomic query is at most 1 fact per query
+               atom. *)
+            Alcotest.(check bool)
+              (Printf.sprintf "support small (seed %d)" seed)
+              true
+              (Fact_set.cardinal expl.Chase.Explain.support <= Cq.size q)
+        | None -> Alcotest.fail "explanation must exist for entailed query"
+      end)
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Observation 44: linear theories do not contract distances           *)
+(* ------------------------------------------------------------------ *)
+
+let test_observation44_linear_distancing () =
+  List.iter
+    (fun seed ->
+      let theory = linear_theory seed in
+      let d = instance_for seed theory in
+      let run = Chase.Engine.run ~max_depth:5 ~max_atoms:20_000 theory d in
+      match Rewriting.Distancing.max_contraction run with
+      | Some (_, ratio) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "no contraction (seed %d)" seed)
+            true (ratio <= 1.0 +. 1e-9)
+      | None -> ())
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* Explain on the paper's own theories                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_td () =
+  let a0, a2, d = Theories.Instances.path Theories.Zoo.g2 2 in
+  let _, _, phi1 = Theories.Zoo.phi_r 1 in
+  let run = Chase.Engine.run ~max_depth:4 ~max_atoms:50_000 Theories.Zoo.t_d d in
+  match Chase.Explain.explain run phi1 [ a0; a2 ] with
+  | Some expl ->
+      (* phi_R^1(a0,a2) on G^2 needs both green edges. *)
+      Alcotest.(check int) "support is all of G^2" 2
+        (Fact_set.cardinal expl.Chase.Explain.support);
+      Alcotest.(check bool) "support sufficient" true
+        (Chase.Explain.support_is_sufficient ~max_depth:4
+           ~max_atoms:50_000 run expl phi1 [ a0; a2 ]);
+      Alcotest.(check bool) "derivation has height >= 1" true
+        (expl.Chase.Explain.depth >= 1);
+      (* The printed explanation mentions the grid rule. *)
+      let text = Fmt.str "%a" Chase.Explain.pp expl in
+      let contains needle haystack =
+        let nl = String.length needle and hl = String.length haystack in
+        let rec go i =
+          i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "mentions grid" true (contains "grid" text)
+  | None -> Alcotest.fail "phi_R^1(a0,a2) should be explainable"
+
+let () =
+  Alcotest.run "paper"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "observation 2" `Quick test_observation2;
+          Alcotest.test_case "observation 8 (random)" `Quick
+            test_observation8_random;
+          Alcotest.test_case "observation 10 (random)" `Quick
+            test_observation10_random;
+          Alcotest.test_case "theorem 1 on linear theories" `Quick
+            test_theorem1_linear;
+          Alcotest.test_case "exercise 14 uniqueness" `Quick
+            test_exercise14_uniqueness;
+          Alcotest.test_case "exercise 15" `Quick test_exercise15;
+          Alcotest.test_case "exercise 16" `Quick test_exercise16;
+          Alcotest.test_case "observation 29 via explain" `Quick
+            test_observation29_explain;
+          Alcotest.test_case "observation 44" `Quick
+            test_observation44_linear_distancing;
+          Alcotest.test_case "explain T_d" `Quick test_explain_td;
+        ] );
+    ]

@@ -1,0 +1,251 @@
+(* Tests for the theory zoo and the syntactic class checkers. *)
+
+open Logic
+
+let test_zoo_classification () =
+  let check name theory ~linear ~sticky ~binary ~connected =
+    let r = Theories.Classes.classify theory in
+    Alcotest.(check bool) (name ^ " linear") linear r.Theories.Classes.linear;
+    Alcotest.(check bool) (name ^ " sticky") sticky r.Theories.Classes.sticky;
+    Alcotest.(check bool) (name ^ " binary") binary r.Theories.Classes.binary;
+    Alcotest.(check bool) (name ^ " connected") connected
+      r.Theories.Classes.connected
+  in
+  check "t_p" Theories.Zoo.t_p ~linear:true ~sticky:true ~binary:true
+    ~connected:true;
+  check "t_a" Theories.Zoo.t_a ~linear:true ~sticky:true ~binary:true
+    ~connected:true;
+  (* Example 39 is the flagship sticky theory. *)
+  check "t_sticky" Theories.Zoo.t_sticky ~linear:false ~sticky:true
+    ~binary:false ~connected:true;
+  (* Example 41's join variable is marked: not sticky. *)
+  check "t_nonbdd" Theories.Zoo.t_nonbdd ~linear:false ~sticky:false
+    ~binary:false ~connected:true;
+  check "t_d" Theories.Zoo.t_d ~linear:false ~sticky:false ~binary:true
+    ~connected:true
+
+let test_weak_acyclicity () =
+  (* Transitive closure: Datalog, trivially weakly acyclic. *)
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  let tc =
+    Theory.make
+      [
+        Tgd.make
+          ~body:[ Atom.make Theories.Zoo.e2 [ x; y ];
+                  Atom.make Theories.Zoo.e2 [ y; z ] ]
+          ~head:[ Atom.make Theories.Zoo.e2 [ x; z ] ]
+          ();
+      ]
+  in
+  Alcotest.(check bool) "tc weakly acyclic" true
+    (Theories.Classes.is_weakly_acyclic tc);
+  (* A one-shot invention: Human(x) -> exists z. Name(x, z): acyclic. *)
+  let name2 = Symbol.make "Name" ~arity:2 in
+  let oneshot =
+    Theory.make
+      [
+        Tgd.make
+          ~body:[ Atom.make Theories.Zoo.human [ x ] ]
+          ~head:[ Atom.make name2 [ x; z ] ]
+          ();
+      ]
+  in
+  Alcotest.(check bool) "one-shot weakly acyclic" true
+    (Theories.Classes.is_weakly_acyclic oneshot);
+  (* The non-terminating zoo members all have special cycles. *)
+  List.iter
+    (fun (name, theory) ->
+      Alcotest.(check bool) (name ^ " not weakly acyclic") false
+        (Theories.Classes.is_weakly_acyclic theory);
+      Alcotest.(check bool) (name ^ " has a witness") true
+        (Theories.Classes.weak_acyclicity_witness theory <> None))
+    [
+      ("t_p", Theories.Zoo.t_p); ("t_a", Theories.Zoo.t_a);
+      ("t_spouse", Theories.Zoo.t_spouse); ("t_d", Theories.Zoo.t_d);
+      ("t_loopcut", Theories.Zoo.t_loopcut);
+    ];
+  (* Consistency with the engine: weakly acyclic theories saturate. *)
+  let _, _, d = Theories.Instances.path Theories.Zoo.e2 4 in
+  let run = Chase.Engine.run ~max_depth:20 tc d in
+  Alcotest.(check bool) "tc chase saturates" true (Chase.Engine.saturated run)
+
+let test_guardedness () =
+  Alcotest.(check bool) "t_p guarded" true (Theory.is_guarded Theories.Zoo.t_p);
+  Alcotest.(check bool) "t_loopcut not guarded" false
+    (Theory.is_guarded Theories.Zoo.t_loopcut);
+  Alcotest.(check bool) "t_sticky guarded" false
+    (Theory.is_guarded Theories.Zoo.t_sticky)
+
+let test_tdk_matches_td () =
+  (* t_dk 2 is T_d with R = I2, G = I1. *)
+  let t2 = Theories.Zoo.t_dk 2 in
+  Alcotest.(check int) "rule count" 4 (List.length (Theory.rules t2));
+  Alcotest.(check bool) "binary" true (Theory.is_binary t2);
+  (* T_d itself has 3 rules (pins has a two-atom head covering both colours,
+     where t_dk has one pins rule per colour). *)
+  Alcotest.(check int) "t_d rules" 3 (List.length (Theory.rules Theories.Zoo.t_d))
+
+let test_e28_truncations () =
+  let t3 = Theories.Zoo.t_e28 3 in
+  Alcotest.(check int) "three rules" 3 (List.length (Theory.rules t3));
+  Alcotest.(check bool) "linear" true (Theory.is_linear t3);
+  Alcotest.(check bool) "binary" true (Theory.is_binary t3)
+
+let test_instances_shapes () =
+  let a, b, p5 = Theories.Instances.path Theories.Zoo.g2 5 in
+  Alcotest.(check int) "path facts" 5 (Fact_set.cardinal p5);
+  Alcotest.(check bool) "endpoints differ" false (Term.equal a b);
+  let cyc = Theories.Instances.cycle Theories.Zoo.e2 4 in
+  Alcotest.(check int) "cycle facts" 4 (Fact_set.cardinal cyc);
+  Alcotest.(check int) "cycle domain" 4
+    (Term.Set.cardinal (Fact_set.domain cyc));
+  let gg = Gaifman.of_fact_set cyc in
+  Alcotest.(check int) "cycle degree 2" 2 (Gaifman.max_degree gg);
+  let star = Theories.Instances.sticky_star 3 in
+  Alcotest.(check int) "star facts" 4 (Fact_set.cardinal star);
+  let ex66 = Theories.Instances.ex66_instance 5 in
+  Alcotest.(check int) "ex66 facts" 6 (Fact_set.cardinal ex66)
+
+let test_grid_instance () =
+  let g = Theories.Instances.grid Theories.Zoo.r2 Theories.Zoo.g2 ~width:3 ~height:2 in
+  (* 2 rows x 2 right-edges + 1 column-gap x 3 down-edges = 4 + 3. *)
+  Alcotest.(check int) "edge count" 7 (Fact_set.cardinal g);
+  Alcotest.(check int) "node count" 6
+    (Term.Set.cardinal (Fact_set.domain g));
+  let gg = Gaifman.of_fact_set g in
+  Alcotest.(check bool) "connected" true (Gaifman.connected gg);
+  Alcotest.(check bool) "bounded degree" true (Gaifman.max_degree gg <= 4);
+  (* T_d on a red/green grid instance still chases fine. *)
+  let run = Chase.Engine.run ~max_depth:2 ~max_atoms:20_000 Theories.Zoo.t_d g in
+  Alcotest.(check bool) "chase grows" true
+    (Fact_set.cardinal (Chase.Engine.result run) > 7)
+
+let test_query_families () =
+  let x0, x3, g3 = Theories.Zoo.g_path_query 3 in
+  Alcotest.(check int) "g path atoms" 3 (Cq.size g3);
+  Alcotest.(check bool) "free endpoints" true
+    (List.for_all Term.is_var [ x0; x3 ]);
+  let _, _, phi2 = Theories.Zoo.phi_r 2 in
+  (* phi_R^2 = R(x,p1), R(p1,x'), R(y,q1), R(q1,y'), G(x',y') *)
+  Alcotest.(check int) "phi_r 2 atoms" 5 (Cq.size phi2);
+  let _, _, phi0 = Theories.Zoo.phi_r 0 in
+  Alcotest.(check int) "phi_r 0 is one G atom" 1 (Cq.size phi0)
+
+let test_phi_r_on_green_path () =
+  (* (i) of Theorem 5(B): G^{2^n}(a,b) chase satisfies phi_R^n(a,b).
+     Check for n = 1: G^2 path, phi_R^1. *)
+  let a, b, d = Theories.Instances.path Theories.Zoo.g2 2 in
+  let x, y, phi1 = Theories.Zoo.phi_r 1 in
+  ignore x;
+  ignore y;
+  (match
+     Chase.Entailment.entails ~max_depth:4 ~max_atoms:20_000 Theories.Zoo.t_d
+       d phi1 [ a; b ]
+   with
+  | Chase.Entailment.Entailed _ -> ()
+  | _ -> Alcotest.fail "phi_R^1(a,b) should hold on G^2");
+  (* (ii): on a proper subset (single G edge), phi_R^1(a,b) fails: a and b
+     are no longer connected. *)
+  let _, _, d1 = Theories.Instances.path Theories.Zoo.g2 1 in
+  let d_sub = Fact_set.of_list [ List.hd (Fact_set.atoms d1) ] in
+  match
+    Chase.Entailment.entails ~max_depth:4 ~max_atoms:20_000 Theories.Zoo.t_d
+      d_sub phi1 [ a; b ]
+  with
+  | Chase.Entailment.Entailed _ ->
+      Alcotest.fail "phi_R^1(a,b) must fail when b is absent"
+  | _ -> ()
+
+let test_phi_r2_on_green_path4 () =
+  (* n = 2: G^4(a,b) |= phi_R^2(a,b) via the doubling grid. *)
+  let a, b, d = Theories.Instances.path Theories.Zoo.g2 4 in
+  let _, _, phi2 = Theories.Zoo.phi_r 2 in
+  match
+    Chase.Entailment.entails ~max_depth:6 ~max_atoms:100_000 Theories.Zoo.t_d
+      d phi2 [ a; b ]
+  with
+  | Chase.Entailment.Entailed n ->
+      Alcotest.(check bool) "within depth" true (n <= 6)
+  | _ -> Alcotest.fail "phi_R^2(a,b) should hold on G^4"
+
+let test_sticky_star_nonlocality_witness () =
+  (* Example 39: the atom E4(a, b2, *, c_l) in the chase requires every
+     R(a,c_i) of the star: check that chasing a sub-star misses facts. *)
+  let l = 3 in
+  let star = Theories.Instances.sticky_star l in
+  let run =
+    Chase.Engine.run ~max_depth:l ~max_atoms:50_000 Theories.Zoo.t_sticky star
+  in
+  let full = Chase.Engine.result run in
+  (* Chase of the star minus one R-fact is strictly smaller on E4 atoms. *)
+  let smaller =
+    Fact_set.remove
+      (Atom.make Theories.Zoo.r2 [ Term.const "a"; Term.const "c3" ])
+      star
+  in
+  let run' =
+    Chase.Engine.run ~max_depth:l ~max_atoms:50_000 Theories.Zoo.t_sticky
+      smaller
+  in
+  Alcotest.(check bool) "sub-star chase strictly smaller" true
+    (Fact_set.cardinal (Chase.Engine.result run') < Fact_set.cardinal full)
+
+let test_example41_nonbdd_behaviour () =
+  (* Example 41: R(a_n, c) is derived only after n steps — derivation depth
+     grows with the instance, the hallmark of non-BDD. *)
+  let depth_for n =
+    let d = Theories.Instances.nonbdd_chain n in
+    let x = Term.var "x" in
+    let q =
+      Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.r2 [ x; Term.var "cv" ] ]
+    in
+    let run = Chase.Engine.run ~max_depth:(n + 2) Theories.Zoo.t_nonbdd d in
+    match
+      Chase.Entailment.needed_depth run q [ Term.const (Printf.sprintf "a%d" n) ]
+    with
+    | Some k -> k
+    | None -> Alcotest.fail "R(a_n, c) should be derivable"
+  in
+  Alcotest.(check int) "chain 2" 2 (depth_for 2);
+  Alcotest.(check int) "chain 4" 4 (depth_for 4);
+  Alcotest.(check bool) "depth grows" true (depth_for 5 > depth_for 3)
+
+let test_marked_positions_nonempty () =
+  let marked = Theories.Classes.marked_positions Theories.Zoo.t_sticky in
+  Alcotest.(check bool) "some marked positions" true (marked <> []);
+  let marked_nb = Theories.Classes.marked_positions Theories.Zoo.t_nonbdd in
+  Alcotest.(check bool) "example 41 marks the join position" true
+    (List.exists
+       (fun (s, i) -> Symbol.equal s Theories.Zoo.e3 && i = 0)
+       marked_nb)
+
+let () =
+  Alcotest.run "theories"
+    [
+      ( "classes",
+        [
+          Alcotest.test_case "zoo classification" `Quick
+            test_zoo_classification;
+          Alcotest.test_case "guardedness" `Quick test_guardedness;
+          Alcotest.test_case "weak acyclicity" `Quick test_weak_acyclicity;
+          Alcotest.test_case "marked positions" `Quick
+            test_marked_positions_nonempty;
+        ] );
+      ( "zoo",
+        [
+          Alcotest.test_case "t_dk vs t_d" `Quick test_tdk_matches_td;
+          Alcotest.test_case "e28 truncations" `Quick test_e28_truncations;
+          Alcotest.test_case "instances" `Quick test_instances_shapes;
+          Alcotest.test_case "grid instance" `Quick test_grid_instance;
+          Alcotest.test_case "query families" `Quick test_query_families;
+        ] );
+      ( "paper phenomena",
+        [
+          Alcotest.test_case "phi_R^1 on G^2" `Quick test_phi_r_on_green_path;
+          Alcotest.test_case "phi_R^2 on G^4" `Quick test_phi_r2_on_green_path4;
+          Alcotest.test_case "sticky star witness" `Quick
+            test_sticky_star_nonlocality_witness;
+          Alcotest.test_case "example 41 depth growth" `Quick
+            test_example41_nonbdd_behaviour;
+        ] );
+    ]
