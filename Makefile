@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean fmt
+.PHONY: all build test check bench examples doc clean fmt
 
 all: build
 
@@ -7,6 +7,13 @@ build:
 
 test:
 	dune runtest --force
+
+# What CI runs: full build, the whole test suite (property counts scale
+# with FRONTIER_QCHECK_COUNT), and a parallel-layer smoke run.
+check:
+	dune build @all
+	dune runtest --force
+	dune exec bench/main.exe -- e1 par -j 2
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt

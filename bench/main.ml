@@ -614,6 +614,80 @@ let e14 () =
     [ 50; 100; 200; 400; 800 ]
 
 (* ------------------------------------------------------------------ *)
+(* par — the parallel execution layer: determinism and scaling         *)
+(* ------------------------------------------------------------------ *)
+
+let par () =
+  header "par" "parallel chase & rewriting (lib/parallel) vs sequential"
+    "bit-identical chase stages and equivalent rewritings at any -j; \
+     speedup needs > 1 core";
+  let pool = Parallel.Pool.get_default () in
+  let jobs = Parallel.Pool.size pool in
+  row "  jobs: %d (-j N or FRONTIER_JOBS; this machine has %d cores)@." jobs
+    (Domain.recommended_domain_count ());
+  (* Chase workload: the E1 grid, T_d on G^8 to depth 7. *)
+  let _, _, g8 = Theories.Instances.path Theories.Zoo.g2 8 in
+  let chase p =
+    Chase.Engine.run ?pool:p ~max_depth:7 ~max_atoms:400_000 Theories.Zoo.t_d
+      g8
+  in
+  let run_seq, t_seq = time_it (fun () -> chase None) in
+  Parallel.Pool.reset_busy pool;
+  let run_par, t_par = time_it (fun () -> chase (Some pool)) in
+  let stages_equal =
+    Chase.Engine.depth run_seq = Chase.Engine.depth run_par
+    && List.for_all
+         (fun i ->
+           Fact_set.equal
+             (Chase.Engine.stage run_seq i)
+             (Chase.Engine.stage run_par i))
+         (List.init (Chase.Engine.depth run_seq + 1) Fun.id)
+  in
+  row "  chase T_d on G^8 depth 7:  seq %.3fs   -j%d %.3fs   (x%.2f)@." t_seq
+    jobs t_par (t_seq /. t_par);
+  row "  stages bit-identical: %b; saturation flags equal: %b@." stages_equal
+    (Chase.Engine.saturated run_seq = Chase.Engine.saturated run_par
+    && Chase.Engine.hit_atom_budget run_seq
+       = Chase.Engine.hit_atom_budget run_par);
+  Array.iteri
+    (fun i (s : Chase.Engine.stage_stats) ->
+      row "    stage %d: %6d triggers, %6d derived (%6d fresh), %.4fs wall@."
+        (i + 1) s.Chase.Engine.triggers s.Chase.Engine.produced
+        s.Chase.Engine.fresh_atoms s.Chase.Engine.wall_s)
+    (Chase.Engine.stage_stats run_par);
+  row "  per-domain busy seconds: [%a]@."
+    Fmt.(array ~sep:sp (fmt "%.3f"))
+    (Parallel.Pool.busy_times pool);
+  (* Rewriting workload: the E11 generic saturation on T_d \ (loop). *)
+  let x = Term.var "x" and y = Term.var "y" in
+  let q = Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.g2 [ x; y ] ] in
+  let budget =
+    {
+      Rewriting.Rewrite.max_disjuncts = 60;
+      max_atoms_per_disjunct = 20;
+      max_steps = 400;
+    }
+  in
+  let r_seq, rt_seq =
+    time_it (fun () ->
+        Rewriting.Rewrite.rewrite ~budget Theories.Zoo.t_d_noloop q)
+  in
+  let r_par, rt_par =
+    time_it (fun () ->
+        Rewriting.Rewrite.rewrite ~pool ~budget Theories.Zoo.t_d_noloop q)
+  in
+  row "  rewrite T_d\\(loop) G(x,y):  seq %.3fs   -j%d %.3fs   (x%.2f)@."
+    rt_seq jobs rt_par (rt_seq /. rt_par);
+  row "  seq: %d disjuncts, %d containment checks; -j%d: %d disjuncts, %d \
+       containment checks@."
+    (Ucq.cardinal r_seq.Rewriting.Rewrite.ucq)
+    r_seq.Rewriting.Rewrite.containment_checks jobs
+    (Ucq.cardinal r_par.Rewriting.Rewrite.ucq)
+    r_par.Rewriting.Rewrite.containment_checks;
+  row "  rewritings UCQ-equivalent: %b@."
+    (Ucq.equivalent r_seq.Rewriting.Rewrite.ucq r_par.Rewriting.Rewrite.ucq)
+
+(* ------------------------------------------------------------------ *)
 (* perf — bechamel micro-benchmarks                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -693,15 +767,30 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("perf", perf);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("par", par); ("perf", perf);
   ]
 
 let () =
-  let requested =
+  (* Strip a -j N pair (or FRONTIER_JOBS) before experiment selection. *)
+  let rec split_jobs acc = function
+    | [] -> (List.rev acc, None)
+    | "-j" :: n :: rest ->
+        let ids, _ = split_jobs acc rest in
+        (ids, int_of_string_opt n)
+    | arg :: rest -> split_jobs (arg :: acc) rest
+  in
+  let args, jobs_flag =
     match Array.to_list Sys.argv with
-    | _ :: [] | _ :: "all" :: _ -> List.map fst experiments
-    | _ :: args -> args
-    | [] -> List.map fst experiments
+    | _ :: args -> split_jobs [] args
+    | [] -> ([], None)
+  in
+  (match jobs_flag with
+  | Some j -> Parallel.Pool.set_default_jobs j
+  | None -> Parallel.Pool.set_default_jobs (Parallel.Pool.jobs_from_env ()));
+  let requested =
+    match args with
+    | [] | "all" :: _ -> List.map fst experiments
+    | ids -> ids
   in
   Fmt.pr "frontier benchmark harness — paper experiment reproduction@.";
   let t0 = Unix.gettimeofday () in

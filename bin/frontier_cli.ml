@@ -42,6 +42,21 @@ let atoms_arg =
   let doc = "Maximum number of chase atoms." in
   Arg.(value & opt int 200_000 & info [ "max-atoms" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of OCaml domains for the parallel chase stages and rewriting \
+     saturation (1 = sequential). Results are identical for every value."
+  in
+  let env = Cmd.Env.info "FRONTIER_JOBS" in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~env ~doc)
+
+let with_pool jobs f =
+  if jobs > 1 then (
+    let pool = Frontier.Pool.create jobs in
+    Fun.protect ~finally:(fun () -> Frontier.Pool.shutdown pool) (fun () ->
+        f pool))
+  else f Frontier.Pool.sequential
+
 let parse_theory s = Frontier.Parse.theory (read_source s)
 let parse_instance s = Frontier.Parse.instance (read_source s)
 let parse_query s = Frontier.Parse.query (read_source s)
@@ -58,15 +73,18 @@ let handle f =
 (* ------------------------------------------------------------------ *)
 
 let chase_cmd =
-  let run theory instance depth max_atoms verbose variant dot_file =
+  let run theory instance depth max_atoms verbose variant dot_file jobs stats
+      =
     handle (fun () ->
+        with_pool jobs (fun pool ->
         let t = parse_theory theory in
         let d = parse_instance instance in
         let result_facts =
           match variant with
           | "semi-oblivious" ->
               let run =
-                Frontier.Chase_engine.run ~max_depth:depth ~max_atoms t d
+                Frontier.Chase_engine.run ~pool ~max_depth:depth ~max_atoms t
+                  d
               in
               Fmt.pr "chase: %d stages%s%s@."
                 (Frontier.Chase_engine.depth run)
@@ -80,10 +98,20 @@ let chase_cmd =
                   (Frontier.Fact_set.cardinal
                      (Frontier.Chase_engine.stage run i))
               done;
+              if stats then
+                Array.iteri
+                  (fun i (s : Frontier.Chase_engine.stage_stats) ->
+                    Fmt.pr
+                      "stage %d work: %d triggers, %d derived (%d fresh), \
+                       %.4fs wall, domain busy [%a]@."
+                      (i + 1) s.triggers s.produced s.fresh_atoms s.wall_s
+                      Fmt.(array ~sep:sp (fmt "%.4f"))
+                      s.domain_busy_s)
+                  (Frontier.Chase_engine.stage_stats run);
               Frontier.Chase_engine.result run
           | "oblivious" ->
               let r =
-                Frontier.Chase_variants.run_oblivious ~max_depth:depth
+                Frontier.Chase_variants.run_oblivious ~pool ~max_depth:depth
                   ~max_atoms t d
               in
               Fmt.pr "oblivious chase: %d stages%s, %d atoms@."
@@ -118,7 +146,7 @@ let chase_cmd =
             close_out oc;
             Fmt.pr "dot graph written to %s@." path
         | None -> ());
-        if verbose then Fmt.pr "%a@." Frontier.Fact_set.pp result_facts)
+        if verbose then Fmt.pr "%a@." Frontier.Fact_set.pp result_facts))
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print all atoms.")
@@ -136,15 +164,24 @@ let chase_cmd =
       & opt (some string) None
       & info [ "dot" ] ~doc:"Write the result as a GraphViz dot file.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print per-stage work counters (triggers, derived atoms, wall \
+             time, per-domain busy time).")
+  in
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the chase (semi-oblivious by default)")
     Term.(
       const run $ theory_arg $ instance_arg $ depth_arg $ atoms_arg $ verbose
-      $ variant $ dot_file)
+      $ variant $ dot_file $ jobs_arg $ stats)
 
 let rewrite_cmd =
-  let run theory query steps disjuncts =
+  let run theory query steps disjuncts jobs =
     handle (fun () ->
+        with_pool jobs (fun pool ->
         let t = parse_theory theory in
         let q = parse_query query in
         let budget =
@@ -154,7 +191,7 @@ let rewrite_cmd =
             max_disjuncts = disjuncts;
           }
         in
-        let r = Frontier.rewrite ~budget t q in
+        let r = Frontier.rewrite ~pool ~budget t q in
         (match r.Frontier.Rewrite.outcome with
         | Frontier.Rewrite.Complete -> Fmt.pr "rewriting complete:@."
         | Frontier.Rewrite.Step_budget -> Fmt.pr "step budget exhausted; partial:@."
@@ -163,9 +200,13 @@ let rewrite_cmd =
         | Frontier.Rewrite.Size_budget ->
             Fmt.pr "disjunct size budget exhausted; partial:@.");
         Fmt.pr "%a@." Frontier.Ucq.pp r.Frontier.Rewrite.ucq;
-        Fmt.pr "disjuncts: %d, max size: %d@."
+        Fmt.pr
+          "disjuncts: %d, max size: %d, steps: %d, generated: %d, \
+           containment checks: %d@."
           (Frontier.Ucq.cardinal r.Frontier.Rewrite.ucq)
-          (Frontier.Ucq.max_disjunct_size r.Frontier.Rewrite.ucq))
+          (Frontier.Ucq.max_disjunct_size r.Frontier.Rewrite.ucq)
+          r.Frontier.Rewrite.steps r.Frontier.Rewrite.generated
+          r.Frontier.Rewrite.containment_checks))
   in
   let steps =
     Arg.(value & opt int 5_000 & info [ "steps" ] ~doc:"Rewriting step budget.")
@@ -175,16 +216,17 @@ let rewrite_cmd =
   in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Compute the UCQ rewriting of a query")
-    Term.(const run $ theory_arg $ query_arg $ steps $ disjuncts)
+    Term.(const run $ theory_arg $ query_arg $ steps $ disjuncts $ jobs_arg)
 
 let answer_cmd =
-  let run theory instance query depth max_atoms =
+  let run theory instance query depth max_atoms jobs =
     handle (fun () ->
+        with_pool jobs (fun pool ->
         let t = parse_theory theory in
         let d = parse_instance instance in
         let q = parse_query query in
         let answers =
-          Frontier.certain_answers ~max_depth:depth ~max_atoms t d q
+          Frontier.certain_answers ~pool ~max_depth:depth ~max_atoms t d q
         in
         Fmt.pr "via chase (%d answers):@." (List.length answers);
         List.iter
@@ -193,18 +235,20 @@ let answer_cmd =
               (Fmt.list ~sep:(Fmt.any ", ") Frontier.Term.pp)
               tuple)
           answers;
-        match Frontier.answer_via_rewriting t d q with
+        match Frontier.answer_via_rewriting ~pool t d q with
         | Some answers' ->
             Fmt.pr "via rewriting (%d answers): %s@." (List.length answers')
               (if
                  List.sort compare answers' = List.sort compare answers
                then "agrees with the chase"
                else "DISAGREES with the chase")
-        | None -> Fmt.pr "via rewriting: did not complete within budget@.")
+        | None -> Fmt.pr "via rewriting: did not complete within budget@."))
   in
   Cmd.v
     (Cmd.info "answer" ~doc:"Certain answers via chase and rewriting")
-    Term.(const run $ theory_arg $ instance_arg $ query_arg $ depth_arg $ atoms_arg)
+    Term.(
+      const run $ theory_arg $ instance_arg $ query_arg $ depth_arg
+      $ atoms_arg $ jobs_arg)
 
 let explain_cmd =
   let run theory instance query tuple depth max_atoms =

@@ -39,9 +39,9 @@ type core_result = { c : int; model : Fact_set.t; core : Fact_set.t }
 
 exception Found_model of Fact_set.t
 
-let core_of_chase ?(max_c = 20) ?(lookahead = 6) ?(max_atoms = 100_000)
+let core_of_chase ?pool ?(max_c = 20) ?(lookahead = 6) ?(max_atoms = 100_000)
     ?(max_homs = 5_000) theory d =
-  let run = Engine.run ~max_depth:(max_c + lookahead) ~max_atoms theory d in
+  let run = Engine.run ?pool ~max_depth:(max_c + lookahead) ~max_atoms theory d in
   let keep = Fact_set.domain d in
   let deepest = Engine.result run in
   let deepest_is_everything = Engine.saturated run in

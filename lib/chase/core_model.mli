@@ -27,6 +27,7 @@ type core_result = {
 }
 
 val core_of_chase :
+  ?pool:Parallel.Pool.t ->
   ?max_c:int -> ?lookahead:int -> ?max_atoms:int -> ?max_homs:int ->
   Theory.t -> Fact_set.t -> core_result option
 (** Searches [n = 0, 1, ...] for the first chase stage containing a model of

@@ -1,5 +1,13 @@
 open Logic
 
+type stage_stats = {
+  triggers : int;
+  produced : int;
+  fresh_atoms : int;
+  wall_s : float;
+  domain_busy_s : float array;
+}
+
 type run = {
   theory : Theory.t;
   initial : Fact_set.t;
@@ -8,35 +16,52 @@ type run = {
   hit_atom_budget : bool;
   info : (int * (Tgd.t * Homomorphism.mapping) list) Atom.Map.t;
       (* derived atoms: first stage, creating applications *)
+  stats : stage_stats array;
 }
 
-(* Enumerate the triggers of [rule] that use at least one "new" ingredient:
-   a body atom in [delta], or a domain-variable binding to a new domain
-   element. The partition (first delta body atom / first new domain
-   element) makes the enumeration exact, without duplicates. *)
-let seminaive_triggers rule ~old_facts ~delta ~full ~old_dom_list ~new_dom_list
-    ~full_dom_list f =
+(* The semi-naive trigger enumeration of a rule splits into independent
+   rounds: one per body-atom position seeded by a delta fact, one per
+   domain-variable position seeded by a new domain element, plus the
+   one-shot firing of fully ground rules. Each round is a self-contained
+   homomorphism search over read-only fact sets, which is exactly the unit
+   of work the parallel engine distributes across domains. *)
+type part = Delta_seed of int | Dom_seed of int | Ground
+
+let rule_parts rule ~old_is_empty =
+  let m = List.length (Tgd.body rule) in
+  let d = List.length (Tgd.dom_vars rule) in
+  let delta_parts = List.init m (fun k -> Delta_seed k) in
+  if d > 0 then delta_parts @ List.init d (fun i -> Dom_seed i)
+  else if m = 0 && old_is_empty then
+    (* A fully ground rule like (loop): fires exactly once, at stage 1. *)
+    delta_parts @ [ Ground ]
+  else delta_parts
+
+(* Enumerate one round of the triggers of [rule] that use at least one
+   "new" ingredient: a body atom in [delta], or a domain-variable binding
+   to a new domain element. The partition (first delta body atom / first
+   new domain element) makes the enumeration exact, without duplicates. *)
+let part_triggers rule part ~old_facts ~delta ~full ~old_dom_list
+    ~new_dom_list ~full_dom_list f =
   let body = Array.of_list (Tgd.body rule) in
   let m = Array.length body in
   let dom_vars = Tgd.dom_vars rule in
   let flexible = Term.Set.of_list (Tgd.body_vars rule) in
-  (* Rounds seeded by a delta body atom. *)
-  for k = 0 to m - 1 do
-    let pattern =
-      List.init m (fun j ->
-          let target =
-            if j = k then delta else if j < k then old_facts else full
-          in
-          (body.(j), target))
-    in
-    let domain_bindings = List.map (fun v -> (v, full_dom_list)) dom_vars in
-    Homomorphism.iter_multi ~flexible ~pattern ~domain_bindings f
-  done;
-  (* Rounds seeded by a new domain element (body entirely old). *)
-  if dom_vars <> [] then begin
-    let d = List.length dom_vars in
-    let pattern = Array.to_list (Array.map (fun a -> (a, old_facts)) body) in
-    for i = 0 to d - 1 do
+  match part with
+  | Delta_seed k ->
+      let pattern =
+        List.init m (fun j ->
+            let target =
+              if j = k then delta else if j < k then old_facts else full
+            in
+            (body.(j), target))
+      in
+      let domain_bindings = List.map (fun v -> (v, full_dom_list)) dom_vars in
+      Homomorphism.iter_multi ~flexible ~pattern ~domain_bindings f
+  | Dom_seed i ->
+      let pattern =
+        Array.to_list (Array.map (fun a -> (a, old_facts)) body)
+      in
       let domain_bindings =
         List.mapi
           (fun j v ->
@@ -49,13 +74,10 @@ let seminaive_triggers rule ~old_facts ~delta ~full ~old_dom_list ~new_dom_list
           dom_vars
       in
       Homomorphism.iter_multi ~flexible ~pattern ~domain_bindings f
-    done
-  end
-  else if m = 0 && Fact_set.is_empty old_facts then
-    (* A fully ground rule like (loop): fires exactly once, at stage 1. *)
-    f Term.Map.empty
+  | Ground -> f Term.Map.empty
 
-let run ?(max_depth = 50) ?(max_atoms = 200_000) theory initial =
+let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
+    ?(max_atoms = 200_000) theory initial =
   let stages = ref [ initial ] in
   let info = ref Atom.Map.empty in
   let full = ref initial in
@@ -65,25 +87,59 @@ let run ?(max_depth = 50) ?(max_atoms = 200_000) theory initial =
   let saturated = ref false in
   let hit_budget = ref false in
   let stage_index = ref 0 in
+  let stats = ref [] in
   while
     (not !saturated) && (not !hit_budget) && !stage_index < max_depth
   do
     incr stage_index;
+    let stage_t0 = Unix.gettimeofday () in
+    let busy0 = Parallel.Pool.busy_times pool in
+    (* Force the lazy indexes of the shared fact sets *before* fanning out:
+       workers only ever read them. *)
+    ignore (Fact_set.domain !old_facts);
+    ignore (Fact_set.domain !delta);
     let full_dom = Fact_set.domain !full in
     let new_dom = Term.Set.diff full_dom !old_dom in
     let old_dom_list = Term.Set.elements !old_dom in
     let new_dom_list = Term.Set.elements new_dom in
     let full_dom_list = Term.Set.elements full_dom in
-    let produced = ref [] in
-    List.iter
-      (fun rule ->
-        seminaive_triggers rule ~old_facts:!old_facts ~delta:!delta
-          ~full:!full ~old_dom_list ~new_dom_list ~full_dom_list
-          (fun sigma ->
-            List.iter
-              (fun atom -> produced := (atom, rule, sigma) :: !produced)
-              (Tgd.apply rule sigma)))
-      (Theory.rules theory);
+    (* One task per (rule, semi-naive round), in rule-major order. Each
+       task accumulates its productions locally (newest first, like the
+       sequential engine); the deterministic slot-ordered merge below
+       rebuilds the exact production list the sequential engine computes,
+       so stages, saturation flags and provenance are independent of the
+       domain count. *)
+    let old_is_empty = Fact_set.is_empty !old_facts in
+    let tasks =
+      Array.of_list
+        (List.concat_map
+           (fun rule ->
+             List.map (fun part -> (rule, part))
+               (rule_parts rule ~old_is_empty))
+           (Theory.rules theory))
+    in
+    let locals =
+      Parallel.Pool.map_array pool
+        (fun (rule, part) ->
+          let local = ref [] in
+          let triggers = ref 0 in
+          part_triggers rule part ~old_facts:!old_facts ~delta:!delta
+            ~full:!full ~old_dom_list ~new_dom_list ~full_dom_list
+            (fun sigma ->
+              incr triggers;
+              List.iter
+                (fun atom -> local := (atom, rule, sigma) :: !local)
+                (Tgd.apply rule sigma));
+          (!local, !triggers))
+        tasks
+    in
+    let produced =
+      Array.fold_left (fun acc (local, _) -> local @ acc) [] locals
+    in
+    let triggers =
+      Array.fold_left (fun acc (_, t) -> acc + t) 0 locals
+    in
+    let produced = ref produced in
     (* Partition into genuinely new atoms and rediscoveries; record all
        derivations either way. *)
     let new_atoms = ref Atom.Set.empty in
@@ -112,6 +168,17 @@ let run ?(max_depth = 50) ?(max_atoms = 200_000) theory initial =
       Atom.Set.filter (fun a -> not (Fact_set.mem a !full)) !new_atoms
     in
     let delta' = Fact_set.of_set truly_new in
+    let busy1 = Parallel.Pool.busy_times pool in
+    stats :=
+      {
+        triggers;
+        produced = List.length !produced;
+        fresh_atoms = Fact_set.cardinal delta';
+        wall_s = Unix.gettimeofday () -. stage_t0;
+        domain_busy_s =
+          Array.init (Array.length busy1) (fun i -> busy1.(i) -. busy0.(i));
+      }
+      :: !stats;
     old_facts := !full;
     old_dom := full_dom;
     full := Fact_set.union !full delta';
@@ -122,6 +189,9 @@ let run ?(max_depth = 50) ?(max_atoms = 200_000) theory initial =
       (* Drop the stabilized duplicate stage. *)
       stages := List.tl !stages;
       decr stage_index
+      (* The stats entry of the fixpoint-confirming sweep is kept: the
+         sweep did real trigger-enumeration work even though it derived
+         nothing. *)
     end
     else if Fact_set.cardinal !full > max_atoms then hit_budget := true
   done;
@@ -136,10 +206,12 @@ let run ?(max_depth = 50) ?(max_atoms = 200_000) theory initial =
     saturated = !saturated;
     hit_atom_budget = !hit_budget;
     info = !info;
+    stats = Array.of_list (List.rev !stats);
   }
 
 let theory r = r.theory
 let initial r = r.initial
+let stage_stats r = r.stats
 let depth r = Array.length r.stages - 1
 let saturated r = r.saturated
 let hit_atom_budget r = r.hit_atom_budget

@@ -14,8 +14,31 @@ open Logic
 
 type run
 
-val run : ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> run
-(** Defaults: [max_depth = 50], [max_atoms = 200_000]. *)
+type stage_stats = {
+  triggers : int;  (** trigger homomorphisms enumerated during the sweep *)
+  produced : int;  (** atom productions, rediscoveries included *)
+  fresh_atoms : int;  (** genuinely new atoms (the stage's delta) *)
+  wall_s : float;  (** wall-clock seconds for the sweep + merge *)
+  domain_busy_s : float array;
+      (** per-domain busy seconds inside the sweep (index 0 = caller) *)
+}
+
+val run :
+  ?pool:Parallel.Pool.t ->
+  ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> run
+(** Defaults: [max_depth = 50], [max_atoms = 200_000], [pool] sequential.
+
+    With a pool of [N > 1] domains, each stage's semi-naive trigger
+    enumeration is partitioned by (rule x delta-seed position) across the
+    domains and the per-task results are merged at the stage barrier in
+    task order — the exact production order of the sequential engine — so
+    stages, saturation and budget flags, and recorded provenance are
+    identical whatever [N] is. *)
+
+val stage_stats : run -> stage_stats array
+(** One entry per executed sweep, in stage order. When the run saturated,
+    the final entry is the fixpoint-confirming sweep (which derived
+    nothing), so the array has [depth r + 1] entries; otherwise [depth r]. *)
 
 val theory : run -> Theory.t
 val initial : run -> Fact_set.t

@@ -1,19 +1,19 @@
 type verdict = Holds of int | Fails | Budget_exhausted
 
-let core_terminates_on ?max_c ?lookahead ?max_atoms theory d =
-  match Core_model.core_of_chase ?max_c ?lookahead ?max_atoms theory d with
+let core_terminates_on ?pool ?max_c ?lookahead ?max_atoms theory d =
+  match Core_model.core_of_chase ?pool ?max_c ?lookahead ?max_atoms theory d with
   | Some { Core_model.c; _ } -> Holds c
   | None -> Budget_exhausted
 
-let all_instances_terminates_on ?max_depth ?max_atoms theory d =
-  let run = Engine.run ?max_depth ?max_atoms theory d in
+let all_instances_terminates_on ?pool ?max_depth ?max_atoms theory d =
+  let run = Engine.run ?pool ?max_depth ?max_atoms theory d in
   if Engine.saturated run then Holds (Engine.depth run) else Budget_exhausted
 
-let uniform_bound_on ?max_c ?lookahead ?max_atoms theory instances =
+let uniform_bound_on ?pool ?max_c ?lookahead ?max_atoms theory instances =
   let per_instance =
     List.filter_map
       (fun d ->
-        match core_terminates_on ?max_c ?lookahead ?max_atoms theory d with
+        match core_terminates_on ?pool ?max_c ?lookahead ?max_atoms theory d with
         | Holds c -> Some (d, c)
         | Fails | Budget_exhausted -> None)
       instances

@@ -8,6 +8,7 @@ open Logic
 type verdict = Holds of int | Fails | Budget_exhausted
 
 val core_terminates_on :
+  ?pool:Parallel.Pool.t ->
   ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
   Theory.t -> Fact_set.t -> verdict
 (** [Holds c]: stage [c] of the chase on this instance contains a model
@@ -16,10 +17,12 @@ val core_terminates_on :
     budget exhaustion is the negative signal. *)
 
 val all_instances_terminates_on :
+  ?pool:Parallel.Pool.t ->
   ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> verdict
 (** [Holds n]: the chase saturates at stage [n] on this instance. *)
 
 val uniform_bound_on :
+  ?pool:Parallel.Pool.t ->
   ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
   Theory.t -> Fact_set.t list -> (int option * (Fact_set.t * int) list)
 (** For each instance, [c_{T,D}]; the first component is the maximum when

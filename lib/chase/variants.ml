@@ -22,28 +22,40 @@ let oblivious_apply ~rule_index rule sigma =
   in
   List.map (Atom.subst subst) (Tgd.head rule)
 
-let run_oblivious ?(max_depth = 20) ?(max_atoms = 100_000) theory d =
+let run_oblivious ?(pool = Parallel.Pool.sequential) ?(max_depth = 20)
+    ?(max_atoms = 100_000) theory d =
   let facts = ref d in
   let steps = ref 0 in
   let saturated = ref false in
   let budget_ok () = Fact_set.cardinal !facts <= max_atoms in
+  let rules = Array.of_list (Theory.rules theory) in
   while (not !saturated) && !steps < max_depth && budget_ok () do
     incr steps;
-    let additions = ref Atom.Set.empty in
-    List.iteri
-      (fun rule_index rule ->
-        Tgd.triggers rule !facts (fun sigma ->
-            List.iter
-              (fun atom ->
-                if not (Fact_set.mem atom !facts) then
-                  additions := Atom.Set.add atom !additions)
-              (oblivious_apply ~rule_index rule sigma)))
-      (Theory.rules theory);
-    if Atom.Set.is_empty !additions then begin
+    (* Publish the index before the fan-out; workers only read [!facts].
+       The per-rule addition sets are merged in rule order (set union is
+       order-insensitive anyway, so the result is trivially deterministic). *)
+    ignore (Fact_set.domain !facts);
+    let per_rule =
+      Parallel.Pool.map_array pool
+        (fun (rule_index, rule) ->
+          let local = ref Atom.Set.empty in
+          Tgd.triggers rule !facts (fun sigma ->
+              List.iter
+                (fun atom ->
+                  if not (Fact_set.mem atom !facts) then
+                    local := Atom.Set.add atom !local)
+                (oblivious_apply ~rule_index rule sigma));
+          !local)
+        (Array.mapi (fun i r -> (i, r)) rules)
+    in
+    let additions =
+      Array.fold_left Atom.Set.union Atom.Set.empty per_rule
+    in
+    if Atom.Set.is_empty additions then begin
       saturated := true;
       decr steps
     end
-    else facts := Fact_set.union !facts (Fact_set.of_set !additions)
+    else facts := Fact_set.union !facts (Fact_set.of_set additions)
   done;
   { facts = !facts; steps = !steps; saturated = !saturated }
 
@@ -51,7 +63,7 @@ let run_oblivious ?(max_depth = 20) ?(max_atoms = 100_000) theory d =
 (* Core chase                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_core ?(max_rounds = 20) ?(max_atoms = 100_000) theory d =
+let run_core ?pool ?(max_rounds = 20) ?(max_atoms = 100_000) theory d =
   let keep = Fact_set.domain d in
   let current = ref d in
   let rounds = ref 0 in
@@ -64,7 +76,7 @@ let run_core ?(max_rounds = 20) ?(max_atoms = 100_000) theory d =
     if Theory.satisfied_in theory !current then saturated := true
     else begin
       incr rounds;
-      let step = Engine.run ~max_depth:1 ~max_atoms theory !current in
+      let step = Engine.run ?pool ~max_depth:1 ~max_atoms theory !current in
       current := Core_model.core_of ~keep (Engine.result step)
     end
   done;
@@ -74,11 +86,10 @@ let run_core ?(max_rounds = 20) ?(max_atoms = 100_000) theory d =
 (* Restricted (standard) chase                                         *)
 (* ------------------------------------------------------------------ *)
 
-let null_counter = ref 0
+let null_counter = Atomic.make 0
 
 let fresh_null () =
-  incr null_counter;
-  Term.const (Printf.sprintf "_null%d" !null_counter)
+  Term.const (Printf.sprintf "_null%d" (1 + Atomic.fetch_and_add null_counter 1))
 
 let restricted_apply rule sigma =
   let subst =

@@ -23,11 +23,15 @@ type result = {
 }
 
 val run_oblivious :
+  ?pool:Parallel.Pool.t ->
   ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> result
 (** Parallel stages like {!Engine.run}, but with oblivious Skolemization
-    (per-rule function symbols over all body variables). *)
+    (per-rule function symbols over all body variables). With a pool, the
+    per-stage trigger enumeration fans out one task per rule; the additions
+    are merged as a set union, so the result is domain-count independent. *)
 
 val run_core :
+  ?pool:Parallel.Pool.t ->
   ?max_rounds:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> result
 (** The core chase of Deutsch-Nash-Remmel (the paper's reference [1]): one
     parallel semi-oblivious step, then fold the result to its core keeping

@@ -42,6 +42,7 @@ module Transform = Theories.Transform
 module Generators = Theories.Generators
 
 module Reasoner = Reasoner
+module Pool = Parallel.Pool
 
 module Parse = struct
   exception Error of string
@@ -55,8 +56,8 @@ module Parse = struct
   let rule input = wrap Logic.Parser.parse_rule input
 end
 
-let certain_answers ?max_depth ?max_atoms theory d q =
-  let run = Chase.Engine.run ?max_depth ?max_atoms theory d in
+let certain_answers ?pool ?max_depth ?max_atoms theory d q =
+  let run = Chase.Engine.run ?pool ?max_depth ?max_atoms theory d in
   let dom = Fact_set.domain d in
   List.filter
     (fun tuple -> List.for_all (fun t -> Term.Set.mem t dom) tuple)
@@ -67,10 +68,11 @@ let certain ?max_depth ?max_atoms theory d q tuple =
   | Chase.Entailment.Entailed _ -> true
   | Chase.Entailment.Not_entailed | Chase.Entailment.Unknown -> false
 
-let rewrite ?budget theory q = Rewriting.Rewrite.rewrite ?budget theory q
+let rewrite ?pool ?budget theory q =
+  Rewriting.Rewrite.rewrite ?pool ?budget theory q
 
-let answer_via_rewriting ?budget theory d q =
-  let r = Rewriting.Rewrite.rewrite ?budget theory q in
+let answer_via_rewriting ?pool ?budget theory d q =
+  let r = Rewriting.Rewrite.rewrite ?pool ?budget theory q in
   match r.Rewriting.Rewrite.outcome with
   | Rewriting.Rewrite.Complete ->
       let module Tuple_set = Set.Make (struct

@@ -74,6 +74,12 @@ module Generators = Theories.Generators
 
 module Reasoner = Reasoner
 
+module Pool = Parallel.Pool
+(** Work-stealing domain pool; pass one to the [?pool] entry points below
+    (and to {!Chase_engine.run}, {!Rewrite.rewrite}, ...) to fan the chase
+    stages and rewriting saturation out over OCaml 5 domains. Results are
+    independent of the domain count. *)
+
 (** {1 Parsing} *)
 
 module Parse : sig
@@ -88,6 +94,7 @@ end
 (** {1 High-level pipelines} *)
 
 val certain_answers :
+  ?pool:Parallel.Pool.t ->
   ?max_depth:int -> ?max_atoms:int ->
   Logic.Theory.t -> Logic.Fact_set.t -> Logic.Cq.t ->
   Logic.Term.t list list
@@ -101,11 +108,13 @@ val certain :
 (** [T, D |= q(tuple)]? *)
 
 val rewrite :
+  ?pool:Parallel.Pool.t ->
   ?budget:Rewriting.Rewrite.budget ->
   Logic.Theory.t -> Logic.Cq.t -> Rewriting.Rewrite.result
 (** The UCQ rewriting of the query (Theorem 1), by saturation. *)
 
 val answer_via_rewriting :
+  ?pool:Parallel.Pool.t ->
   ?budget:Rewriting.Rewrite.budget ->
   Logic.Theory.t -> Logic.Fact_set.t -> Logic.Cq.t ->
   Logic.Term.t list list option

@@ -1,10 +1,11 @@
 type t = { free : Term.t list; atoms : Atom.t list }
 
-let gensym = ref 0
+(* Atomic: fresh variables are minted from worker domains during parallel
+   rewriting saturation. *)
+let gensym = Atomic.make 0
 
 let fresh_var ?(prefix = "v") () =
-  incr gensym;
-  Term.var (Printf.sprintf "%s#%d" prefix !gensym)
+  Term.var (Printf.sprintf "%s#%d" prefix (1 + Atomic.fetch_and_add gensym 1))
 
 let dedup_terms l =
   let _, rev =

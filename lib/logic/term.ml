@@ -6,20 +6,26 @@ and view =
   | App of { fn : string; args : t list }
 
 (* Hash-consing: one global table keyed by a structural key in which
-   subterms are represented by their ids. *)
+   subterms are represented by their ids. The table is shared by every
+   domain (the chase derives Skolem terms from worker domains), so all
+   access goes through one mutex; uncontended, the lock costs a few tens
+   of nanoseconds per term construction, and term *comparison* — the hot
+   operation — never touches it. *)
 type key = KConst of string | KVar of string | KApp of string * int list
 
 let table : (key, t) Hashtbl.t = Hashtbl.create 4096
 let counter = ref 0
+let table_lock = Mutex.create ()
 
 let intern key view =
-  match Hashtbl.find_opt table key with
-  | Some t -> t
-  | None ->
-      incr counter;
-      let t = { id = !counter; view } in
-      Hashtbl.add table key t;
-      t
+  Mutex.protect table_lock (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some t -> t
+      | None ->
+          incr counter;
+          let t = { id = !counter; view } in
+          Hashtbl.add table key t;
+          t)
 
 let const name = intern (KConst name) (Const name)
 let var name = intern (KVar name) (Var name)
@@ -40,9 +46,16 @@ let is_functional t =
 module Int_map = Map.Make (Int)
 
 let depth_cache : (int, int) Hashtbl.t = Hashtbl.create 1024
+let depth_lock = Mutex.create ()
 
+(* The memo table is consulted and updated under a lock, but the recursive
+   computation runs outside it: two domains may race to compute the same
+   depth, which is harmless (they agree), while the table itself stays
+   uncorrupted. *)
 let rec depth t =
-  match Hashtbl.find_opt depth_cache t.id with
+  match
+    Mutex.protect depth_lock (fun () -> Hashtbl.find_opt depth_cache t.id)
+  with
   | Some d -> d
   | None ->
       let d =
@@ -51,7 +64,8 @@ let rec depth t =
         | App { args; _ } ->
             1 + List.fold_left (fun acc a -> max acc (depth a)) 0 args
       in
-      Hashtbl.add depth_cache t.id d;
+      Mutex.protect depth_lock (fun () ->
+          Hashtbl.replace depth_cache t.id d);
       d
 
 let dag_size t =

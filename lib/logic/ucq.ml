@@ -19,6 +19,11 @@ let add_minimal u q =
 let of_list qs =
   List.fold_left (fun u q -> fst (add_minimal u q)) empty qs
 
+let of_disjuncts_unchecked disjuncts = { disjuncts }
+
+let equivalent a b =
+  List.for_all (covers b) a.disjuncts && List.for_all (covers a) b.disjuncts
+
 let union a b = List.fold_left (fun u q -> fst (add_minimal u q)) a b.disjuncts
 
 let max_disjunct_size u =

@@ -23,6 +23,17 @@ val add_minimal : t -> Cq.t -> t * [ `Added | `Subsumed ]
 val covers : t -> Cq.t -> bool
 (** Is the disjunct redundant w.r.t. the union (covered by some element)? *)
 
+val of_disjuncts_unchecked : Cq.t list -> t
+(** Wrap an already-minimal disjunct list without re-running the quadratic
+    minimization. The caller vouches for minimality (used by the parallel
+    rewriting saturation, which performs its own containment pruning). *)
+
+val equivalent : t -> t -> bool
+(** Mutual containment of the unions: every disjunct of each side is
+    covered by some disjunct of the other. This is semantic UCQ
+    equivalence, the right notion for comparing rewritings produced by
+    different saturation orders. *)
+
 val holds : t -> Fact_set.t -> Term.t list -> bool
 val boolean_holds : t -> Fact_set.t -> bool
 val union : t -> t -> t

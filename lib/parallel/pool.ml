@@ -1,0 +1,214 @@
+(* A persistent pool of worker domains fed through a single shared job
+   cell. A job is an array of tasks; workers (and the coordinator) claim
+   indices with [Atomic.fetch_and_add], so load balancing is automatic:
+   a domain that finishes its task immediately steals the next undone
+   index. Results live in per-index slots, which fixes the merge order
+   once and for all — the caller's task order — independently of
+   scheduling. *)
+
+type job = {
+  run : int -> unit;  (* run task [i]; must not raise *)
+  n : int;
+  next : int Atomic.t;
+  mutable completed : int;  (* tasks finished; protected by the pool mutex *)
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* workers: a new job was posted *)
+  finished : Condition.t;  (* coordinator: all tasks of the job are done *)
+  mutable job : job option;
+  mutable generation : int;  (* bumped per job; workers join each job once *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  busy : float array;  (* cumulative busy seconds per worker *)
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Claim and run tasks until the job is drained, then report how many this
+   worker completed. The completion count (not a per-worker barrier) is
+   what the coordinator waits on, so it never matters which workers ever
+   woke up for a given job. *)
+let drain pool job worker =
+  let t0 = now () in
+  let rec loop done_count =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      job.run i;
+      loop (done_count + 1)
+    end
+    else done_count
+  in
+  let did = loop 0 in
+  let dt = now () -. t0 in
+  Mutex.lock pool.mutex;
+  pool.busy.(worker) <- pool.busy.(worker) +. dt;
+  job.completed <- job.completed + did;
+  if job.completed = job.n then Condition.broadcast pool.finished;
+  Mutex.unlock pool.mutex
+
+let worker_loop pool worker =
+  let last_generation = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while
+      (not pool.stop)
+      && (pool.job = None || pool.generation = !last_generation)
+    do
+      Condition.wait pool.work pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      let job = Option.get pool.job in
+      last_generation := pool.generation;
+      Mutex.unlock pool.mutex;
+      drain pool job worker
+    end
+  done
+
+let make_pool size =
+  {
+    size;
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    job = None;
+    generation = 0;
+    stop = false;
+    domains = [];
+    busy = Array.make size 0.;
+  }
+
+let sequential = make_pool 1
+
+let create requested =
+  let size = max 1 requested in
+  let pool = make_pool size in
+  pool.domains <-
+    List.init (size - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop pool (k + 1)));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let map_array (type a b) pool (f : a -> b) (tasks : a array) : b array =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else if pool.size = 1 || n = 1 then begin
+    let t0 = now () in
+    let results = Array.map f tasks in
+    pool.busy.(0) <- pool.busy.(0) +. (now () -. t0);
+    results
+  end
+  else begin
+    let results : b option array = Array.make n None in
+    let error = Atomic.make None in
+    let run i =
+      match f tasks.(i) with
+      | r -> results.(i) <- Some r
+      | exception e ->
+          ignore (Atomic.compare_and_set error None (Some e))
+    in
+    let job = { run; n; next = Atomic.make 0; completed = 0 } in
+    Mutex.lock pool.mutex;
+    pool.job <- Some job;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    (* The coordinator is worker 0: it drains alongside the domains. *)
+    drain pool job 0;
+    Mutex.lock pool.mutex;
+    while job.completed < job.n do
+      Condition.wait pool.finished pool.mutex
+    done;
+    pool.job <- None;
+    Mutex.unlock pool.mutex;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map_list pool f l = Array.to_list (map_array pool f (Array.of_list l))
+
+let exists pool pred tasks =
+  if pool.size = 1 || Array.length tasks < 2 then Array.exists pred tasks
+  else begin
+    let found = Atomic.make false in
+    ignore
+      (map_array pool
+         (fun x ->
+           if (not (Atomic.get found)) && pred x then Atomic.set found true)
+         tasks);
+    Atomic.get found
+  end
+
+let filter_list pool pred l =
+  if pool.size = 1 then List.filter pred l
+  else
+    let arr = Array.of_list l in
+    let keep = map_array pool pred arr in
+    let out = ref [] in
+    for i = Array.length arr - 1 downto 0 do
+      if keep.(i) then out := arr.(i) :: !out
+    done;
+    !out
+
+let busy_times pool =
+  Mutex.lock pool.mutex;
+  let copy = Array.copy pool.busy in
+  Mutex.unlock pool.mutex;
+  copy
+
+let reset_busy pool =
+  Mutex.lock pool.mutex;
+  Array.fill pool.busy 0 (Array.length pool.busy) 0.;
+  Mutex.unlock pool.mutex
+
+(* ------------------------------------------------------------------ *)
+(* Default pool plumbing (-j N / FRONTIER_JOBS)                        *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_from_env () =
+  match Sys.getenv_opt "FRONTIER_JOBS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+
+let default_size = ref None
+let default_pool = ref None
+
+let default_jobs () =
+  match !default_size with
+  | Some n -> n
+  | None ->
+      let n = jobs_from_env () in
+      default_size := Some n;
+      n
+
+let set_default_jobs n =
+  let n = max 1 n in
+  (match !default_pool with Some p -> shutdown p | None -> ());
+  default_pool := None;
+  default_size := Some n
+
+let get_default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create (default_jobs ()) in
+      default_pool := Some p;
+      p

@@ -1,0 +1,76 @@
+(** A work-sharing pool of OCaml 5 domains.
+
+    The pool executes arrays of independent tasks: workers claim task
+    indices from a shared atomic counter (a degenerate work-stealing deque —
+    every idle worker steals the next undone index), and results are written
+    into per-index slots, so the merged output is in task order regardless
+    of which domain ran what. This is what makes the parallel chase and
+    rewriting saturation deterministic: callers fix a task order, and the
+    pool guarantees the merged result is as if the tasks ran sequentially in
+    that order (provided tasks are independent).
+
+    A pool of size 1 never spawns domains and runs everything inline in the
+    caller, so [~pool:(Pool.create 1)] is observationally the sequential
+    code path.
+
+    Tasks must not themselves call into the same pool (no nesting), and the
+    shared structures they read must be published before [map_array] is
+    called (the job hand-off is a memory barrier: anything written by the
+    caller before [map_array] is visible to the workers). *)
+
+type t
+
+val sequential : t
+(** The shared size-1 pool: inline execution, no domains, no locking. *)
+
+val create : int -> t
+(** [create n] spawns [n - 1] worker domains (the caller participates as
+    worker 0 during [map_array]). [n] is clamped below at 1. Pools are
+    long-lived; create one per process or per [-j] setting, not per call. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. The pool must not be used
+    afterwards. Idempotent. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic output order. If a task raises,
+    the remaining tasks still run and one of the exceptions is re-raised in
+    the caller after the barrier. Must be called from the thread that
+    created the pool (the coordinator), never from inside a task. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val exists : t -> ('a -> bool) -> 'a array -> bool
+(** Parallel existential check. Early-exits cooperatively: once a witness
+    is found, not-yet-started tasks are skipped. The boolean result is
+    deterministic (it does not depend on scheduling). *)
+
+val filter_list : t -> ('a -> bool) -> 'a list -> 'a list
+(** Parallel filter preserving list order. *)
+
+val busy_times : t -> float array
+(** Cumulative per-worker busy seconds (index 0 is the coordinator),
+    accumulated across [map_array] calls since creation or the last
+    [reset_busy]. Length equals [size]. *)
+
+val reset_busy : t -> unit
+
+(** {1 Job-count configuration}
+
+    The conventional knobs behind [-j N] and the [FRONTIER_JOBS]
+    environment variable. *)
+
+val jobs_from_env : unit -> int
+(** [FRONTIER_JOBS] parsed as a positive integer; 1 when unset or
+    malformed. *)
+
+val set_default_jobs : int -> unit
+(** Override the default job count (e.g. from a [-j] flag); shuts down the
+    previously materialized default pool, if any. *)
+
+val default_jobs : unit -> int
+
+val get_default : unit -> t
+(** The process-wide pool, lazily created with [default_jobs ()] workers. *)

@@ -11,12 +11,50 @@ let default_budget =
 
 type outcome = Complete | Disjunct_budget | Size_budget | Step_budget
 
-type result = { ucq : Ucq.t; outcome : outcome; steps : int; generated : int }
+type result = {
+  ucq : Ucq.t;
+  outcome : outcome;
+  steps : int;
+  generated : int;
+  containment_checks : int;
+}
 
-let rewrite ?(budget = default_budget) theory q =
+(* Both saturation strategies share the containment-based minimization of
+   Ucq.add_minimal, reimplemented here so the pairwise implication checks
+   can be counted and, in the parallel strategy, fanned out per existing
+   disjunct. The decisions (and the disjunct order of the result) are
+   exactly those of Ucq.add_minimal. *)
+
+let finalize ~aux ~ucq ~outcome ~steps ~generated ~containment_checks =
+  let visible =
+    List.filter
+      (fun d -> not (Single_head.mentions_aux aux d))
+      (Ucq.disjuncts ucq)
+  in
+  { ucq = Ucq.of_list visible; outcome; steps; generated; containment_checks }
+
+(* ------------------------------------------------------------------ *)
+(* Sequential saturation (the reference semantics)                     *)
+(* ------------------------------------------------------------------ *)
+
+let rewrite_sequential ~budget theory q =
   let compiled, aux = Single_head.compile theory in
+  let checks = ref 0 in
+  let implies a b =
+    incr checks;
+    Containment.implies a b
+  in
+  let add_minimal u q' =
+    if List.exists (fun d -> implies q' d) (Ucq.disjuncts u) then
+      (u, `Subsumed)
+    else
+      let kept =
+        List.filter (fun d -> not (implies d q')) (Ucq.disjuncts u)
+      in
+      (Ucq.of_disjuncts_unchecked (q' :: kept), `Added)
+  in
   let q0 = Containment.core_of_query q in
-  let ucq = ref (fst (Ucq.add_minimal Ucq.empty q0)) in
+  let ucq = ref (fst (add_minimal Ucq.empty q0)) in
   let worklist = Queue.create () in
   Queue.add q0 worklist;
   let steps = ref 0 in
@@ -39,7 +77,7 @@ let rewrite ?(budget = default_budget) theory q =
                outcome := Size_budget;
                raise Exit
              end;
-             let ucq', status = Ucq.add_minimal !ucq q' in
+             let ucq', status = add_minimal !ucq q' in
              ucq := ucq';
              match status with
              | `Added ->
@@ -53,20 +91,110 @@ let rewrite ?(budget = default_budget) theory q =
        end
      done
    with Exit -> ());
-  let visible =
-    List.filter
-      (fun d -> not (Single_head.mentions_aux aux d))
-      (Ucq.disjuncts !ucq)
-  in
-  {
-    ucq = Ucq.of_list visible;
-    outcome = !outcome;
-    steps = !steps;
-    generated = !generated;
-  }
+  finalize ~aux ~ucq:!ucq ~outcome:!outcome ~steps:!steps
+    ~generated:!generated ~containment_checks:!checks
 
-let rs ?budget theory q =
-  let r = rewrite ?budget theory q in
+(* ------------------------------------------------------------------ *)
+(* Parallel saturation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Batch-synchronous variant of the same worklist saturation: the whole
+   live frontier is expanded at once (one piece-unifier task per frontier
+   disjunct), the candidate lists are concatenated in frontier order, and
+   the containment-based minimization then folds over the candidates in
+   that fixed order — with the per-candidate coverage and subsumption
+   checks fanned out across the pool. Every ordering that influences the
+   result is fixed before work is distributed, so the produced UCQ does
+   not depend on the domain count; it may differ *syntactically* from the
+   sequential result (a subsumed frontier entry is still expanded if it
+   died within its own batch), but on completion both are equivalent
+   UCQs — the property the differential test suite checks. *)
+let rewrite_parallel ~pool ~budget theory q =
+  let compiled, aux = Single_head.compile theory in
+  let checks = Atomic.make 0 in
+  let implies a b =
+    Atomic.incr checks;
+    Containment.implies a b
+  in
+  let covers u q' =
+    Parallel.Pool.exists pool
+      (fun d -> implies q' d)
+      (Array.of_list (Ucq.disjuncts u))
+  in
+  let add_minimal u q' =
+    if covers u q' then (u, `Subsumed)
+    else
+      let kept =
+        Parallel.Pool.filter_list pool
+          (fun d -> not (implies d q'))
+          (Ucq.disjuncts u)
+      in
+      (Ucq.of_disjuncts_unchecked (q' :: kept), `Added)
+  in
+  let q0 = Containment.core_of_query q in
+  let ucq = ref (Ucq.of_disjuncts_unchecked [ q0 ]) in
+  let steps = ref 0 in
+  let generated = ref 0 in
+  let outcome = ref Complete in
+  let rec take n = function
+    | [] -> ([], [])
+    | l when n = 0 -> ([], l)
+    | x :: rest ->
+        let batch, deferred = take (n - 1) rest in
+        (x :: batch, deferred)
+  in
+  let frontier = ref [ q0 ] in
+  (try
+     while !frontier <> [] do
+       if !steps >= budget.max_steps then begin
+         outcome := Step_budget;
+         raise Exit
+       end;
+       (* Disjuncts subsumed since they were enqueued need not expand. *)
+       let live =
+         List.filter
+           (fun q' -> Ucq.exists (fun d -> d == q') !ucq)
+           !frontier
+       in
+       let batch, deferred = take (budget.max_steps - !steps) live in
+       let expansions =
+         Parallel.Pool.map_list pool
+           (fun q' -> Piece_unifier.one_step_theory q' compiled)
+           batch
+       in
+       steps := !steps + List.length batch;
+       let added = ref [] in
+       List.iter
+         (List.iter (fun q' ->
+              incr generated;
+              if Cq.size q' > budget.max_atoms_per_disjunct then begin
+                outcome := Size_budget;
+                raise Exit
+              end;
+              let ucq', status = add_minimal !ucq q' in
+              ucq := ucq';
+              match status with
+              | `Added ->
+                  added := q' :: !added;
+                  if Ucq.cardinal !ucq > budget.max_disjuncts then begin
+                    outcome := Disjunct_budget;
+                    raise Exit
+                  end
+              | `Subsumed -> ()))
+         expansions;
+       frontier := deferred @ List.rev !added
+     done
+   with Exit -> ());
+  finalize ~aux ~ucq:!ucq ~outcome:!outcome ~steps:!steps
+    ~generated:!generated ~containment_checks:(Atomic.get checks)
+
+let rewrite ?pool ?(budget = default_budget) theory q =
+  match pool with
+  | Some p when Parallel.Pool.size p > 1 -> rewrite_parallel ~pool:p ~budget theory q
+  | Some _ | None -> rewrite_sequential ~budget theory q
+
+let rs ?pool ?budget theory q =
+  let r = rewrite ?pool ?budget theory q in
   match r.outcome with
   | Complete -> Some (Ucq.max_disjunct_size r.ucq)
   | Disjunct_budget | Size_budget | Step_budget -> None

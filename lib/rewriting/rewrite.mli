@@ -30,14 +30,24 @@ type result = {
   outcome : outcome;
   steps : int;
   generated : int;  (** one-step rewritings produced, pre-minimization *)
+  containment_checks : int;
+      (** CQ-implication tests spent on minimization (the quadratic part) *)
 }
 
-val rewrite : ?budget:budget -> Theory.t -> Cq.t -> result
+val rewrite : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> result
 (** Multi-head rules are compiled via {!Single_head.compile}; auxiliary
     disjuncts are dropped from the final UCQ (kept during saturation).
     Rules with empty bodies or domain variables are skipped by the piece
-    rewriter — for [T_d]-style theories use the marked-query engine. *)
+    rewriter — for [T_d]-style theories use the marked-query engine.
 
-val rs : ?budget:budget -> Theory.t -> Cq.t -> int option
+    With a pool of size > 1 the saturation runs batch-synchronously: the
+    live frontier's piece-unifier expansions and the per-candidate
+    containment checks fan out across the pool, with candidates merged in
+    a fixed frontier order. The result is independent of the domain count
+    and {!Ucq.equivalent} to the sequential rewriting (on [Complete] both
+    are the unique minimal rewriting up to equivalence), though disjunct
+    order and budget-tripping points may differ. *)
+
+val rs : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> int option
 (** [rs_T(q)] of Section 7: the maximal disjunct size of the full rewriting;
     [None] when the rewriting did not complete within budget. *)

@@ -1,0 +1,309 @@
+(* Property-based differential tests.
+
+   Random single-head TGD theories, instances, and queries are drawn from
+   int-encoded generators (plain tuples and lists, so QCheck's built-in
+   shrinkers minimize counterexamples), then three implementations are
+   played against each other:
+
+   - a ~30-line naive reference chase (textbook fixpoint, no semi-naive
+     deltas, no provenance) against [Chase.Engine.run];
+   - the sequential engines against their [lib/parallel] counterparts at
+     several domain counts (stages must be bit-identical, rewritings
+     UCQ-equivalent);
+   - rewriting-based answering against chase-based answering (the
+     Theorem 1 contract), on random theories and on zoo-seeded instances.
+
+   FRONTIER_QCHECK_COUNT scales the number of cases per property (default
+   100; CI sets a smaller value to keep the suite fast). *)
+
+open Logic
+
+let count =
+  match Sys.getenv_opt "FRONTIER_QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 100)
+  | None -> 100
+
+(* Long-lived pools shared by all properties (domains are expensive). *)
+let pool2 = Parallel.Pool.create 2
+let pool3 = Parallel.Pool.create 3
+let pool4 = Parallel.Pool.create 4
+
+(* ------------------------------------------------------------------ *)
+(* Generators: everything is encoded as ints so shrinking works        *)
+(* ------------------------------------------------------------------ *)
+
+let e = Symbol.make "E" ~arity:2
+let r = Symbol.make "R" ~arity:2
+let p = Symbol.make "P" ~arity:1
+let const i = Term.const (Printf.sprintf "c%d" i)
+let body_var i = Term.var (Printf.sprintf "x%d" (i mod 4))
+
+let head_var i =
+  (* 0..3 pick body variables, 4..5 existential ones. *)
+  match i mod 6 with
+  | j when j < 4 -> body_var j
+  | j -> Term.var (Printf.sprintf "w%d" (j - 4))
+
+(* An atom is (rel, v1, v2); rel mod 3 picks E/R/P, P ignores v2. Any
+   int triple decodes to a well-formed atom, so shrunk values stay valid. *)
+let decode_atom var (rel, a, b) =
+  match rel mod 3 with
+  | 0 -> Atom.make e [ var a; var b ]
+  | 1 -> Atom.make r [ var a; var b ]
+  | _ -> Atom.make p [ var a ]
+
+let decode_rule i (body, head) =
+  Tgd.make
+    ~name:(Printf.sprintf "g%d" i)
+    ~body:(List.map (decode_atom body_var) body)
+    ~head:[ decode_atom head_var head ]
+    ()
+
+let decode_theory rules =
+  Theory.make ~name:"gen" (List.mapi decode_rule rules)
+
+let decode_instance (e_edges, r_edges, p_nodes) =
+  Fact_set.of_list
+    (List.map (fun (i, j) -> Atom.make e [ const i; const j ]) e_edges
+    @ List.map (fun (i, j) -> Atom.make r [ const i; const j ]) r_edges
+    @ List.map (fun i -> Atom.make p [ const i ]) p_nodes)
+
+let decode_query atoms =
+  (* Boolean query over a 3-variable pool (shared variables make joins). *)
+  Cq.make ~free:[]
+    (List.map (decode_atom (fun i -> body_var (i mod 3))) atoms)
+
+let atom_arb = QCheck.(triple (int_bound 2) (int_bound 5) (int_bound 5))
+
+let theory_arb =
+  QCheck.(
+    list_of_size Gen.(1 -- 4)
+      (pair (list_of_size Gen.(1 -- 2) atom_arb) atom_arb))
+
+let instance_arb =
+  QCheck.(
+    triple
+      (list_of_size Gen.(0 -- 6) (pair (int_bound 4) (int_bound 4)))
+      (list_of_size Gen.(0 -- 3) (pair (int_bound 4) (int_bound 4)))
+      (list_of_size Gen.(0 -- 3) (int_bound 4)))
+
+let query_arb = QCheck.(list_of_size Gen.(1 -- 2) atom_arb)
+
+(* ------------------------------------------------------------------ *)
+(* The naive reference chase: a direct reading of Definition 6         *)
+(* ------------------------------------------------------------------ *)
+
+(* Every stage recomputes every trigger over the whole structure — no
+   deltas, no indexes to get wrong. Returns the stages (element i is
+   Ch_i) and whether a fixpoint was reached within [max_stages]. *)
+let naive_chase ~max_stages theory d =
+  let rec go current n acc =
+    if n = 0 then (List.rev acc, false)
+    else begin
+      let additions = ref [] in
+      List.iter
+        (fun rule ->
+          Tgd.triggers rule current (fun sigma ->
+              List.iter
+                (fun a ->
+                  if not (Fact_set.mem a current) then
+                    additions := a :: !additions)
+                (Tgd.apply rule sigma)))
+        (Theory.rules theory);
+      if !additions = [] then (List.rev acc, true)
+      else
+        let next = Fact_set.union current (Fact_set.of_list !additions) in
+        go next (n - 1) (next :: acc)
+    end
+  in
+  let stages, saturated = go d max_stages [ d ] in
+  (stages, saturated)
+
+let max_depth = 3
+let max_atoms = 30_000
+
+let prop_engine_matches_naive_reference =
+  QCheck.Test.make ~count
+    ~name:"semi-naive engine stages = naive reference chase stages"
+    QCheck.(pair theory_arb instance_arb)
+    (fun (trules, inst) ->
+      let theory = decode_theory trules in
+      let d = decode_instance inst in
+      let run = Chase.Engine.run ~max_depth ~max_atoms theory d in
+      QCheck.assume (not (Chase.Engine.hit_atom_budget run));
+      let stages, naive_saturated =
+        naive_chase ~max_stages:max_depth theory d
+      in
+      List.length stages = Chase.Engine.depth run + 1
+      && Chase.Engine.saturated run = naive_saturated
+      && List.for_all2 Fact_set.equal stages
+           (List.init (Chase.Engine.depth run + 1) (Chase.Engine.stage run)))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel vs sequential: the determinism contracts                   *)
+(* ------------------------------------------------------------------ *)
+
+let same_derivations run_a run_b atom =
+  let names ders = List.map (fun (rule, _) -> Tgd.name rule) ders in
+  names (Chase.Engine.derivations run_a atom)
+  = names (Chase.Engine.derivations run_b atom)
+
+let prop_parallel_chase_deterministic =
+  QCheck.Test.make ~count
+    ~name:"chase at -j1/-j2/-j4: identical stages, flags, provenance"
+    QCheck.(pair theory_arb instance_arb)
+    (fun (trules, inst) ->
+      let theory = decode_theory trules in
+      let d = decode_instance inst in
+      let seq = Chase.Engine.run ~max_depth ~max_atoms theory d in
+      List.for_all
+        (fun pool ->
+          let par = Chase.Engine.run ~pool ~max_depth ~max_atoms theory d in
+          Chase.Engine.depth par = Chase.Engine.depth seq
+          && Chase.Engine.saturated par = Chase.Engine.saturated seq
+          && Chase.Engine.hit_atom_budget par
+             = Chase.Engine.hit_atom_budget seq
+          && List.for_all
+               (fun i ->
+                 Fact_set.equal
+                   (Chase.Engine.stage seq i)
+                   (Chase.Engine.stage par i))
+               (List.init (Chase.Engine.depth seq + 1) Fun.id)
+          && List.for_all (same_derivations seq par)
+               (Fact_set.atoms (Chase.Engine.result seq)))
+        [ pool2; pool4 ])
+
+let prop_parallel_oblivious_deterministic =
+  QCheck.Test.make ~count
+    ~name:"oblivious chase with a pool = without"
+    QCheck.(pair theory_arb instance_arb)
+    (fun (trules, inst) ->
+      let theory = decode_theory trules in
+      let d = decode_instance inst in
+      let seq =
+        Chase.Variants.run_oblivious ~max_depth ~max_atoms theory d
+      in
+      let par =
+        Chase.Variants.run_oblivious ~pool:pool3 ~max_depth ~max_atoms theory
+          d
+      in
+      seq.Chase.Variants.steps = par.Chase.Variants.steps
+      && seq.Chase.Variants.saturated = par.Chase.Variants.saturated
+      && Fact_set.equal seq.Chase.Variants.facts par.Chase.Variants.facts)
+
+let rewrite_budget =
+  {
+    Rewriting.Rewrite.max_disjuncts = 40;
+    max_atoms_per_disjunct = 12;
+    max_steps = 150;
+  }
+
+let prop_parallel_rewriting_equivalent =
+  QCheck.Test.make ~count
+    ~name:"rewriting at -j1 and -j3: UCQ-equivalent when both complete"
+    QCheck.(pair theory_arb query_arb)
+    (fun (trules, qatoms) ->
+      let theory = decode_theory trules in
+      let q = decode_query qatoms in
+      let seq = Rewriting.Rewrite.rewrite ~budget:rewrite_budget theory q in
+      let par =
+        Rewriting.Rewrite.rewrite ~pool:pool3 ~budget:rewrite_budget theory q
+      in
+      match
+        (seq.Rewriting.Rewrite.outcome, par.Rewriting.Rewrite.outcome)
+      with
+      | Rewriting.Rewrite.Complete, Rewriting.Rewrite.Complete ->
+          Ucq.equivalent seq.Rewriting.Rewrite.ucq par.Rewriting.Rewrite.ucq
+      | _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1: answering via rewriting = answering via the chase        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_rewriting_answers_like_chase =
+  QCheck.Test.make ~count
+    ~name:"boolean query: D |= rew(q) iff Ch(T,D) |= q (Theorem 1)"
+    QCheck.(triple theory_arb instance_arb query_arb)
+    (fun (trules, inst, qatoms) ->
+      let theory = decode_theory trules in
+      let d = decode_instance inst in
+      let q = decode_query qatoms in
+      let rew = Rewriting.Rewrite.rewrite ~budget:rewrite_budget theory q in
+      match rew.Rewriting.Rewrite.outcome with
+      | Rewriting.Rewrite.Complete ->
+          let run = Chase.Engine.run ~max_depth:6 ~max_atoms theory d in
+          (* Only a saturated chase decides certain answers exactly. *)
+          QCheck.assume (Chase.Engine.saturated run);
+          Bool.equal
+            (Ucq.boolean_holds rew.Rewriting.Rewrite.ucq d)
+            (Cq.boolean_holds q (Chase.Engine.result run))
+      | _ -> true)
+
+let prop_zoo_answering_agreement =
+  (* Zoo-seeded: T_a over random Human courts, the mother query. The
+     full answering pipelines must agree (and the parallel one with them). *)
+  QCheck.Test.make ~count
+    ~name:"T_a certain answers: chase pipeline = rewriting pipeline"
+    QCheck.(list_of_size Gen.(1 -- 6) (int_bound 9))
+    (fun people ->
+      let d =
+        Fact_set.of_list
+          (List.map
+             (fun i ->
+               Atom.make Theories.Zoo.person
+                 [ Term.const (Printf.sprintf "p%d" i) ])
+             people)
+      in
+      let x = Term.var "x" and m = Term.var "m" in
+      let q =
+        Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.mother [ x; m ] ]
+      in
+      let via_chase =
+        Frontier.certain_answers ~max_depth:3 Theories.Zoo.t_a d q
+      in
+      let via_rewriting =
+        Frontier.answer_via_rewriting Theories.Zoo.t_a d q
+      in
+      let via_rewriting_par =
+        Frontier.answer_via_rewriting ~pool:pool2 Theories.Zoo.t_a d q
+      in
+      let sort = List.sort (List.compare Term.compare) in
+      match (via_rewriting, via_rewriting_par) with
+      | Some a, Some b ->
+          sort a = sort (via_chase : Term.t list list) && sort a = sort b
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The pool primitives themselves                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pool_primitives =
+  QCheck.Test.make ~count ~name:"pool map/filter/exists = List counterparts"
+    QCheck.(list int)
+    (fun l ->
+      let f x = (x * 31) mod 1009 in
+      let pred x = x mod 3 = 0 in
+      List.for_all
+        (fun pool ->
+          Parallel.Pool.map_list pool f l = List.map f l
+          && Parallel.Pool.filter_list pool pred l = List.filter pred l
+          && Parallel.Pool.exists pool pred (Array.of_list l)
+             = List.exists pred l)
+        [ Parallel.Pool.sequential; pool2; pool4 ])
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_engine_matches_naive_reference;
+            prop_parallel_chase_deterministic;
+            prop_parallel_oblivious_deterministic;
+            prop_parallel_rewriting_equivalent;
+            prop_rewriting_answers_like_chase;
+            prop_zoo_answering_agreement;
+          ] );
+      ( "pool",
+        [ QCheck_alcotest.to_alcotest prop_pool_primitives ] );
+    ]
