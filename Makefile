@@ -1,4 +1,4 @@
-.PHONY: all build test check bench examples doc clean fmt
+.PHONY: all build test check bench bench-smoke examples doc clean fmt
 
 all: build
 
@@ -17,6 +17,12 @@ check:
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Quick indexing/memoization A/B on a reduced workload; emits a JSON
+# snapshot (counters + timings) suitable for archiving as a CI artifact.
+bench-smoke:
+	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke.json \
+		dune exec bench/main.exe -- ix
 
 examples:
 	dune exec examples/quickstart.exe

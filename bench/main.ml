@@ -688,6 +688,177 @@ let par () =
     (Ucq.equivalent r_seq.Rewriting.Rewrite.ucq r_par.Rewriting.Rewrite.ucq)
 
 (* ------------------------------------------------------------------ *)
+(* ix — incremental indexing & containment memoization A/B             *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole experiment of the indexing/memoization PR: run the chase
+   hot path (T_d on the depth-8 grid of E1/par) and the rewriting hot
+   path (generic saturation on T_d \ (loop), as in E11) with the
+   incremental index maintenance and the containment memo cache switched
+   off and on, in-process, via the instrumentation toggles. The toggles
+   *attribute* cost between index maintenance strategies and cache
+   traffic within this build; the headline speedup of the PR (>= 2x on
+   both hot paths vs the pre-PR build, whose sets re-derive their index
+   from scratch after every stage and recompute every containment
+   verdict) is measured against a checkout of the previous commit and
+   recorded in EXPERIMENTS.md. Timings are min-of-N (the box is noisy);
+   counters come from the instrumented run.
+
+   FRONTIER_BENCH_SMOKE=1   shrink the workloads (CI smoke sizing)
+   FRONTIER_BENCH_JSON=path also write the results as a JSON snapshot *)
+
+let ix () =
+  header "ix"
+    "incremental fact-set indexing + containment memoization (A/B)"
+    "in-process toggles attribute the cost; the >= 2x-vs-pre-PR numbers \
+     live in EXPERIMENTS.md";
+  let smoke = Sys.getenv_opt "FRONTIER_BENCH_SMOKE" <> None in
+  let reps = if smoke then 2 else 5 in
+  let grid_len = if smoke then 4 else 8 in
+  let depth = if smoke then 5 else 8 in
+  let rewrite_budget =
+    (* Smoke sizing mirrors E11's budget; the full run uses the deeper
+       saturation (the acceptance workload of EXPERIMENTS.md). *)
+    if smoke then
+      {
+        Rewriting.Rewrite.max_disjuncts = 60;
+        max_atoms_per_disjunct = 20;
+        max_steps = 120;
+      }
+    else
+      {
+        Rewriting.Rewrite.max_disjuncts = 200;
+        max_atoms_per_disjunct = 24;
+        max_steps = 2_000;
+      }
+  in
+  let best f =
+    (* min-of-reps wall time; result and counters from the last rep
+       (per-rep work is deterministic). *)
+    let t = ref infinity in
+    let out = ref None in
+    for _ = 1 to reps do
+      Fact_set.reset_counters ();
+      Containment.reset_memo ();
+      let v, dt = time_it f in
+      if dt < !t then t := dt;
+      out := Some v
+    done;
+    (Option.get !out, !t)
+  in
+  (* --- chase: T_d on G^grid_len to depth [depth] --------------------- *)
+  let _, _, grid = Theories.Instances.path Theories.Zoo.g2 grid_len in
+  let chase () =
+    Chase.Engine.run ~max_depth:depth ~max_atoms:1_000_000 Theories.Zoo.t_d
+      grid
+  in
+  Fact_set.set_incremental false;
+  let run_off, chase_off = best chase in
+  let c_off = Fact_set.counters () in
+  Fact_set.set_incremental true;
+  let run_on, chase_on = best chase in
+  let c_on = Fact_set.counters () in
+  let atoms_on = Fact_set.cardinal (Chase.Engine.result run_on) in
+  row "  chase T_d on G^%d depth %d (%d atoms, min of %d):@." grid_len depth
+    atoms_on reps;
+  row "    incremental off: %.3fs  (%d full builds / %d atoms re-indexed)@."
+    chase_off c_off.Fact_set.builds c_off.Fact_set.built_atoms;
+  row "    incremental on:  %.3fs  (%d extensions / %d delta atoms, %d \
+       builds / %d atoms)@."
+    chase_on c_on.Fact_set.extends c_on.Fact_set.delta_atoms
+    c_on.Fact_set.builds c_on.Fact_set.built_atoms;
+  row "    speedup: x%.2f;  stages identical: %b@." (chase_off /. chase_on)
+    (Chase.Engine.depth run_off = Chase.Engine.depth run_on
+    && Fact_set.equal
+         (Chase.Engine.result run_off)
+         (Chase.Engine.result run_on));
+  (* --- rewriting: generic saturation on T_d \ (loop) ----------------- *)
+  let x = Term.var "x" and y = Term.var "y" in
+  let q = Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.g2 [ x; y ] ] in
+  let rewrite () =
+    Rewriting.Rewrite.rewrite ~budget:rewrite_budget Theories.Zoo.t_d_noloop
+      q
+  in
+  Containment.set_memoization false;
+  let r_off, rw_off = best rewrite in
+  (* The memo arm deliberately does *not* reset the cache between reps:
+     a single cold saturation has almost no repeated (candidate,
+     disjunct) pairs, so the cache's value shows when the same theory is
+     rewritten again and the process-wide verdicts are reused — the
+     repeated-analysis pattern of the marked-set and termination
+     pipelines. Cold (first run) and warm (later runs) are reported
+     separately. *)
+  Containment.set_memoization true;
+  Containment.reset_memo ();
+  let r_cold, rw_cold = time_it rewrite in
+  let r_on = ref r_cold in
+  let rw_warm = ref infinity in
+  for _ = 2 to reps do
+    let v, dt = time_it rewrite in
+    r_on := v;
+    if dt < !rw_warm then rw_warm := dt
+  done;
+  let rw_warm = if !rw_warm = infinity then rw_cold else !rw_warm in
+  let r_on = !r_on in
+  row "  rewrite T_d\\(loop) G(x,y), %d steps:@."
+    r_on.Rewriting.Rewrite.steps;
+  row "    memo off:       %.4fs  (%d containment checks, all computed)@."
+    rw_off r_off.Rewriting.Rewrite.containment_checks;
+  row "    memo on, cold:  %.4fs  (first run, empty cache)@." rw_cold;
+  row "    memo on, warm:  %.4fs  (%d checks: %d cache hits, %d misses)@."
+    rw_warm r_on.Rewriting.Rewrite.containment_checks
+    r_on.Rewriting.Rewrite.cache_hits r_on.Rewriting.Rewrite.cache_misses;
+  row "    warm speedup: x%.2f;  rewritings equivalent: %b@."
+    (rw_off /. rw_warm)
+    (Ucq.equivalent r_off.Rewriting.Rewrite.ucq r_on.Rewriting.Rewrite.ucq);
+  (* --- optional JSON snapshot ---------------------------------------- *)
+  match Sys.getenv_opt "FRONTIER_BENCH_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        {|{
+  "bench": "ix",
+  "note": "speedup fields compare in-process A/B toggles of this build; the >= 2x acceptance numbers vs the pre-PR build are in EXPERIMENTS.md",
+  "smoke": %b,
+  "reps": %d,
+  "chase": {
+    "workload": "T_d on G^%d, max_depth %d",
+    "atoms": %d,
+    "incremental_off_s": %.6f,
+    "incremental_on_s": %.6f,
+    "speedup": %.3f,
+    "off_counters": { "builds": %d, "built_atoms": %d },
+    "on_counters": { "extends": %d, "delta_atoms": %d, "builds": %d, "built_atoms": %d }
+  },
+  "rewrite": {
+    "workload": "T_d minus loop, G(x,y), budget %d/%d/%d",
+    "steps": %d,
+    "memo_off_s": %.6f,
+    "memo_on_cold_s": %.6f,
+    "memo_on_warm_s": %.6f,
+    "warm_speedup": %.3f,
+    "containment_checks": %d,
+    "cache_hits": %d,
+    "cache_misses": %d
+  }
+}
+|}
+        smoke reps grid_len depth atoms_on chase_off chase_on
+        (chase_off /. chase_on) c_off.Fact_set.builds
+        c_off.Fact_set.built_atoms c_on.Fact_set.extends
+        c_on.Fact_set.delta_atoms c_on.Fact_set.builds
+        c_on.Fact_set.built_atoms rewrite_budget.Rewriting.Rewrite.max_disjuncts
+        rewrite_budget.Rewriting.Rewrite.max_atoms_per_disjunct
+        rewrite_budget.Rewriting.Rewrite.max_steps
+        r_on.Rewriting.Rewrite.steps rw_off rw_cold rw_warm
+        (rw_off /. rw_warm)
+        r_on.Rewriting.Rewrite.containment_checks
+        r_on.Rewriting.Rewrite.cache_hits r_on.Rewriting.Rewrite.cache_misses;
+      close_out oc;
+      row "  json snapshot written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* perf — bechamel micro-benchmarks                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -767,7 +938,8 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("par", par); ("perf", perf);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("par", par); ("ix", ix);
+    ("perf", perf);
   ]
 
 let () =

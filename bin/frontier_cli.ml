@@ -103,8 +103,10 @@ let chase_cmd =
                   (fun i (s : Frontier.Chase_engine.stage_stats) ->
                     Fmt.pr
                       "stage %d work: %d triggers, %d derived (%d fresh), \
-                       %.4fs wall, domain busy [%a]@."
+                       %.4fs wall, index +%d delta / %d rebuilt atoms, \
+                       domain busy [%a]@."
                       (i + 1) s.triggers s.produced s.fresh_atoms s.wall_s
+                      s.index_delta_atoms s.index_rebuild_atoms
                       Fmt.(array ~sep:sp (fmt "%.4f"))
                       s.domain_busy_s)
                   (Frontier.Chase_engine.stage_stats run);
@@ -202,11 +204,12 @@ let rewrite_cmd =
         Fmt.pr "%a@." Frontier.Ucq.pp r.Frontier.Rewrite.ucq;
         Fmt.pr
           "disjuncts: %d, max size: %d, steps: %d, generated: %d, \
-           containment checks: %d@."
+           containment checks: %d (cache: %d hits, %d misses)@."
           (Frontier.Ucq.cardinal r.Frontier.Rewrite.ucq)
           (Frontier.Ucq.max_disjunct_size r.Frontier.Rewrite.ucq)
           r.Frontier.Rewrite.steps r.Frontier.Rewrite.generated
-          r.Frontier.Rewrite.containment_checks))
+          r.Frontier.Rewrite.containment_checks
+          r.Frontier.Rewrite.cache_hits r.Frontier.Rewrite.cache_misses))
   in
   let steps =
     Arg.(value & opt int 5_000 & info [ "steps" ] ~doc:"Rewriting step budget.")

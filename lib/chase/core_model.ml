@@ -11,8 +11,21 @@ let endomorphism_avoiding f ~keep ~avoid =
          ~flexible ~pattern:(Fact_set.atoms f) ~target:f ())
 
 let image_of f mapping ~flexible =
-  Fact_set.of_list
-    (List.map (Homomorphism.apply mapping ~flexible) (Fact_set.atoms f))
+  (* A shrinking endomorphism typically moves a small fraction of the
+     atoms (the ones touching the avoided term), so update [f] by the
+     moved atoms instead of rebuilding: the fact-set index is then
+     maintained incrementally across the [core_of] shrink iterations. *)
+  let removed = ref [] and added = ref [] in
+  List.iter
+    (fun a ->
+      let a' = Homomorphism.apply mapping ~flexible a in
+      if not (Atom.equal a a') then begin
+        removed := a :: !removed;
+        added := a' :: !added
+      end)
+    (Fact_set.atoms f);
+  let shrunk = Fact_set.diff f (Fact_set.of_list !removed) in
+  List.fold_left (fun fs a -> Fact_set.add a fs) shrunk !added
 
 let core_of ?(keep = Term.Set.empty) f =
   let rec shrink f =

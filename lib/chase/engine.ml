@@ -6,7 +6,19 @@ type stage_stats = {
   fresh_atoms : int;
   wall_s : float;
   domain_busy_s : float array;
+  index_delta_atoms : int;
+  index_rebuild_atoms : int;
 }
+
+(* Provenance is recorded per derived atom in a hash table (hash-consed
+   term ids make [Atom.hash] cheap and well-spread); the table is only
+   ever mutated by the coordinator, in deterministic production order. *)
+module Atom_tbl = Hashtbl.Make (struct
+  type t = Atom.t
+
+  let equal = Atom.equal
+  let hash = Atom.hash
+end)
 
 type run = {
   theory : Theory.t;
@@ -14,8 +26,9 @@ type run = {
   stages : Fact_set.t array;
   saturated : bool;
   hit_atom_budget : bool;
-  info : (int * (Tgd.t * Homomorphism.mapping) list) Atom.Map.t;
-      (* derived atoms: first stage, creating applications *)
+  info : (int * (Tgd.t * Homomorphism.mapping) list ref) Atom_tbl.t;
+      (* derived atoms: first stage, creating applications; the list is
+         mutated in place so a rediscovery costs one table probe *)
   stats : stage_stats array;
 }
 
@@ -79,7 +92,7 @@ let part_triggers rule part ~old_facts ~delta ~full ~old_dom_list
 let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
     ?(max_atoms = 200_000) theory initial =
   let stages = ref [ initial ] in
-  let info = ref Atom.Map.empty in
+  let info = Atom_tbl.create (1 lsl 18) in
   let full = ref initial in
   let old_facts = ref Fact_set.empty in
   let delta = ref initial in
@@ -94,6 +107,7 @@ let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
     incr stage_index;
     let stage_t0 = Unix.gettimeofday () in
     let busy0 = Parallel.Pool.busy_times pool in
+    let ix0 = Fact_set.counters () in
     (* Force the lazy indexes of the shared fact sets *before* fanning out:
        workers only ever read them. *)
     ignore (Fact_set.domain !old_facts);
@@ -133,55 +147,57 @@ let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
           (!local, !triggers))
         tasks
     in
-    let produced =
-      Array.fold_left (fun acc (local, _) -> local @ acc) [] locals
-    in
     let triggers =
       Array.fold_left (fun acc (_, t) -> acc + t) 0 locals
     in
-    let produced = ref produced in
     (* Partition into genuinely new atoms and rediscoveries; record all
-       derivations either way. *)
-    let new_atoms = ref Atom.Set.empty in
-    List.iter
-      (fun (atom, rule, sigma) ->
-        match Atom.Map.find_opt atom !info with
-        | Some (st, ders) ->
-            info := Atom.Map.add atom (st, (rule, sigma) :: ders) !info
-        | None ->
-            if Fact_set.mem atom initial then ()
-            else begin
-              if not (Atom.Set.mem atom !new_atoms) then
-                new_atoms := Atom.Set.add atom !new_atoms;
-              let prev =
-                match Atom.Map.find_opt atom !info with
-                | Some (_, d) -> d
-                | None -> []
-              in
-              info :=
-                Atom.Map.add atom (!stage_index, (rule, sigma) :: prev) !info
-            end)
-      !produced;
-    (* Keep only atoms not already present (a rediscovered atom from an
-       earlier stage must not shift its stage). *)
-    let truly_new =
-      Atom.Set.filter (fun a -> not (Fact_set.mem a !full)) !new_atoms
-    in
-    let delta' = Fact_set.of_set truly_new in
+       derivations either way, iterating the per-task locals in the
+       sequential engine's production order (tasks last-to-first, each
+       local newest-first — the order the former concatenated list had).
+       The info table dedups: an atom lands in [fresh] exactly once, at
+       its first production. *)
+    let n_produced = ref 0 in
+    let fresh = ref [] in
+    for i = Array.length locals - 1 downto 0 do
+      let local, _ = locals.(i) in
+      List.iter
+        (fun (atom, rule, sigma) ->
+          incr n_produced;
+          match Atom_tbl.find_opt info atom with
+          | Some (_, ders) -> ders := (rule, sigma) :: !ders
+          | None ->
+              if Fact_set.mem atom initial then ()
+              else begin
+                fresh := atom :: !fresh;
+                Atom_tbl.add info atom (!stage_index, ref [ (rule, sigma) ])
+              end)
+        local
+    done;
+    (* A rediscovered atom from an earlier stage cannot shift its stage:
+       every non-initial atom of [full] is already recorded in [info], so
+       it takes the rediscovery branch above and never reaches [fresh]. *)
+    let delta' = Fact_set.of_set (Atom.Set.of_list !fresh) in
     let busy1 = Parallel.Pool.busy_times pool in
+    let ix1 = Fact_set.counters () in
     stats :=
       {
         triggers;
-        produced = List.length !produced;
+        produced = !n_produced;
         fresh_atoms = Fact_set.cardinal delta';
         wall_s = Unix.gettimeofday () -. stage_t0;
         domain_busy_s =
           Array.init (Array.length busy1) (fun i -> busy1.(i) -. busy0.(i));
+        index_delta_atoms =
+          ix1.Fact_set.delta_atoms - ix0.Fact_set.delta_atoms;
+        index_rebuild_atoms =
+          ix1.Fact_set.built_atoms - ix0.Fact_set.built_atoms;
       }
       :: !stats;
     old_facts := !full;
     old_dom := full_dom;
-    full := Fact_set.union !full delta';
+    (* [fresh] contains no atom of [full]: every non-initial atom of
+       [full] is in [info] and initial atoms are filtered above. *)
+    full := Fact_set.union_disjoint !full delta';
     delta := delta';
     stages := !full :: !stages;
     if Fact_set.is_empty delta' then begin
@@ -195,17 +211,13 @@ let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
     end
     else if Fact_set.cardinal !full > max_atoms then hit_budget := true
   done;
-  if (not !saturated) && not !hit_budget then
-    (* Ran to max_depth; check whether the last step was in fact a fixpoint
-       is already handled above, so here the chase may simply continue. *)
-    ();
   {
     theory;
     initial;
     stages = Array.of_list (List.rev !stages);
     saturated = !saturated;
     hit_atom_budget = !hit_budget;
-    info = !info;
+    info;
     stats = Array.of_list (List.rev !stats);
   }
 
@@ -237,13 +249,13 @@ let new_at_stage r i =
 let stage_of_atom r atom =
   if Fact_set.mem atom r.initial then Some 0
   else
-    match Atom.Map.find_opt atom r.info with
+    match Atom_tbl.find_opt r.info atom with
     | Some (st, _) when Fact_set.mem atom (result r) -> Some st
     | Some _ | None -> None
 
 let derivations r atom =
-  match Atom.Map.find_opt atom r.info with
-  | Some (_, ders) -> ders
+  match Atom_tbl.find_opt r.info atom with
+  | Some (_, ders) -> !ders
   | None -> []
 
 let atom_frontier r atom =
@@ -281,9 +293,9 @@ let birth_atom r term =
 
 let rule_counts r =
   let counts = Hashtbl.create 16 in
-  Atom.Map.iter
+  Atom_tbl.iter
     (fun _ (_, ders) ->
-      match List.rev ders with
+      match List.rev !ders with
       | (rule, _) :: _ ->
           let name =
             match Tgd.name rule with "" -> "(unnamed)" | n -> n

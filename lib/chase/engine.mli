@@ -21,6 +21,15 @@ type stage_stats = {
   wall_s : float;  (** wall-clock seconds for the sweep + merge *)
   domain_busy_s : float array;
       (** per-domain busy seconds inside the sweep (index 0 = caller) *)
+  index_delta_atoms : int;
+      (** atoms incrementally appended to fact-set indexes during the
+          sweep (process-wide [Fact_set] counter delta; index extensions
+          are lazy, so a stage's delta may be observed by the following
+          sweep, which forces it) *)
+  index_rebuild_atoms : int;
+      (** atoms indexed by from-scratch builds or layer merges during the
+          sweep — with incremental maintenance on this stays proportional
+          to the deltas instead of re-counting the whole set per stage *)
 }
 
 val run :

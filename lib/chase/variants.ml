@@ -55,7 +55,11 @@ let run_oblivious ?(pool = Parallel.Pool.sequential) ?(max_depth = 20)
       saturated := true;
       decr steps
     end
-    else facts := Fact_set.union !facts (Fact_set.of_set additions)
+    else
+      (* [additions] was mem-filtered against [!facts], so this is the
+         disjoint-union fast path: the existing index is extended by the
+         delta rather than rebuilt over the whole set. *)
+      facts := Fact_set.union !facts (Fact_set.of_set additions)
   done;
   { facts = !facts; steps = !steps; saturated = !saturated }
 

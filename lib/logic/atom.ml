@@ -25,13 +25,12 @@ let compare a b =
     in
     go 0
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let hash a =
   Array.fold_left
     (fun acc t -> (acc * 31) + Term.hash t)
-    (Hashtbl.hash (Symbol.name a.rel))
-    a.args
+    (Symbol.id a.rel) a.args
 
 let dedup_preserving_order items =
   let _, rev =
@@ -48,6 +47,11 @@ let vars a = dedup_preserving_order (List.concat_map Term.vars (Array.to_list a.
 
 let is_ground a = vars a = []
 let subst m a = { a with args = Array.map (Term.subst m) a.args }
+
+(* Arity is preserved by construction, so this skips [make]'s validation
+   and the list round-trip — it is the constructor of the chase's hot
+   loop (imaging rule heads through a trigger). *)
+let map_args f a = { a with args = Array.map f a.args }
 
 let pp ppf a =
   Fmt.pf ppf "%a(%a)" Symbol.pp a.rel

@@ -28,6 +28,12 @@ val is_ground : t -> bool
 (** No variables occur. *)
 
 val subst : Term.t Term.Int_map.t -> t -> t
+
+val map_args : (Term.t -> Term.t) -> t -> t
+(** Rebuild the atom with each argument imaged through [f]. Arity is
+    preserved by construction, so no validation happens — this is the
+    constructor of the chase's innermost loop. *)
+
 val pp : t Fmt.t
 
 module Set : Set.S with type elt = t

@@ -10,14 +10,93 @@ let hom_problem ~from ~into ~extra_ok =
     in
     Some
       (Homomorphism.make ~init ~image_ok:extra_ok
-         ~flexible:(Term.Set.of_list (Cq.vars from))
+         ~flexible:(Cq.var_set from)
          ~pattern:(Cq.atoms from)
          ~target:(Cq.as_fact_set into) ())
 
 let implies q1 q2 =
+  (* Necessary condition first: a homomorphism [q2 -> q1] maps each atom
+     to an atom with the same relation, so every relation of [q2] must
+     occur in [q1]. One [land] on cached signature fingerprints rejects
+     most negative checks before any search. *)
+  Cq.sig_mask q2 land lnot (Cq.sig_mask q1) = 0
+  &&
   match hom_problem ~from:q2 ~into:q1 ~extra_ok:(fun _ _ -> true) with
   | None -> false
   | Some p -> Homomorphism.exists p
+
+(* ------------------------------------------------------------------ *)
+(* Memoized containment                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Verdicts of [implies] are cached under pairs of canonical query ids
+   ([Cq.canon_id] — sound: equal ids certify isomorphism, and containment
+   is isomorphism-invariant). The cache is a lock-free direct-mapped
+   table: the triple [(k1, k2, verdict)] is packed into one immediate
+   OCaml int (31 + 31 + 1 bits), so a probe is a single atomic array
+   read and a store a single atomic write — key and verdict can never
+   tear apart, racing domains at worst overwrite each other's slot, and
+   a memo round-trip costs tens of nanoseconds (it must stay well under
+   the ~1us of a recomputed verdict to be worth anything). Collisions
+   evict (bounded memory, no locks, no generations). *)
+
+type memo_stats = { hits : int; misses : int; entries : int }
+
+let memo_on = Atomic.make true
+let set_memoization b = Atomic.set memo_on b
+let memoization_enabled () = Atomic.get memo_on
+let m_hits = Atomic.make 0
+let m_misses = Atomic.make 0
+let memo_bits = 16
+let memo_size = 1 lsl memo_bits
+
+(* 0 is a safe "empty" sentinel: entries are only stored for [k1 <> k2]
+   (equal ids short-circuit to [true] before the cache), and any packed
+   entry with [k1 <> k2] is nonzero. *)
+let memo_table = Array.make memo_size 0
+
+let memo_slot k1 k2 = (((k1 * 0x9e3779b1) lxor k2) * 0x85ebca6b) land (memo_size - 1)
+let memo_pack k1 k2 v = (((k1 lsl 31) lor k2) lsl 1) lor (if v then 1 else 0)
+
+let memo_stats () =
+  let entries = ref 0 in
+  Array.iter (fun e -> if e <> 0 then incr entries) memo_table;
+  {
+    hits = Atomic.get m_hits;
+    misses = Atomic.get m_misses;
+    entries = !entries;
+  }
+
+let reset_memo () =
+  Array.fill memo_table 0 memo_size 0;
+  Atomic.set m_hits 0;
+  Atomic.set m_misses 0
+
+let implies_memo q1 q2 =
+  if q1 == q2 then true
+  else if List.length (Cq.free q1) <> List.length (Cq.free q2) then false
+  else if not (Atomic.get memo_on) then implies q1 q2
+  else
+    let k1 = Cq.canon_id q1 and k2 = Cq.canon_id q2 in
+    if k1 = k2 then true (* isomorphic, hence mutually containing *)
+    else if (k1 lor k2) lsr 31 <> 0 then
+      (* Ids beyond 31 bits do not fit the packing; compute unmemoized
+         (practically unreachable). *)
+      implies q1 q2
+    else begin
+      let slot = memo_slot k1 k2 in
+      let entry = Array.unsafe_get memo_table slot in
+      if entry <> 0 && entry lsr 1 = (k1 lsl 31) lor k2 then begin
+        Atomic.incr m_hits;
+        entry land 1 = 1
+      end
+      else begin
+        Atomic.incr m_misses;
+        let v = implies q1 q2 in
+        Array.unsafe_set memo_table slot (memo_pack k1 k2 v);
+        v
+      end
+    end
 
 let equivalent q1 q2 = implies q1 q2 && implies q2 q1
 
@@ -42,31 +121,25 @@ let isomorphic q1 q2 =
       with Found -> true)
 
 let core_of_query q =
-  let redundant atoms atom free =
+  let redundant q atom =
     match
-      List.filter (fun a -> not (Atom.equal a atom)) atoms
+      List.filter (fun a -> not (Atom.equal a atom)) (Cq.atoms q)
     with
     | [] -> None
-    | smaller_atoms -> (
-        let smaller = Cq.make ~free smaller_atoms in
-        (* [atom] is redundant iff the full query maps into the smaller one
-           fixing the answer variables. *)
-        match
-          hom_problem
-            ~from:(Cq.make ~free atoms)
-            ~into:smaller
-            ~extra_ok:(fun _ _ -> true)
-        with
-        | Some p when Homomorphism.exists p -> Some smaller
-        | Some _ | None -> None)
+    | smaller_atoms ->
+        let smaller = Cq.make ~free:(Cq.free q) smaller_atoms in
+        (* [atom] is redundant iff the full query maps into the smaller
+           one fixing the answer variables — i.e. the smaller query
+           implies the full one (memoized: the shrink loop re-tests many
+           isomorphic subquery pairs). *)
+        if implies_memo smaller q then Some smaller else None
   in
   let rec shrink q =
-    let free = Cq.free q in
     let rec try_each = function
       | [] -> q
       | atom :: rest -> (
           (* Free variables must keep occurring in the body. *)
-          match redundant (Cq.atoms q) atom free with
+          match redundant q atom with
           | Some smaller -> shrink smaller
           | None -> try_each rest
           | exception Invalid_argument _ -> try_each rest)

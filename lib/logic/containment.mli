@@ -11,6 +11,12 @@ val implies : Cq.t -> Cq.t -> bool
 (** [implies q1 q2]: answers(q1) is a subset of answers(q2) on every
     structure. Requires equally long free-variable lists. *)
 
+val implies_memo : Cq.t -> Cq.t -> bool
+(** [implies] with the verdict memoized under the pair of canonical query
+    ids ([Cq.canon_id] — sound by construction). Lock-free direct-mapped
+    cache of packed [(id, id, verdict)] ints: safe and cheap to call from
+    parallel rewriting domains. Semantically identical to [implies]. *)
+
 val equivalent : Cq.t -> Cq.t -> bool
 
 val isomorphic : Cq.t -> Cq.t -> bool
@@ -20,3 +26,21 @@ val isomorphic : Cq.t -> Cq.t -> bool
 val core_of_query : Cq.t -> Cq.t
 (** Remove redundant body atoms until none is redundant: the core of the
     query, equivalent to the input. *)
+
+(** {1 Memoization instrumentation} *)
+
+type memo_stats = { hits : int; misses : int; entries : int }
+
+val memo_stats : unit -> memo_stats
+val reset_memo : unit -> unit
+(** Empty the containment cache and zero the hit/miss counters. *)
+
+val set_memoization : bool -> unit
+(** A/B switch for benchmarking: [set_memoization false] makes
+    [implies_memo] recompute every verdict (the cache is neither read nor
+    written). Defaults to [true]. *)
+
+val memoization_enabled : unit -> bool
+(** Current state of the {!set_memoization} switch — lets dependent caches
+    (e.g. the rewriting engines' candidate dedup) follow the same A/B
+    toggle. *)

@@ -1,4 +1,11 @@
-type t = { free : Term.t list; atoms : Atom.t list }
+type t = {
+  free : Term.t list;
+  atoms : Atom.t list;
+  mutable canon_id : int;  (* interned canonical-form id; -1 = not yet computed *)
+  mutable fs : Fact_set.t option;  (* cached [as_fact_set] view *)
+  mutable vset : Term.Set.t option;  (* cached [var_set] *)
+  mutable sig_mask : int;  (* cached signature fingerprint; 0 = not yet *)
+}
 
 (* Atomic: fresh variables are minted from worker domains during parallel
    rewriting saturation. *)
@@ -35,7 +42,14 @@ let make ~free atoms =
           (Fmt.str "Cq.make: free variable %a does not occur in the body"
              Term.pp v))
     free;
-  { free = dedup_terms free; atoms }
+  {
+    free = dedup_terms free;
+    atoms;
+    canon_id = -1;
+    fs = None;
+    vset = None;
+    sig_mask = 0;
+  }
 
 let free q = q.free
 let atoms q = q.atoms
@@ -44,6 +58,29 @@ let size q = List.length q.atoms
 let vars q =
   dedup_terms (q.free @ body_vars q.atoms)
 
+let var_set q =
+  (* Cached (benign race, as for [as_fact_set]): the containment hot path
+     builds a homomorphism problem per check and needs the flexible set
+     every time. *)
+  match q.vset with
+  | Some s -> s
+  | None ->
+      let s = Term.Set.of_list (vars q) in
+      q.vset <- Some s;
+      s
+
+let sig_mask q =
+  if q.sig_mask <> 0 then q.sig_mask
+  else begin
+    let m =
+      List.fold_left
+        (fun acc a -> acc lor (1 lsl (Symbol.id (Atom.rel a) mod 61)))
+        0 q.atoms
+    in
+    q.sig_mask <- m;
+    m
+  end
+
 let exist_vars q =
   let fv = Term.Set.of_list q.free in
   List.filter (fun v -> not (Term.Set.mem v fv)) (body_vars q.atoms)
@@ -51,7 +88,16 @@ let exist_vars q =
 let is_boolean q = q.free = []
 let gaifman q = Gaifman.of_atoms q.atoms
 let is_connected q = Gaifman.connected (gaifman q)
-let as_fact_set q = Fact_set.of_list q.atoms
+let as_fact_set q =
+  (* Cached: containment checks repeatedly target the same query body, and
+     the fact set carries the (lazily built) join index. Benign race: two
+     domains may build equal views and one write wins. *)
+  match q.fs with
+  | Some f -> f
+  | None ->
+      let f = Fact_set.of_list q.atoms in
+      q.fs <- Some f;
+      f
 
 let holds q target tuple =
   if List.length tuple <> List.length q.free then
@@ -142,6 +188,130 @@ let iso_key q =
     ^ ")"
   in
   String.concat ";" (List.sort String.compare (List.map atom_key q.atoms))
+
+(* ------------------------------------------------------------------ *)
+(* Canonical identities                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A canonical *code* that determines the query up to renaming of bound
+   variables (free variables correspond positionally): an int-list
+   encoding of the atoms with ground terms represented by their
+   hash-consed ids, free variables tagged by position and bound variables
+   numbered by first occurrence along a deterministic traversal. Equal
+   codes therefore certify genuine isomorphism — unlike [iso_key], which
+   is only an invariant fingerprint and may collide — so the code can be
+   interned and the resulting id used as a sound memoization key.
+
+   Encoded as ints rather than a string rendering because the rewriting
+   hot path canonizes every generated candidate: int conses are an order
+   of magnitude cheaper than string concatenation. Each term code is
+   self-delimiting (the tag determines its length, applications carry an
+   explicit argument count), so concatenated codes stay uniquely
+   decodable.
+
+   The traversal order starts from an isomorphism-invariant pre-sort (so
+   that many — not all — renamings of the same query agree on the code;
+   misses only cost a cache entry, never a wrong answer). *)
+
+(* Function symbols of non-ground applications, numbered process-wide so
+   that codes of distinct queries are comparable. Cold path: queries
+   rarely contain non-ground functional terms. *)
+let fn_codes : (string, int) Hashtbl.t = Hashtbl.create 16
+let fn_lock = Mutex.create ()
+
+let fn_code fn =
+  Mutex.protect fn_lock (fun () ->
+      match Hashtbl.find_opt fn_codes fn with
+      | Some c -> c
+      | None ->
+          let c = Hashtbl.length fn_codes in
+          Hashtbl.add fn_codes fn c;
+          c)
+
+let canon_key q =
+  let free_index : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i v -> Hashtbl.replace free_index v.Term.id i)
+    q.free;
+  (* Occurrence counts of bound variables, for the iso-invariant pre-sort. *)
+  let occ : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec count t =
+    match t.Term.view with
+    | Term.Const _ -> ()
+    | Term.Var _ ->
+        if not (Hashtbl.mem free_index t.Term.id) then
+          Hashtbl.replace occ t.Term.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt occ t.Term.id))
+    | Term.App { args; _ } -> List.iter count args
+  in
+  List.iter (fun a -> List.iter count (Atom.args a)) q.atoms;
+  (* Term codes: ground -> (0, hash-consed id); free var -> (1, position);
+     bound var -> (2, occurrence count [pre] / first-occurrence number
+     [final]); non-ground application -> (3, fn, #args, arg codes...). *)
+  let code_term var_code =
+    let rec go acc t =
+      match t.Term.view with
+      | Term.Const _ -> 0 :: t.Term.id :: acc
+      | Term.Var _ -> (
+          match Hashtbl.find_opt free_index t.Term.id with
+          | Some i -> 1 :: i :: acc
+          | None -> 2 :: var_code t.Term.id :: acc)
+      | Term.App { fn; args } ->
+          if Term.vars t = [] then 0 :: t.Term.id :: acc
+          else
+            3 :: fn_code fn :: List.length args
+            :: List.fold_right (fun a acc -> go acc a) args acc
+    in
+    go
+  in
+  let code_atom var_code a =
+    Symbol.id (Atom.rel a)
+    :: Atom.arity a
+    :: List.fold_right
+         (fun t acc -> code_term var_code acc t)
+         (Atom.args a) []
+  in
+  let ordered =
+    List.map snd
+      (List.stable_sort
+         (fun (ka, _) (kb, _) -> List.compare Int.compare ka kb)
+         (List.map
+            (fun a -> (code_atom (fun id -> Hashtbl.find occ id) a, a))
+            q.atoms))
+  in
+  let numbering : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let number id =
+    match Hashtbl.find_opt numbering id with
+    | Some n -> n
+    | None ->
+        let n = Hashtbl.length numbering in
+        Hashtbl.add numbering id n;
+        n
+  in
+  List.concat_map (code_atom number) ordered
+
+(* Interning canonical codes gives each isomorphism class (up to the
+   traversal-order caveat above) a process-wide integer identity. *)
+let canon_table : (int list, int) Hashtbl.t = Hashtbl.create 1024
+let canon_lock = Mutex.create ()
+let canon_next = ref 0
+
+let canon_id q =
+  if q.canon_id >= 0 then q.canon_id
+  else
+    let key = canon_key q in
+    let id =
+      Mutex.protect canon_lock (fun () ->
+          match Hashtbl.find_opt canon_table key with
+          | Some id -> id
+          | None ->
+              let id = !canon_next in
+              incr canon_next;
+              Hashtbl.add canon_table key id;
+              id)
+    in
+    q.canon_id <- id;
+    id
 
 let pp ppf q =
   let pp_atoms = Fmt.list ~sep:(Fmt.any ", ") Atom.pp in

@@ -5,7 +5,14 @@
     answer variables [ybar]; every other variable is implicitly
     existentially quantified. *)
 
-type t = private { free : Term.t list; atoms : Atom.t list }
+type t = private {
+  free : Term.t list;
+  atoms : Atom.t list;
+  mutable canon_id : int;  (** see [canon_id]; [-1] until first computed *)
+  mutable fs : Fact_set.t option;  (** cached [as_fact_set] view *)
+  mutable vset : Term.Set.t option;  (** cached [var_set] *)
+  mutable sig_mask : int;  (** cached [sig_mask]; [0] until first computed *)
+}
 
 val make : free:Term.t list -> Atom.t list -> t
 (** Raises [Invalid_argument] if a free "variable" is not a [Term.var], if
@@ -19,6 +26,17 @@ val size : t -> int
 val vars : t -> Term.t list
 (** All variables of the query, free first, in deterministic order. *)
 
+val var_set : t -> Term.Set.t
+(** [vars] as a set, computed once per query and cached — the containment
+    hot path needs it on every homomorphism problem. *)
+
+val sig_mask : t -> int
+(** A 61-bit fingerprint of the body's relation symbols (bit
+    [Symbol.id mod 61]). If [sig_mask q land lnot (sig_mask q') <> 0] then
+    some relation of [q] does not occur in [q'], so no homomorphism
+    [q -> q'] exists — an O(1) necessary condition for containment.
+    Cached. *)
+
 val exist_vars : t -> Term.t list
 val is_boolean : t -> bool
 val gaifman : t -> Gaifman.t
@@ -26,7 +44,8 @@ val is_connected : t -> bool
 
 val as_fact_set : t -> Fact_set.t
 (** The body "seen as a structure" (footnote 12): variables as domain
-    elements. *)
+    elements. The view (and its lazily built join index) is computed once
+    per query and cached. *)
 
 val holds : t -> Fact_set.t -> Term.t list -> bool
 (** [holds q f tuple]: does [f |= q(tuple)]? The tuple instantiates the free
@@ -55,7 +74,17 @@ val refresh_exist : ?prefix:string -> t -> t
 
 val iso_key : t -> string
 (** A cheap isomorphism-invariant fingerprint: equal for isomorphic queries,
-    used to bucket before expensive isomorphism checks. *)
+    used to bucket before expensive isomorphism checks. The converse fails:
+    non-isomorphic queries may share a fingerprint. *)
+
+val canon_id : t -> int
+(** The interned id of a canonical rendering of the query. Sound as an
+    identity: [canon_id q1 = canon_id q2] certifies that [q1] and [q2] are
+    isomorphic (equal up to renaming of bound variables, free variables
+    positional) — which makes the id a safe key for memoizing containment
+    verdicts. Not complete: isomorphic queries whose canonical traversals
+    tie-break differently may get distinct ids (a cache miss, never a wrong
+    answer). Computed lazily and cached on the query. *)
 
 val pp : t Fmt.t
 

@@ -1,13 +1,279 @@
+(* Fact sets with incrementally-maintained indexes.
+
+   The index is a persistent stack of *frozen layers*, LSM-style: each
+   layer is an immutable pair of hash tables (per-relation facts and a
+   (relation, position, term) join index) that is never mutated after
+   construction, so layers are structurally shared between a set and the
+   sets derived from it. [add] and [union] cons a layer holding just the
+   delta onto the parent's stack, making the indexing cost of a growing
+   chase O(|delta|) per stage; lookups probe every layer (the stack is
+   kept shallow by deterministically merging the smallest adjacent pair
+   when it grows past a bound). Small [diff]s rebuild only the layers
+   that contain removed atoms and share the rest. Operations that churn
+   most of the set (filter, inter, large diffs) return an unindexed set
+   whose index is rebuilt lazily on first use.
+
+   The join index is keyed by (Symbol.id, term.id * arity + pos) — exact
+   on the hash-consed ids, not a structural hash — so a bucket contains
+   precisely the facts with [term] at [pos] and single-constraint
+   [candidates] lookups need no post-filtering. *)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  builds : int;
+  built_atoms : int;
+  extends : int;
+  delta_atoms : int;
+  shrinks : int;
+  removed_atoms : int;
+}
+
+let c_builds = Atomic.make 0
+let c_built_atoms = Atomic.make 0
+let c_extends = Atomic.make 0
+let c_delta_atoms = Atomic.make 0
+let c_shrinks = Atomic.make 0
+let c_removed_atoms = Atomic.make 0
+
+let counters () =
+  {
+    builds = Atomic.get c_builds;
+    built_atoms = Atomic.get c_built_atoms;
+    extends = Atomic.get c_extends;
+    delta_atoms = Atomic.get c_delta_atoms;
+    shrinks = Atomic.get c_shrinks;
+    removed_atoms = Atomic.get c_removed_atoms;
+  }
+
+let reset_counters () =
+  Atomic.set c_builds 0;
+  Atomic.set c_built_atoms 0;
+  Atomic.set c_extends 0;
+  Atomic.set c_delta_atoms 0;
+  Atomic.set c_shrinks 0;
+  Atomic.set c_removed_atoms 0
+
+(* Kill switch for A/B benchmarking: with incremental maintenance off,
+   every operation returns an unindexed set (pre-incremental behaviour:
+   the index of each derived set is rebuilt from scratch on demand). *)
+let incremental = Atomic.make true
+let set_incremental b = Atomic.set incremental b
+
+(* ------------------------------------------------------------------ *)
+(* Layers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Buckets cache their length: seed selection in [candidates] compares
+   bucket sizes, which must not cost a list traversal. *)
+type bucket = { n : int; items : Atom.t list }
+
+let bucket_cons a b = { n = b.n + 1; items = a :: b.items }
+
+type layer = {
+  lsize : int;  (* atoms in this layer *)
+  l_syms : Symbol.t list;  (* distinct relation symbols in this layer *)
+  l_rel : (int, bucket) Hashtbl.t;  (* Symbol.id -> facts *)
+  l_pos : (int * int, bucket) Hashtbl.t;
+      (* (Symbol.id, term.id * arity + pos) -> facts with term at pos *)
+}
+
+(* Frozen after construction: every mutation of [l_rel]/[l_pos] happens
+   inside the [layer_of_*] / [merge_layers] builders below. *)
+
+let tbl_cons tbl key atom =
+  match Hashtbl.find_opt tbl key with
+  | None -> Hashtbl.replace tbl key { n = 1; items = [ atom ] }
+  | Some b -> Hashtbl.replace tbl key (bucket_cons atom b)
+
+let layer_of_iter ~size iter =
+  let l_rel = Hashtbl.create ((size / 4) + 8) in
+  let l_pos = Hashtbl.create ((2 * size) + 8) in
+  let syms = ref [] in
+  iter (fun atom ->
+      let rel = Atom.rel atom in
+      let sid = Symbol.id rel in
+      let arity = Symbol.arity rel in
+      (match Hashtbl.find_opt l_rel sid with
+      | None ->
+          syms := rel :: !syms;
+          Hashtbl.replace l_rel sid { n = 1; items = [ atom ] }
+      | Some b -> Hashtbl.replace l_rel sid (bucket_cons atom b));
+      List.iteri
+        (fun pos (term : Term.t) ->
+          tbl_cons l_pos (sid, (term.Term.id * arity) + pos) atom)
+        (Atom.args atom));
+  { lsize = size; l_syms = !syms; l_rel; l_pos }
+
+let layer_of_list atoms n = layer_of_iter ~size:n (fun f -> List.iter f atoms)
+
+let layer_of_set set =
+  layer_of_iter ~size:(Atom.Set.cardinal set) (fun f -> Atom.Set.iter f set)
+
+(* Merge [newer] onto [older]: bucket items of the newer layer stay in
+   front, preserving the probe order of the unmerged stack. *)
+let merge_layers newer older =
+  Atomic.incr c_builds;
+  ignore (Atomic.fetch_and_add c_built_atoms (newer.lsize + older.lsize));
+  let merge_tbl a b =
+    let tbl = Hashtbl.create (Hashtbl.length a + Hashtbl.length b) in
+    Hashtbl.iter (Hashtbl.replace tbl) b;
+    Hashtbl.iter
+      (fun k (v : bucket) ->
+        match Hashtbl.find_opt tbl k with
+        | None -> Hashtbl.replace tbl k v
+        | Some old ->
+            Hashtbl.replace tbl k
+              { n = v.n + old.n; items = v.items @ old.items })
+      a;
+    tbl
+  in
+  let l_syms =
+    older.l_syms
+    @ List.filter
+        (fun s -> not (Hashtbl.mem older.l_rel (Symbol.id s)))
+        newer.l_syms
+  in
+  {
+    lsize = newer.lsize + older.lsize;
+    l_syms;
+    l_rel = merge_tbl newer.l_rel older.l_rel;
+    l_pos = merge_tbl newer.l_pos older.l_pos;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Indexes: layer stacks + the active domain                           *)
+(* ------------------------------------------------------------------ *)
+
 type index = {
-  by_rel : Atom.t list Symbol.Map.t;
-  by_rel_pos_term : (string * int * int * int, Atom.t list) Hashtbl.t;
-      (* key: (rel name, rel arity, position, term id) *)
+  layers : layer list;  (* newest first *)
+  n_layers : int;
   domain : Term.Set.t;
 }
 
-type t = { set : Atom.Set.t; mutable index : index option }
+(* Lookups probe every layer, so the stack is kept shallow: past
+   [max_layers] the adjacent pair with the smallest combined size is
+   merged (deterministic, and amortized O(log n) per atom under streams
+   of small adds — the geometric layer sizes of a doubling chase make the
+   smallest-pair merge cheap relative to the stage's own delta). The
+   bound is deliberately tight: every join probe pays one hash lookup
+   per layer, and the chase hot loop issues several probes per trigger,
+   so a deep stack taxes reads far more than compaction taxes writes. *)
+let max_layers = 4
 
-let of_set set = { set; index = None }
+let rec rebalance layers n =
+  if n <= max_layers then (layers, n)
+  else
+    let arr = Array.of_list layers in
+    let best = ref 0 and best_size = ref max_int in
+    for i = 0 to Array.length arr - 2 do
+      let s = arr.(i).lsize + arr.(i + 1).lsize in
+      if s < !best_size then begin
+        best := i;
+        best_size := s
+      end
+    done;
+    let merged = merge_layers arr.(!best) arr.(!best + 1) in
+    let layers' =
+      List.concat
+        [
+          Array.to_list (Array.sub arr 0 !best);
+          [ merged ];
+          Array.to_list
+            (Array.sub arr (!best + 2) (Array.length arr - !best - 2));
+        ]
+    in
+    rebalance layers' (n - 1)
+
+let cons_layer idx layer domain =
+  if layer.lsize = 0 then { idx with domain }
+  else
+    let layers, n_layers = rebalance (layer :: idx.layers) (idx.n_layers + 1) in
+    { layers; n_layers; domain }
+
+let domain_add_atom dom atom =
+  (* Set.add returns the set itself (physically) when the element is
+     already present, so the common rediscovered-term case is alloc-free. *)
+  List.fold_left (fun d t -> Term.Set.add t d) dom (Atom.args atom)
+
+let empty_index = { layers = []; n_layers = 0; domain = Term.Set.empty }
+
+let index_of_set set =
+  if Atom.Set.is_empty set then empty_index
+  else begin
+    Atomic.incr c_builds;
+    ignore (Atomic.fetch_and_add c_built_atoms (Atom.Set.cardinal set));
+    let layer = layer_of_set set in
+    let domain = Atom.Set.fold (fun a d -> domain_add_atom d a) set Term.Set.empty in
+    { layers = [ layer ]; n_layers = 1; domain }
+  end
+
+(* Layer lookups. [n_layers] is small, so per-constraint totals are a
+   short list walk over cached bucket lengths. *)
+
+let rel_buckets idx sid =
+  List.filter_map (fun l -> Hashtbl.find_opt l.l_rel sid) idx.layers
+
+let pos_buckets idx key =
+  List.filter_map (fun l -> Hashtbl.find_opt l.l_pos key) idx.layers
+
+let buckets_total bs = List.fold_left (fun acc b -> acc + b.n) 0 bs
+
+let buckets_items = function
+  | [] -> []
+  | [ b ] -> b.items (* single segment: no copy *)
+  | bs -> List.concat_map (fun b -> b.items) bs
+
+let layer_mem l atom =
+  let rel = Atom.rel atom in
+  let sid = Symbol.id rel in
+  let arity = Symbol.arity rel in
+  let bucket =
+    if arity = 0 then Hashtbl.find_opt l.l_rel sid
+    else
+      let a0 = (Atom.arg atom 0 : Term.t) in
+      Hashtbl.find_opt l.l_pos (sid, a0.Term.id * arity)
+  in
+  match bucket with
+  | None -> false
+  | Some b -> List.exists (Atom.equal atom) b.items
+
+(* Does [term] occur (in any position of any fact) under these layers?
+   Cold path, used only to maintain [domain] across removals. *)
+let term_occurs layers (term : Term.t) =
+  List.exists
+    (fun l ->
+      List.exists
+        (fun sym ->
+          let sid = Symbol.id sym in
+          let arity = Symbol.arity sym in
+          let rec probe pos =
+            pos < arity
+            && (Hashtbl.mem l.l_pos (sid, (term.Term.id * arity) + pos)
+               || probe (pos + 1))
+          in
+          probe 0)
+        l.l_syms)
+    layers
+
+(* ------------------------------------------------------------------ *)
+(* Fact sets                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type t = { set : Atom.Set.t; mutable index : index_state }
+
+and index_state =
+  | Unbuilt
+  | Built of index
+  | Lazy_extend of { base : t; other : t }
+      (* Pending disjoint union [base ∪ other]: forced by concatenating
+         the two sides' layer stacks, so the delta side's layers are
+         built once and shared — and never built at all if this set's
+         index is never needed (e.g. a chase's final stage). *)
+
+let of_set set = { set; index = Unbuilt }
 let empty = of_set Atom.Set.empty
 let of_list l = of_set (Atom.Set.of_list l)
 let to_set t = t.set
@@ -15,85 +281,250 @@ let atoms t = Atom.Set.elements t.set
 let cardinal t = Atom.Set.cardinal t.set
 let is_empty t = Atom.Set.is_empty t.set
 let mem a t = Atom.Set.mem a t.set
-let add a t = of_set (Atom.Set.add a t.set)
-let remove a t = of_set (Atom.Set.remove a t.set)
-let union a b = of_set (Atom.Set.union a.set b.set)
-let diff a b = of_set (Atom.Set.diff a.set b.set)
+
+let is_indexed t = match t.index with Unbuilt -> false | _ -> true
+
+let rec index t =
+  match t.index with
+  | Built i -> i
+  | Unbuilt ->
+      (* Benign race: concurrent forcing computes equal indexes and one
+         single-word write wins. The chase engines pre-force indexes of
+         shared sets before fanning out, so in practice this runs in the
+         coordinator. *)
+      let i = index_of_set t.set in
+      t.index <- Built i;
+      i
+  | Lazy_extend { base; other } ->
+      let bidx = index base in
+      let oidx = index other in
+      Atomic.incr c_extends;
+      ignore (Atomic.fetch_and_add c_delta_atoms (Atom.Set.cardinal other.set));
+      let layers, n_layers =
+        rebalance (oidx.layers @ bidx.layers) (oidx.n_layers + bidx.n_layers)
+      in
+      let i =
+        { layers; n_layers; domain = Term.Set.union bidx.domain oidx.domain }
+      in
+      t.index <- Built i;
+      i
+
+(* [derive ~delta ~ndelta parent set'] : the fact set [set'], with its
+   index extended from [parent]'s by consing a frozen layer of the
+   [delta] atoms (when the parent is indexed and incremental maintenance
+   is on). *)
+let derive ~delta ~ndelta parent set' =
+  if is_indexed parent && Atomic.get incremental then begin
+    let idx = index parent in
+    Atomic.incr c_extends;
+    ignore (Atomic.fetch_and_add c_delta_atoms ndelta);
+    let layer = layer_of_list delta ndelta in
+    let domain = List.fold_left domain_add_atom idx.domain delta in
+    { set = set'; index = Built (cons_layer idx layer domain) }
+  end
+  else of_set set'
+
+let add a t =
+  if Atom.Set.mem a t.set then t
+  else derive ~delta:[ a ] ~ndelta:1 t (Atom.Set.add a t.set)
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else if not (Atomic.get incremental) then of_set (Atom.Set.union a.set b.set)
+  else
+    (* Extend the indexed (preferring the larger) side by the other's
+       delta; with no index on either side, stay lazy. *)
+    let base, other =
+      match (is_indexed a, is_indexed b) with
+      | true, false -> (a, b)
+      | false, true -> (b, a)
+      | true, true | false, false ->
+          if Atom.Set.cardinal a.set >= Atom.Set.cardinal b.set then (a, b)
+          else (b, a)
+    in
+    if not (is_indexed base) then of_set (Atom.Set.union a.set b.set)
+    else if Atom.Set.disjoint a.set b.set then
+      (* Disjoint union: share the delta side's layers wholesale, and
+         lazily — each delta atom is indexed at most once per chase, and
+         not at all when the union's index is never consulted (a chase's
+         final stage). *)
+      {
+        set = Atom.Set.union base.set other.set;
+        index = Lazy_extend { base; other };
+      }
+    else
+      let delta = Atom.Set.elements (Atom.Set.diff other.set base.set) in
+      if delta = [] then base
+      else
+        derive ~delta ~ndelta:(List.length delta) base
+          (Atom.Set.union base.set other.set)
+
+(* [union] for callers that know the operands share no atom (the chase
+   engine's freshly-derived delta): skips the disjointness walk. The
+   precondition is not checked — a violation would double atoms inside
+   index buckets (the [set] itself stays correct). *)
+let union_disjoint a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else if not (Atomic.get incremental) then of_set (Atom.Set.union a.set b.set)
+  else
+    let base, other =
+      match (is_indexed a, is_indexed b) with
+      | true, false -> (a, b)
+      | false, true -> (b, a)
+      | true, true | false, false ->
+          if Atom.Set.cardinal a.set >= Atom.Set.cardinal b.set then (a, b)
+          else (b, a)
+    in
+    if not (is_indexed base) then of_set (Atom.Set.union a.set b.set)
+    else
+      {
+        set = Atom.Set.union base.set other.set;
+        index = Lazy_extend { base; other };
+      }
+
+let diff a b =
+  let plain () = of_set (Atom.Set.diff a.set b.set) in
+  if not (is_indexed a && Atomic.get incremental) then plain ()
+  else
+    let idx = index a in
+    (
+      let removed = Atom.Set.inter a.set b.set in
+      let n_removed = Atom.Set.cardinal removed in
+      (* Filtering most of the layers costs more than one lazy rebuild of
+         the (small) result: only shrink small deltas. *)
+      if n_removed = 0 then a
+      else if 4 * n_removed > Atom.Set.cardinal a.set then plain ()
+      else begin
+        Atomic.incr c_shrinks;
+        ignore (Atomic.fetch_and_add c_removed_atoms n_removed);
+        (* Rebuild exactly the layers that contain removed atoms; the
+           others are shared untouched. *)
+        let layers =
+          List.filter_map
+            (fun l ->
+              if not (Atom.Set.exists (fun x -> layer_mem l x) removed) then
+                Some l
+              else
+                let kept =
+                  Hashtbl.fold
+                    (fun _ (b : bucket) acc ->
+                      List.fold_left
+                        (fun acc atom ->
+                          if Atom.Set.mem atom removed then acc
+                          else atom :: acc)
+                        acc b.items)
+                    l.l_rel []
+                in
+                match kept with
+                | [] -> None
+                | _ -> Some (layer_of_list kept (List.length kept)))
+            idx.layers
+        in
+        let domain =
+          Atom.Set.fold
+            (fun atom dom ->
+              List.fold_left
+                (fun dom term ->
+                  if term_occurs layers term then dom
+                  else Term.Set.remove term dom)
+                dom (Atom.args atom))
+            removed idx.domain
+        in
+        {
+          set = Atom.Set.diff a.set b.set;
+          index = Built { layers; n_layers = List.length layers; domain };
+        }
+      end)
+
+let remove a t =
+  if not (Atom.Set.mem a t.set) then t
+  else diff t { set = Atom.Set.singleton a; index = Unbuilt }
+
 let inter a b = of_set (Atom.Set.inter a.set b.set)
 let subset a b = Atom.Set.subset a.set b.set
 let equal a b = Atom.Set.equal a.set b.set
 let filter f t = of_set (Atom.Set.filter f t.set)
-
-let key_of rel pos term =
-  (Symbol.name rel, Symbol.arity rel, pos, Term.hash term)
-
-let build_index t =
-  let by_rel = ref Symbol.Map.empty in
-  let by_rel_pos_term = Hashtbl.create 256 in
-  let domain = ref Term.Set.empty in
-  Atom.Set.iter
-    (fun a ->
-      let rel = Atom.rel a in
-      by_rel :=
-        Symbol.Map.update rel
-          (function None -> Some [ a ] | Some l -> Some (a :: l))
-          !by_rel;
-      List.iteri
-        (fun pos term ->
-          domain := Term.Set.add term !domain;
-          let key = key_of rel pos term in
-          let prev =
-            Option.value ~default:[] (Hashtbl.find_opt by_rel_pos_term key)
-          in
-          Hashtbl.replace by_rel_pos_term key (a :: prev))
-        (Atom.args a))
-    t.set;
-  { by_rel = !by_rel; by_rel_pos_term; domain = !domain }
-
-let index t =
-  match t.index with
-  | Some i -> i
-  | None ->
-      let i = build_index t in
-      t.index <- Some i;
-      i
-
 let domain t = (index t).domain
 
 let signature t =
   Atom.Set.fold (fun a acc -> Symbol.Set.add (Atom.rel a) acc) t.set
     Symbol.Set.empty
 
-let by_rel t rel =
-  Option.value ~default:[] (Symbol.Map.find_opt rel (index t).by_rel)
+let by_rel t rel = buckets_items (rel_buckets (index t) (Symbol.id rel))
 
 let candidates t rel ~bound =
   let idx = index t in
-  let matches a =
-    List.for_all (fun (pos, term) -> Term.equal (Atom.arg a pos) term) bound
+  let sid = Symbol.id rel in
+  let arity = Symbol.arity rel in
+  let segs_of (pos, (term : Term.t)) =
+    pos_buckets idx (sid, (term.Term.id * arity) + pos)
   in
   match bound with
-  | [] -> by_rel t rel
-  | (pos0, term0) :: _ ->
-      (* Pick the constraint with the shortest candidate list as the seed. *)
-      let seed_list =
+  | [] -> buckets_items (rel_buckets idx sid)
+  | [ c ] ->
+      (* The term-id key is exact: a single-constraint lookup needs no
+         post-filtering. *)
+      buckets_items (segs_of c)
+  | c0 :: rest ->
+      let seed0 = segs_of c0 in
+      let seed, seed_n =
         List.fold_left
-          (fun best (pos, term) ->
-            let l =
-              Option.value ~default:[]
-                (Hashtbl.find_opt idx.by_rel_pos_term (key_of rel pos term))
-            in
-            match best with
-            | None -> Some l
-            | Some b -> if List.length l < List.length b then Some l else best)
-          None bound
-        |> Option.value
-             ~default:
-               (Option.value ~default:[]
-                  (Hashtbl.find_opt idx.by_rel_pos_term
-                     (key_of rel pos0 term0)))
+          (fun ((_, best_n) as best) c ->
+            let segs = segs_of c in
+            let n = buckets_total segs in
+            if n < best_n then (segs, n) else best)
+          (seed0, buckets_total seed0)
+          rest
       in
-      List.filter matches seed_list
+      if seed_n = 0 then []
+      else
+        let matches a =
+          List.for_all
+            (fun (pos, term) -> Term.equal (Atom.arg a pos) term)
+            bound
+        in
+        List.concat_map (fun (b : bucket) -> List.filter matches b.items) seed
+
+(* Allocation-free variant of [candidates] for the join inner loop: the
+   segments are iterated in place instead of being concatenated into a
+   fresh list per probe. The enumeration order is exactly the order of
+   [candidates]. *)
+let iter_candidates t rel ~bound f =
+  let idx = index t in
+  let sid = Symbol.id rel in
+  let arity = Symbol.arity rel in
+  let segs_of (pos, (term : Term.t)) =
+    pos_buckets idx (sid, (term.Term.id * arity) + pos)
+  in
+  let iter_segs segs =
+    List.iter (fun (b : bucket) -> List.iter f b.items) segs
+  in
+  match bound with
+  | [] -> iter_segs (rel_buckets idx sid)
+  | [ c ] -> iter_segs (segs_of c)
+  | c0 :: rest ->
+      let seed0 = segs_of c0 in
+      let seed, seed_n =
+        List.fold_left
+          (fun ((_, best_n) as best) c ->
+            let segs = segs_of c in
+            let n = buckets_total segs in
+            if n < best_n then (segs, n) else best)
+          (seed0, buckets_total seed0)
+          rest
+      in
+      if seed_n > 0 then
+        let matches a =
+          List.for_all
+            (fun (pos, term) -> Term.equal (Atom.arg a pos) term)
+            bound
+        in
+        List.iter
+          (fun (b : bucket) ->
+            List.iter (fun a -> if matches a then f a) b.items)
+          seed
 
 let restrict t allowed =
   filter

@@ -1,8 +1,19 @@
 (** Fact sets: database instances and (finite prefixes of) chase structures.
 
-    A fact set is an immutable set of atoms together with lazily-built
-    indexes used by the homomorphism engine: a per-relation index and a
-    (relation, position, term) index for selective joins. *)
+    A fact set is an immutable set of atoms together with indexes used by
+    the homomorphism engine: a per-relation index and a
+    (relation, position, term) index for selective joins, the latter keyed
+    exactly by the hash-consed term id.
+
+    Indexes are maintained {e incrementally}: the index is a persistent
+    stack of frozen (immutable after construction) hash-table layers,
+    structurally shared between a set and the sets derived from it. [add]
+    and [union] cons a layer holding just the delta onto the parent's
+    stack and small [diff]s rebuild only the layers containing removed
+    atoms, so a chase whose [full] set grows stage by stage pays
+    O(|delta|) indexing per stage. Operations that churn most of the set
+    (filter, inter, large diffs) return an unindexed set whose index is
+    lazily rebuilt on first use. *)
 
 type t
 
@@ -17,6 +28,13 @@ val mem : Atom.t -> t -> bool
 val add : Atom.t -> t -> t
 val remove : Atom.t -> t -> t
 val union : t -> t -> t
+
+val union_disjoint : t -> t -> t
+(** [union], for callers that already know the operands share no atom
+    (e.g. a chase stage's freshly-derived delta): skips the disjointness
+    walk that [union] performs before sharing index layers wholesale.
+    The precondition is not checked. *)
+
 val diff : t -> t -> t
 val inter : t -> t -> t
 val subset : t -> t -> bool
@@ -38,8 +56,36 @@ val candidates : t -> Symbol.t -> bound:(int * Term.t) list -> Atom.t list
     constraint in [bound]; uses the most selective available index, then
     filters. *)
 
+val iter_candidates :
+  t -> Symbol.t -> bound:(int * Term.t) list -> (Atom.t -> unit) -> unit
+(** [iter_candidates t rel ~bound f] applies [f] to exactly the atoms
+    [candidates t rel ~bound] would return, in the same order, without
+    materializing the list — the homomorphism join's inner loop. *)
+
 val restrict : t -> Term.Set.t -> t
 (** The induced substructure on the given terms: keep the atoms whose every
     argument is in the set (Definition 36's "ban the other terms"). *)
 
 val pp : t Fmt.t
+
+(** {1 Index instrumentation}
+
+    Process-wide counters of index maintenance work, for the chase engines'
+    [stage_stats] and the bench harness. Thread-safe. *)
+
+type counters = {
+  builds : int;  (** full index constructions *)
+  built_atoms : int;  (** atoms indexed by full builds *)
+  extends : int;  (** incremental index extensions *)
+  delta_atoms : int;  (** atoms added to an existing index *)
+  shrinks : int;  (** incremental index removals *)
+  removed_atoms : int;  (** atoms removed from an existing index *)
+}
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
+
+val set_incremental : bool -> unit
+(** A/B switch for benchmarking: [set_incremental false] makes every
+    operation return an unindexed set, restoring the pre-incremental
+    rebuild-on-demand cost model. Defaults to [true]. *)

@@ -21,36 +21,52 @@ exception Stop
    stages), and each domain-bound variable carries its own candidate pool. *)
 let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
     ?prefer ~flexible ~pattern ~domain_bindings f =
-  let bound_positions assignment atom =
-    let bound = ref [] in
-    List.iteri
+  (* Per-search-node match plan: the flexibility of each argument
+     position and the current assignment are fixed while the candidates
+     of one atom are scanned, so they are resolved once into an array of
+     slot actions and the per-candidate check is a plain array walk —
+     no set membership or map lookup per argument per fact. *)
+  let module Slot = struct
+    type t =
+      | Rigid of Term.t (* constant, or flexible term already assigned *)
+      | Free of Term.t (* unassigned flexible term, first occurrence *)
+      | Dup of int (* repeat of the [Free] at this earlier position *)
+  end in
+  let compile_plan assignment atom =
+    let args = Array.of_list (Atom.args atom) in
+    Array.mapi
       (fun pos t ->
-        if Term.Set.mem t flexible then (
+        if Term.Set.mem t flexible then
           match Term.Map.find_opt t assignment with
-          | Some image -> bound := (pos, image) :: !bound
-          | None -> ())
-        else bound := (pos, t) :: !bound)
-      (Atom.args atom);
-    !bound
+          | Some image -> Slot.Rigid image
+          | None ->
+              let rec first_occ p =
+                if p >= pos then Slot.Free t
+                else if Term.equal args.(p) t then Slot.Dup p
+                else first_occ (p + 1)
+              in
+              first_occ 0
+        else Slot.Rigid t)
+      args
   in
-  let match_atom assignment atom fact =
-    let rec go assignment pos = function
-      | [] -> Some assignment
-      | t :: rest ->
-          let u = Atom.arg fact pos in
-          if Term.Set.mem t flexible then
-            match Term.Map.find_opt t assignment with
-            | Some image ->
-                if Term.equal image u then go assignment (pos + 1) rest
-                else None
-            | None ->
-                if image_ok t u then
-                  go (Term.Map.add t u assignment) (pos + 1) rest
-                else None
-          else if Term.equal t u then go assignment (pos + 1) rest
-          else None
+  let match_plan assignment plan fact =
+    let n = Array.length plan in
+    let rec go assignment pos =
+      if pos >= n then Some assignment
+      else
+        let u = Atom.arg fact pos in
+        match plan.(pos) with
+        | Slot.Rigid t ->
+            if Term.equal t u then go assignment (pos + 1) else None
+        | Slot.Free v ->
+            if image_ok v u then
+              go (Term.Map.add v u assignment) (pos + 1)
+            else None
+        | Slot.Dup p ->
+            if Term.equal u (Atom.arg fact p) then go assignment (pos + 1)
+            else None
     in
-    go assignment 0 (Atom.args atom)
+    go assignment 0
   in
   let rec bind_domain assignment = function
     | [] -> f assignment
@@ -67,42 +83,65 @@ let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
                   bind_domain (Term.Map.add v u assignment) rest)
               pool)
   in
+  let bound_count assignment atom =
+    (* [List.length (bound_positions assignment atom)] without building
+       the list — seed scoring runs at every search node. *)
+    let n = ref 0 in
+    List.iter
+      (fun t ->
+        if Term.Set.mem t flexible then begin
+          if Term.Map.mem t assignment then incr n
+        end
+        else incr n)
+      (Atom.args atom);
+    !n
+  in
   let rec solve assignment remaining =
     match remaining with
     | [] -> bind_domain assignment domain_bindings
-    | _ :: _ ->
-        let scored =
-          List.map
-            (fun ((a, _) as entry) -> (entry, bound_positions assignment a))
-            remaining
-        in
-        let (best_atom, best_target), bound =
+    | ((a0, _) as e0) :: others ->
+        let (best_atom, best_target), _ =
           List.fold_left
-            (fun ((_, bb) as best) ((_, b) as cur) ->
-              if List.length b > List.length bb then cur else best)
-            (List.hd scored) (List.tl scored)
+            (fun ((_, bn) as best) ((a, _) as cur) ->
+              let n = bound_count assignment a in
+              if n > bn then (cur, n) else best)
+            (e0, bound_count assignment a0)
+            others
         in
+        let plan = compile_plan assignment best_atom in
+        let bound = ref [] in
+        Array.iteri
+          (fun pos slot ->
+            match slot with
+            | Slot.Rigid t -> bound := (pos, t) :: !bound
+            | Slot.Free _ | Slot.Dup _ -> ())
+          plan;
+        let bound = !bound in
         let rest =
           List.filter (fun (a, _) -> not (a == best_atom)) remaining
         in
-        let cands =
-          Fact_set.candidates best_target (Atom.rel best_atom) ~bound
+        let try_fact fact =
+          match match_plan assignment plan fact with
+          | Some assignment' -> solve assignment' rest
+          | None -> ()
         in
-        let cands =
-          (* Candidate preference steers which homomorphism is found first
-             (e.g. the core search prefers folding onto original
-             constants); it never prunes. *)
-          match prefer with
-          | None -> cands
-          | Some rank ->
-              List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) cands
-        in
-        List.iter
-          (fun fact ->
-            match match_atom assignment best_atom fact with
-            | Some assignment' -> solve assignment' rest
-            | None -> ())
-          cands
+        (match prefer with
+        | None ->
+            (* Hot path: iterate the index buckets in place, no candidate
+               list allocation. *)
+            Fact_set.iter_candidates best_target (Atom.rel best_atom) ~bound
+              try_fact
+        | Some rank ->
+            (* Candidate preference steers which homomorphism is found
+               first (e.g. the core search prefers folding onto original
+               constants); it never prunes. *)
+            let cands =
+              Fact_set.candidates best_target (Atom.rel best_atom) ~bound
+            in
+            List.iter try_fact
+              (List.stable_sort
+                 (fun a b -> Int.compare (rank a) (rank b))
+                 cands))
   in
   if Term.Map.for_all (fun v u -> image_ok v u) init then solve init pattern
 
@@ -142,4 +181,4 @@ let apply mapping ~flexible atom =
       | None -> invalid_arg "Homomorphism.apply: unmapped flexible term"
     else t
   in
-  Atom.make (Atom.rel atom) (List.map image (Atom.args atom))
+  Atom.map_args image atom

@@ -1,17 +1,41 @@
-type t = { name : string; arity : int }
+(* Relation symbols are hash-consed: [make] returns the unique symbol for
+   a (name, arity) pair, carrying a dense integer [id] used as a packed
+   hash-table key by the fact-set indexes. The table is shared by every
+   domain, hence the lock. *)
+
+type t = { id : int; name : string; arity : int }
+
+let table : (string * int, t) Hashtbl.t = Hashtbl.create 256
+let table_lock = Mutex.create ()
+let next_id = ref 0
 
 let make name ~arity =
   if arity < 0 then invalid_arg "Symbol.make: negative arity";
-  { name; arity }
+  Mutex.protect table_lock (fun () ->
+      match Hashtbl.find_opt table (name, arity) with
+      | Some s -> s
+      | None ->
+          let s = { id = !next_id; name; arity } in
+          incr next_id;
+          Hashtbl.add table (name, arity) s;
+          s)
 
+let id s = s.id
 let name s = s.name
 let arity s = s.arity
 
+(* Order by name (then arity) — not by id — so that [Set]/[Map] listings
+   stay alphabetical and independent of symbol creation order. Hash-consing
+   makes equal symbols physically equal, so the common same-symbol case
+   (every comparison inside a single-relation [Atom.Set] subtree) skips the
+   string comparison. *)
 let compare a b =
-  let c = String.compare a.name b.name in
-  if c <> 0 then c else Int.compare a.arity b.arity
+  if a == b then 0
+  else
+    let c = String.compare a.name b.name in
+    if c <> 0 then c else Int.compare a.arity b.arity
 
-let equal a b = compare a b = 0
+let equal a b = a.id = b.id
 let pp ppf s = Fmt.string ppf s.name
 
 module Ord = struct

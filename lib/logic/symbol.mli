@@ -3,11 +3,18 @@
     A symbol is a name paired with an arity; two symbols with the same name
     but different arities are distinct (the paper never overloads names, but
     generated signatures such as the [T_NF] nullary predicates are easier to
-    produce when the invariant is local to the symbol). *)
+    produce when the invariant is local to the symbol).
 
-type t = private { name : string; arity : int }
+    Symbols are hash-consed: [make] returns the unique symbol for each
+    (name, arity) pair, so [equal] is an integer comparison and [id] is a
+    dense process-wide identifier suitable for packed index keys. [compare]
+    still orders by name (then arity) to keep [Set]/[Map] traversals
+    alphabetical. *)
+
+type t = private { id : int; name : string; arity : int }
 
 val make : string -> arity:int -> t
+val id : t -> int
 val name : t -> string
 val arity : t -> int
 val compare : t -> t -> int

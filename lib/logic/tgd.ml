@@ -162,19 +162,25 @@ let triggers r target f =
        ~target ())
     f
 
-let apply r sigma =
-  let m =
-    Term.subst_of_bindings
-      (Term.Map.fold (fun v u acc -> (v, u) :: acc) sigma [])
-  in
-  List.map (Atom.subst m) r.skolemized_head
+(* Applying a trigger is the chase's innermost loop: image head terms
+   directly through the (small) mapping rather than converting it to a
+   generic substitution, which would rebuild an intermediate map and pay a
+   memo table per substituted term. Head atoms are flat modulo Skolem
+   terms, whose arguments are frontier variables. *)
+let rec image sigma t =
+  match t.Term.view with
+  | Term.Var _ -> (
+      match Term.Map.find_opt t sigma with Some u -> u | None -> t)
+  | Term.Const _ -> t
+  | Term.App { fn; args } -> Term.app fn (List.map (image sigma) args)
+
+let subst_atoms sigma =
+  List.map (fun a -> Atom.map_args (image sigma) a)
+
+let apply r sigma = subst_atoms sigma r.skolemized_head
 
 let head_witness_exists r sigma target =
-  let m =
-    Term.subst_of_bindings
-      (Term.Map.fold (fun v u acc -> (v, u) :: acc) sigma [])
-  in
-  let head' = List.map (Atom.subst m) r.head in
+  let head' = subst_atoms sigma r.head in
   Homomorphism.exists
     (Homomorphism.make
        ~flexible:(Term.Set.of_list r.exist_vars)

@@ -17,21 +17,66 @@ type result = {
   steps : int;
   generated : int;
   containment_checks : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 (* Both saturation strategies share the containment-based minimization of
    Ucq.add_minimal, reimplemented here so the pairwise implication checks
    can be counted and, in the parallel strategy, fanned out per existing
    disjunct. The decisions (and the disjunct order of the result) are
-   exactly those of Ucq.add_minimal. *)
+   exactly those of Ucq.add_minimal — containment verdicts go through the
+   process-wide memo cache ([Containment.implies_memo]), which never
+   changes a verdict, only its cost. *)
 
-let finalize ~aux ~ucq ~outcome ~steps ~generated ~containment_checks =
+(* Candidate dedup: subsumption against the evolving UCQ is *monotone* —
+   [add_minimal] only ever replaces disjuncts by strictly more general
+   ones, so once a candidate is covered (whether it was added or
+   subsumed), every later candidate with the same canonical form is
+   covered too and can be dropped without any containment checks. The
+   table is run-local (keyed on [Cq.canon_id]) and follows the
+   memoization A/B toggle so that switching the cache off restores the
+   unmemoized engine exactly. *)
+let make_dedup () =
+  let seen = Hashtbl.create 512 in
+  fun q' ->
+    Containment.memoization_enabled ()
+    &&
+    let k = Cq.canon_id q' in
+    Hashtbl.mem seen k
+    || begin
+         Hashtbl.add seen k ();
+         false
+       end
+
+let finalize ~aux ~ucq ~outcome ~steps ~generated ~containment_checks
+    ~dedup_hits ~(memo0 : Containment.memo_stats) =
+  let memo1 = Containment.memo_stats () in
   let visible =
     List.filter
       (fun d -> not (Single_head.mentions_aux aux d))
       (Ucq.disjuncts ucq)
   in
-  { ucq = Ucq.of_list visible; outcome; steps; generated; containment_checks }
+  {
+    ucq = Ucq.of_list visible;
+    outcome;
+    steps;
+    generated;
+    containment_checks;
+    cache_hits = (memo1.hits - memo0.hits) + dedup_hits;
+    cache_misses = memo1.misses - memo0.misses;
+  }
+
+(* Tail-recursive frontier split: [split_batch n l] is [(first n, rest)]
+   in order. The frontier of a budget-bounded saturation can hold tens of
+   thousands of disjuncts, too deep for non-tail recursion. *)
+let split_batch n l =
+  let rec go n acc = function
+    | [] -> (List.rev acc, [])
+    | rest when n <= 0 -> (List.rev acc, rest)
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] l
 
 (* ------------------------------------------------------------------ *)
 (* Sequential saturation (the reference semantics)                     *)
@@ -39,10 +84,11 @@ let finalize ~aux ~ucq ~outcome ~steps ~generated ~containment_checks =
 
 let rewrite_sequential ~budget theory q =
   let compiled, aux = Single_head.compile theory in
+  let memo0 = Containment.memo_stats () in
   let checks = ref 0 in
   let implies a b =
     incr checks;
-    Containment.implies a b
+    Containment.implies_memo a b
   in
   let add_minimal u q' =
     if List.exists (fun d -> implies q' d) (Ucq.disjuncts u) then
@@ -54,6 +100,9 @@ let rewrite_sequential ~budget theory q =
       (Ucq.of_disjuncts_unchecked (q' :: kept), `Added)
   in
   let q0 = Containment.core_of_query q in
+  let seen_before = make_dedup () in
+  let dedup_hits = ref 0 in
+  ignore (seen_before q0);
   let ucq = ref (fst (add_minimal Ucq.empty q0)) in
   let worklist = Queue.create () in
   Queue.add q0 worklist;
@@ -77,22 +126,25 @@ let rewrite_sequential ~budget theory q =
                outcome := Size_budget;
                raise Exit
              end;
-             let ucq', status = add_minimal !ucq q' in
-             ucq := ucq';
-             match status with
-             | `Added ->
-                 Queue.add q' worklist;
-                 if Ucq.cardinal !ucq > budget.max_disjuncts then begin
-                   outcome := Disjunct_budget;
-                   raise Exit
-                 end
-             | `Subsumed -> ())
+             if seen_before q' then incr dedup_hits
+             else
+               let ucq', status = add_minimal !ucq q' in
+               ucq := ucq';
+               match status with
+               | `Added ->
+                   Queue.add q' worklist;
+                   if Ucq.cardinal !ucq > budget.max_disjuncts then begin
+                     outcome := Disjunct_budget;
+                     raise Exit
+                   end
+               | `Subsumed -> ())
            (Piece_unifier.one_step_theory current compiled)
        end
      done
    with Exit -> ());
   finalize ~aux ~ucq:!ucq ~outcome:!outcome ~steps:!steps
     ~generated:!generated ~containment_checks:!checks
+    ~dedup_hits:!dedup_hits ~memo0
 
 (* ------------------------------------------------------------------ *)
 (* Parallel saturation                                                 *)
@@ -111,10 +163,11 @@ let rewrite_sequential ~budget theory q =
    UCQs — the property the differential test suite checks. *)
 let rewrite_parallel ~pool ~budget theory q =
   let compiled, aux = Single_head.compile theory in
+  let memo0 = Containment.memo_stats () in
   let checks = Atomic.make 0 in
   let implies a b =
     Atomic.incr checks;
-    Containment.implies a b
+    Containment.implies_memo a b
   in
   let covers u q' =
     Parallel.Pool.exists pool
@@ -132,17 +185,13 @@ let rewrite_parallel ~pool ~budget theory q =
       (Ucq.of_disjuncts_unchecked (q' :: kept), `Added)
   in
   let q0 = Containment.core_of_query q in
+  let seen_before = make_dedup () in
+  let dedup_hits = ref 0 in
+  ignore (seen_before q0);
   let ucq = ref (Ucq.of_disjuncts_unchecked [ q0 ]) in
   let steps = ref 0 in
   let generated = ref 0 in
   let outcome = ref Complete in
-  let rec take n = function
-    | [] -> ([], [])
-    | l when n = 0 -> ([], l)
-    | x :: rest ->
-        let batch, deferred = take (n - 1) rest in
-        (x :: batch, deferred)
-  in
   let frontier = ref [ q0 ] in
   (try
      while !frontier <> [] do
@@ -156,7 +205,7 @@ let rewrite_parallel ~pool ~budget theory q =
            (fun q' -> Ucq.exists (fun d -> d == q') !ucq)
            !frontier
        in
-       let batch, deferred = take (budget.max_steps - !steps) live in
+       let batch, deferred = split_batch (budget.max_steps - !steps) live in
        let expansions =
          Parallel.Pool.map_list pool
            (fun q' -> Piece_unifier.one_step_theory q' compiled)
@@ -171,22 +220,28 @@ let rewrite_parallel ~pool ~budget theory q =
                 outcome := Size_budget;
                 raise Exit
               end;
-              let ucq', status = add_minimal !ucq q' in
-              ucq := ucq';
-              match status with
-              | `Added ->
-                  added := q' :: !added;
-                  if Ucq.cardinal !ucq > budget.max_disjuncts then begin
-                    outcome := Disjunct_budget;
-                    raise Exit
-                  end
-              | `Subsumed -> ()))
+              (* The dedup runs on the coordinator (the merge loop is
+                 sequential), so the plain hash table is safe. *)
+              if seen_before q' then incr dedup_hits
+              else
+                let ucq', status = add_minimal !ucq q' in
+                ucq := ucq';
+                match status with
+                | `Added ->
+                    added := q' :: !added;
+                    if Ucq.cardinal !ucq > budget.max_disjuncts then begin
+                      outcome := Disjunct_budget;
+                      raise Exit
+                    end
+                | `Subsumed -> ()))
          expansions;
        frontier := deferred @ List.rev !added
      done
    with Exit -> ());
   finalize ~aux ~ucq:!ucq ~outcome:!outcome ~steps:!steps
-    ~generated:!generated ~containment_checks:(Atomic.get checks)
+    ~generated:!generated
+    ~containment_checks:(Atomic.get checks)
+    ~dedup_hits:!dedup_hits ~memo0
 
 let rewrite ?pool ?(budget = default_budget) theory q =
   match pool with

@@ -32,6 +32,13 @@ type result = {
   generated : int;  (** one-step rewritings produced, pre-minimization *)
   containment_checks : int;
       (** CQ-implication tests spent on minimization (the quadratic part) *)
+  cache_hits : int;
+      (** containment verdicts answered by memoization during this run —
+          the CQ-pair cache plus whole-candidate short-circuits by the
+          run-local canonical-form dedup (each skipped duplicate counts
+          once, though it saves up to [|ucq|] checks) *)
+  cache_misses : int;
+      (** containment verdicts this run computed and cached *)
 }
 
 val rewrite : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> result
@@ -51,3 +58,8 @@ val rewrite : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> res
 val rs : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> int option
 (** [rs_T(q)] of Section 7: the maximal disjunct size of the full rewriting;
     [None] when the rewriting did not complete within budget. *)
+
+val split_batch : int -> 'a list -> 'a list * 'a list
+(** [split_batch n l = (first n elements of l, the rest)], both in order.
+    Tail-recursive — safe on frontiers of arbitrary length. Exposed for
+    testing. *)

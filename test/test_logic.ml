@@ -69,6 +69,63 @@ let test_fact_set_ops () =
   let restricted = Fact_set.restrict fs (Term.Set.of_list [ c "a"; c "b" ]) in
   Alcotest.(check int) "restrict bans c" 1 (Fact_set.cardinal restricted)
 
+let test_position_index_term_id () =
+  (* The (rel, position, term) index is keyed by the hash-consed term id,
+     so a structurally equal Skolem term built independently must land in
+     the same bucket, and structurally distinct terms must not alias. *)
+  let s1 = Term.app "sk" [ c "a" ] in
+  let s2 = Term.app "sk" [ c "b" ] in
+  let f1 = atom e [ s1; c "x" ] and f2 = atom e [ s2; c "x" ] in
+  let fs = Fact_set.of_list [ f1; f2 ] in
+  let probe = Term.app "sk" [ c "a" ] in
+  (match Fact_set.candidates fs e ~bound:[ (0, probe) ] with
+  | [ f ] ->
+      Alcotest.(check bool) "fresh copy of skolem key finds its fact" true
+        (Atom.equal f f1)
+  | l -> Alcotest.failf "expected one candidate, got %d" (List.length l));
+  Alcotest.(check int) "other skolem key" 1
+    (List.length (Fact_set.candidates fs e ~bound:[ (0, s2) ]));
+  (* A term occurring only at another position must not match; neither may
+     a variable spelled like a constant in the set. *)
+  Alcotest.(check int) "term absent at position" 0
+    (List.length (Fact_set.candidates fs e ~bound:[ (0, c "x") ]));
+  Alcotest.(check int) "var does not alias const" 0
+    (List.length (Fact_set.candidates fs e ~bound:[ (1, v "x") ]));
+  Alcotest.(check int) "shared second position" 2
+    (List.length (Fact_set.candidates fs e ~bound:[ (1, c "x") ]))
+
+let test_candidates_multi_bound () =
+  (* With several (position, term) constraints the index serves one as the
+     lookup seed; the rest must still be enforced by filtering, whichever
+     seed the selectivity heuristic picks. *)
+  let t3 = sym "T" 3 in
+  let f1 = atom t3 [ c "a"; c "b"; c "cc" ]
+  and f2 = atom t3 [ c "a"; c "b"; c "d" ]
+  and f3 = atom t3 [ c "a"; c "e"; c "cc" ]
+  and f4 = atom t3 [ c "f"; c "b"; c "cc" ] in
+  let fs = Fact_set.of_list [ f1; f2; f3; f4 ] in
+  let check_bound name bound expected =
+    let got = Fact_set.candidates fs t3 ~bound in
+    Alcotest.(check int) (name ^ ": count") (List.length expected)
+      (List.length got);
+    List.iter
+      (fun f ->
+        Alcotest.(check bool) (name ^ ": member") true
+          (List.exists (Atom.equal f) got))
+      expected;
+    (* [iter_candidates] must visit exactly the same atoms in the same
+       order, without materializing the list. *)
+    let via_iter = ref [] in
+    Fact_set.iter_candidates fs t3 ~bound (fun f -> via_iter := f :: !via_iter);
+    Alcotest.(check bool) (name ^ ": iter agrees") true
+      (List.equal Atom.equal got (List.rev !via_iter))
+  in
+  check_bound "two bound" [ (0, c "a"); (1, c "b") ] [ f1; f2 ];
+  check_bound "other pair" [ (1, c "b"); (2, c "cc") ] [ f1; f4 ];
+  check_bound "all three bound" [ (0, c "a"); (1, c "b"); (2, c "cc") ] [ f1 ];
+  check_bound "inconsistent bounds" [ (0, c "f"); (2, c "d") ] [];
+  check_bound "selective seed filters rest" [ (0, c "f"); (1, c "b") ] [ f4 ]
+
 let test_gaifman () =
   let fs =
     Fact_set.of_list
@@ -455,6 +512,64 @@ let prop_instance_roundtrip =
       let printed = Fmt.str "%a" Fact_set.pp fs in
       Fact_set.equal fs (Parser.parse_instance printed))
 
+let prop_incremental_index_equiv =
+  (* A fact set grown by a random interleaving of add/union/diff — whose
+     index is extended by delta layers and shared structurally — must
+     answer every probe exactly like a set rebuilt from scratch from its
+     atoms (which gets a fresh single-layer index). *)
+  let gen_ops =
+    QCheck.Gen.(
+      list_size (1 -- 12)
+        (pair (0 -- 2) (list_size (0 -- 6) (pair (0 -- 4) (0 -- 4)))))
+  in
+  let print_ops ops =
+    String.concat "; "
+      (List.map
+         (fun (op, edges) ->
+           Printf.sprintf "%s %s"
+             (match op with 0 -> "add" | 1 -> "union" | _ -> "diff")
+             (String.concat ","
+                (List.map (fun (i, j) -> Printf.sprintf "%d-%d" i j) edges)))
+         ops)
+  in
+  QCheck.Test.make ~count:200 ~name:"incremental index = rebuilt index"
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let apply fs (op, edges) =
+        let other = fact_set_of_edges edges in
+        match op with
+        | 0 ->
+            List.fold_left
+              (fun acc a -> Fact_set.add a acc)
+              fs (Fact_set.atoms other)
+        | 1 -> Fact_set.union fs other
+        | _ -> Fact_set.diff fs other
+      in
+      let fs = List.fold_left apply Fact_set.empty ops in
+      let rebuilt = Fact_set.of_list (Fact_set.atoms fs) in
+      let same_answers l1 l2 =
+        (* Bucket order may differ between a layered and a fresh index;
+           only the answer set is specified. *)
+        Atom.Set.equal (Atom.Set.of_list l1) (Atom.Set.of_list l2)
+      in
+      let nodes = List.init 5 (fun i -> c (string_of_int i)) in
+      Fact_set.equal fs rebuilt
+      && Term.Set.equal (Fact_set.domain fs) (Fact_set.domain rebuilt)
+      && same_answers (Fact_set.by_rel fs e) (Fact_set.by_rel rebuilt e)
+      && List.for_all
+           (fun ti ->
+             same_answers
+               (Fact_set.candidates fs e ~bound:[ (0, ti) ])
+               (Fact_set.candidates rebuilt e ~bound:[ (0, ti) ])
+             && List.for_all
+                  (fun tj ->
+                    same_answers
+                      (Fact_set.candidates fs e ~bound:[ (0, ti); (1, tj) ])
+                      (Fact_set.candidates rebuilt e
+                         ~bound:[ (0, ti); (1, tj) ]))
+                  nodes)
+           nodes)
+
 let () =
   Alcotest.run "logic"
     [
@@ -470,6 +585,10 @@ let () =
         [
           Alcotest.test_case "arity check" `Quick test_atom_arity_check;
           Alcotest.test_case "fact set ops" `Quick test_fact_set_ops;
+          Alcotest.test_case "position index by term id" `Quick
+            test_position_index_term_id;
+          Alcotest.test_case "candidates with several bounds" `Quick
+            test_candidates_multi_bound;
           Alcotest.test_case "gaifman" `Quick test_gaifman;
         ] );
       ( "cq",
@@ -512,5 +631,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_containment_reflexive;
           QCheck_alcotest.to_alcotest prop_rule_roundtrip;
           QCheck_alcotest.to_alcotest prop_instance_roundtrip;
+          QCheck_alcotest.to_alcotest prop_incremental_index_equiv;
         ] );
     ]
