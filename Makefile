@@ -18,11 +18,15 @@ check:
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-# Quick indexing/memoization A/B on a reduced workload; emits a JSON
-# snapshot (counters + timings) suitable for archiving as a CI artifact.
+# Quick A/B passes on reduced workloads; each experiment emits a JSON
+# snapshot (counters + timings) suitable for archiving as a CI artifact:
+#   ix  incremental fact-set indexing + containment memoization
+#   rw  subsumption-indexed UCQ store + decomposed containment solver
 bench-smoke:
 	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke.json \
 		dune exec bench/main.exe -- ix
+	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke-rw.json \
+		dune exec bench/main.exe -- rw
 
 examples:
 	dune exec examples/quickstart.exe

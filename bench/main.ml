@@ -19,6 +19,9 @@
      E12 Observation 29    atomic-query support is uniformly small
      E13 Section 3/5       chase-flavour termination matrix
      E14 motivation        answering via rewriting vs via the chase
+     par                   parallel layer determinism & scaling
+     ix                    incremental indexing / memoization A/B
+     rw                    subsumption index + decomposed containment A/B
      perf                  bechamel micro-benchmarks
 
    Usage: dune exec bench/main.exe [-- e1 e2 ... | all | perf] *)
@@ -110,7 +113,10 @@ let e2 () =
         (Ucq.max_disjunct_size res.Marked.Process.rewriting)
         (1 lsl n) found res.Marked.Process.stats.Marked.Process.steps dt
         (if res.Marked.Process.complete then "" else " (budget!)"))
-    [ 1; 2; 3; 4 ]
+    (* n = 5 became affordable with the subsumption-indexed UCQ store and
+       the component-decomposed containment solver (the rw experiment);
+       the seed engine needed minutes for it. *)
+    [ 1; 2; 3; 4; 5 ]
 
 (* ------------------------------------------------------------------ *)
 (* E3 — Theorem 6(B): the T_d^K tower by iterated level descent        *)
@@ -153,7 +159,10 @@ let e3 () =
         final
         (if final > 0 then "confirmed" else "FAILED")
         dt)
-    [ (2, 1); (2, 2); (2, 3); (3, 1); (3, 2); (4, 1) ]
+    (* (2, 5) became affordable together with E2's n = 5 (see the rw
+       experiment): one descent step rewriting phi_{I_2}^5 to the
+       I_1-path of length 32. *)
+    [ (2, 1); (2, 2); (2, 3); (3, 1); (3, 2); (4, 1); (2, 5) ]
 
 (* ------------------------------------------------------------------ *)
 (* E4 — Theorem 4: the FUS/FES conjecture for local theories           *)
@@ -859,6 +868,182 @@ let ix () =
       row "  json snapshot written to %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* rw — subsumption-indexed UCQ store & decomposed containment A/B     *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole experiment of the subsumption-index PR. Both layers ship
+   behind toggles in the style of [Fact_set.set_incremental]:
+
+     Ucq_index.set_indexing        the fingerprint-indexed UCQ store
+     Containment.set_decomposition prescreen + Gaifman-component solving
+
+   With both off the engines are the PR 2 baseline, byte for byte, so an
+   in-process interleaved A/B measures the PR's speedup directly. Arms
+   alternate (baseline, accelerated, baseline, ...) to spread allocator
+   and frequency noise across both; each run starts from a cold
+   containment memo. Every workload also cross-checks that the two arms
+   produce equivalent UCQs.
+
+   FRONTIER_BENCH_SMOKE=1   shrink the workloads (CI smoke sizing)
+   FRONTIER_BENCH_JSON=path also write the results as a JSON snapshot *)
+
+let rw () =
+  header "rw"
+    "subsumption-indexed UCQ store + component-decomposed containment (A/B)"
+    "interleaved on/off arms; acceptance: >= 2x on the E2/E3 marked \
+     workloads";
+  let smoke = Sys.getenv_opt "FRONTIER_BENCH_SMOKE" <> None in
+  let reps = if smoke then 1 else 2 in
+  let set_accel on =
+    Ucq_index.set_indexing on;
+    Containment.set_decomposition on
+  in
+  (* One interleaved A/B measurement: [reps] alternating pairs of runs,
+     min wall time per arm, results from the last rep of each arm. The
+     containment memo is reset before every run so each arm is cold and
+     the arms cannot feed each other verdicts. *)
+  let ab f =
+    let t_off = ref infinity and t_on = ref infinity in
+    let r_off = ref None and r_on = ref None in
+    let ix = ref Ucq_index.{ pairs = 0; pruned = 0 } in
+    let sv = ref Containment.{ splits = 0; prescreened = 0 } in
+    for _ = 1 to reps do
+      List.iter
+        (fun on ->
+          set_accel on;
+          Containment.reset_memo ();
+          Ucq_index.reset_stats ();
+          Containment.reset_solver_stats ();
+          let v, dt = time_it f in
+          if on then begin
+            if dt < !t_on then t_on := dt;
+            r_on := Some v;
+            ix := Ucq_index.stats ();
+            sv := Containment.solver_stats ()
+          end
+          else begin
+            if dt < !t_off then t_off := dt;
+            r_off := Some v
+          end)
+        [ false; true ]
+    done;
+    set_accel true;
+    ( Option.get !r_off, !t_off, Option.get !r_on, !t_on, !ix, !sv )
+  in
+  let results = ref [] in
+  let report name steps disjuncts t_off t_on equiv ix sv =
+    row "  %-26s off %8.3fs   on %8.3fs   x%-6.2f %s@." name t_off t_on
+      (t_off /. t_on)
+      (if equiv then "equivalent" else "MISMATCH");
+    row "    %d steps, %d disjuncts; index pruned %d/%d pairs; %d splits, \
+         %d prescreened@."
+      steps disjuncts ix.Ucq_index.pruned ix.Ucq_index.pairs
+      sv.Containment.splits sv.Containment.prescreened;
+    results :=
+      (name, steps, disjuncts, t_off, t_on, equiv, ix, sv) :: !results
+  in
+  (* --- E2: the marked-query process on phi_R^n under T_d ------------- *)
+  let e2_ns = if smoke then [ 3 ] else [ 4; 5 ] in
+  List.iter
+    (fun n ->
+      let _, _, phi = Theories.Zoo.phi_r n in
+      let r_off, t_off, r_on, t_on, ix, sv =
+        ab (fun () -> Marked.Process.rewrite_td phi)
+      in
+      report
+        (Printf.sprintf "E2 phi_R^%d (T_d)" n)
+        r_on.Marked.Process.stats.Marked.Process.steps
+        (Ucq.cardinal r_on.Marked.Process.rewriting)
+        t_off t_on
+        (Ucq.equivalent r_off.Marked.Process.rewriting
+           r_on.Marked.Process.rewriting)
+        ix sv)
+    e2_ns;
+  (* --- E3: one level-descent step of a T_d^K tower ------------------- *)
+  (* The full-size workload is the level-2 step at length 5 — the exact
+     analog of E2's phi_R^5 inside the tower, and the step that
+     dominates any deeper descent. *)
+  let kk, lvl, n3 = if smoke then (3, 3, 1) else (2, 2, 5) in
+  let _, _, phi_i = Theories.Zoo.phi_i lvl n3 in
+  let r_off, t_off, r_on, t_on, ix, sv =
+    ab (fun () -> Marked.Process.rewrite_tdk kk ~max_steps:500_000 phi_i)
+  in
+  report
+    (Printf.sprintf "E3 phi_I%d^%d (T_d^%d)" lvl n3 kk)
+    r_on.Marked.Process.stats.Marked.Process.steps
+    (Ucq.cardinal r_on.Marked.Process.rewriting)
+    t_off t_on
+    (Ucq.equivalent r_off.Marked.Process.rewriting
+       r_on.Marked.Process.rewriting)
+    ix sv;
+  (* --- generic piece-rewriting saturation (the E11/ix workload) ------ *)
+  let x = Term.var "x" and y = Term.var "y" in
+  let q = Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.g2 [ x; y ] ] in
+  let budget =
+    if smoke then
+      {
+        Rewriting.Rewrite.max_disjuncts = 60;
+        max_atoms_per_disjunct = 20;
+        max_steps = 120;
+      }
+    else
+      {
+        Rewriting.Rewrite.max_disjuncts = 200;
+        max_atoms_per_disjunct = 24;
+        max_steps = 2_000;
+      }
+  in
+  let r_off, t_off, r_on, t_on, ix, sv =
+    ab (fun () ->
+        Rewriting.Rewrite.rewrite ~budget Theories.Zoo.t_d_noloop q)
+  in
+  report "generic T_d\\(loop)"
+    r_on.Rewriting.Rewrite.steps
+    (Ucq.cardinal r_on.Rewriting.Rewrite.ucq)
+    t_off t_on
+    (Ucq.equivalent r_off.Rewriting.Rewrite.ucq r_on.Rewriting.Rewrite.ucq)
+    ix sv;
+  (* --- optional JSON snapshot ---------------------------------------- *)
+  match Sys.getenv_opt "FRONTIER_BENCH_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let entry (name, steps, disjuncts, t_off, t_on, equiv, ix, sv) =
+        Printf.sprintf
+          {|    {
+      "workload": %S,
+      "steps": %d,
+      "disjuncts": %d,
+      "baseline_s": %.6f,
+      "accelerated_s": %.6f,
+      "speedup": %.3f,
+      "equivalent": %b,
+      "index_pairs": %d,
+      "index_pruned": %d,
+      "component_splits": %d,
+      "prescreened": %d
+    }|}
+          name steps disjuncts t_off t_on (t_off /. t_on) equiv
+          ix.Ucq_index.pairs ix.Ucq_index.pruned sv.Containment.splits
+          sv.Containment.prescreened
+      in
+      Printf.fprintf oc
+        {|{
+  "bench": "rw",
+  "note": "interleaved A/B of Ucq_index.set_indexing + Containment.set_decomposition; both off = the PR 2 engines",
+  "smoke": %b,
+  "reps": %d,
+  "workloads": [
+%s
+  ]
+}
+|}
+        smoke reps
+        (String.concat ",\n" (List.rev_map entry !results));
+      close_out oc;
+      row "  json snapshot written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* perf — bechamel micro-benchmarks                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -939,7 +1124,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("par", par); ("ix", ix);
-    ("perf", perf);
+    ("rw", rw); ("perf", perf);
   ]
 
 let () =

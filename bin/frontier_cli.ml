@@ -181,7 +181,7 @@ let chase_cmd =
       $ variant $ dot_file $ jobs_arg $ stats)
 
 let rewrite_cmd =
-  let run theory query steps disjuncts jobs =
+  let run theory query steps disjuncts jobs stats =
     handle (fun () ->
         with_pool jobs (fun pool ->
         let t = parse_theory theory in
@@ -209,7 +209,13 @@ let rewrite_cmd =
           (Frontier.Ucq.max_disjunct_size r.Frontier.Rewrite.ucq)
           r.Frontier.Rewrite.steps r.Frontier.Rewrite.generated
           r.Frontier.Rewrite.containment_checks
-          r.Frontier.Rewrite.cache_hits r.Frontier.Rewrite.cache_misses))
+          r.Frontier.Rewrite.cache_hits r.Frontier.Rewrite.cache_misses;
+        if stats then
+          Fmt.pr
+            "solver: %d candidate pairs pruned by the subsumption index, \
+             %d containment searches split into components@."
+            r.Frontier.Rewrite.index_pruned
+            r.Frontier.Rewrite.component_splits))
   in
   let steps =
     Arg.(value & opt int 5_000 & info [ "steps" ] ~doc:"Rewriting step budget.")
@@ -217,9 +223,20 @@ let rewrite_cmd =
   let disjuncts =
     Arg.(value & opt int 2_000 & info [ "disjuncts" ] ~doc:"Disjunct budget.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print solver counters: pairs pruned by the UCQ subsumption \
+             index and containment searches decomposed into Gaifman \
+             components.")
+  in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Compute the UCQ rewriting of a query")
-    Term.(const run $ theory_arg $ query_arg $ steps $ disjuncts $ jobs_arg)
+    Term.(
+      const run $ theory_arg $ query_arg $ steps $ disjuncts $ jobs_arg
+      $ stats)
 
 let answer_cmd =
   let run theory instance query depth max_atoms jobs =

@@ -279,11 +279,11 @@ let invented_terms r =
 let birth_atom r term =
   if not (Term.Set.mem term (invented_terms r)) then None
   else
-    let candidates =
-      List.filter
-        (fun atom -> List.exists (Term.equal term) (Atom.args atom))
-        (Fact_set.atoms (result r))
-    in
+    (* The join index answers "which atoms mention [term]" directly —
+       the result set was scanned in full per invented term before.
+       [atoms_with_term] returns [Atom.Set] order, i.e. exactly the
+       order the old [List.filter] over [atoms] produced. *)
+    let candidates = Fact_set.atoms_with_term (result r) term in
     List.find_opt
       (fun atom ->
         match atom_frontier r atom with

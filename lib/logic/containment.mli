@@ -9,7 +9,15 @@
 
 val implies : Cq.t -> Cq.t -> bool
 (** [implies q1 q2]: answers(q1) is a subset of answers(q2) on every
-    structure. Requires equally long free-variable lists. *)
+    structure. Requires equally long free-variable lists.
+
+    With {!set_decomposition} on (the default), the certifying
+    homomorphism search is prescreened by the fingerprint battery of
+    {!Cq.hom_feasible}, decomposed into the connected components of the
+    pattern's Gaifman graph (solved independently, smallest first, with
+    early exit on the first failing component) and seeded with a
+    connectivity-driven tie-break in the compiled search plan. The
+    verdict is identical either way. *)
 
 val implies_memo : Cq.t -> Cq.t -> bool
 (** [implies] with the verdict memoized under the pair of canonical query
@@ -44,3 +52,26 @@ val memoization_enabled : unit -> bool
 (** Current state of the {!set_memoization} switch — lets dependent caches
     (e.g. the rewriting engines' candidate dedup) follow the same A/B
     toggle. *)
+
+(** {1 Decomposed solving} *)
+
+val set_decomposition : bool -> unit
+(** A/B switch over the solver-side accelerations of {!implies}: the
+    fingerprint prescreen, the Gaifman-component decomposition of the
+    pattern and the connectivity tie-break in the search plan.
+    [set_decomposition false] restores the monolithic PR 2 solver
+    verbatim. Defaults to [true]. Verdicts are identical either way —
+    the property the differential suite checks. *)
+
+val decomposition_enabled : unit -> bool
+
+type solver_stats = {
+  splits : int;
+      (** [implies] calls whose pattern split into >= 2 components *)
+  prescreened : int;
+      (** [implies] calls refuted by anchor/distance fingerprints alone
+          (beyond the [sig_mask] test the monolithic path also has) *)
+}
+
+val solver_stats : unit -> solver_stats
+val reset_solver_stats : unit -> unit

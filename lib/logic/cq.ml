@@ -5,6 +5,11 @@ type t = {
   mutable fs : Fact_set.t option;  (* cached [as_fact_set] view *)
   mutable vset : Term.Set.t option;  (* cached [var_set] *)
   mutable sig_mask : int;  (* cached signature fingerprint; 0 = not yet *)
+  mutable anchors : int;  (* cached anchor fingerprint; -1 = not yet *)
+  mutable profile : int array option;  (* cached distance profile *)
+  mutable ecomps : Atom.t list list option;
+      (* cached existential-connectivity components of the body *)
+  mutable wl : int array option;  (* cached [wl_colors] *)
 }
 
 (* Atomic: fresh variables are minted from worker domains during parallel
@@ -49,6 +54,10 @@ let make ~free atoms =
     fs = None;
     vset = None;
     sig_mask = 0;
+    anchors = -1;
+    profile = None;
+    ecomps = None;
+    wl = None;
   }
 
 let free q = q.free
@@ -80,6 +89,334 @@ let sig_mask q =
     q.sig_mask <- m;
     m
   end
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphism-invariant fingerprints                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Cheap necessary conditions for the existence of a homomorphism
+   [from -> into] that fixes answer variables positionally (the test
+   behind CQ containment). Care is needed about which body statistics
+   are actually invariant: a homomorphism may *collapse* atoms — e.g.
+   {P(x,y), P(y,z)} maps onto {P(u,u)} — so atom counts and
+   per-predicate occurrence counts of [from] bound nothing in [into]
+   and must not prune. What does survive every homomorphism:
+
+   - relation support: each atom maps to an atom with the same relation
+     ([sig_mask], refined exactly by the occurrence-vector support check
+     in [Ucq_index]);
+   - anchors: a *rigid* term (constant, functional term, or answer
+     variable — the latter mapped positionally) at argument position
+     [pos] of a [rel]-atom of [from] must appear identically at
+     [(rel, pos)] in [into];
+   - distances: edges of the Gaifman graph over *all* terms map to
+     edges, so paths map to paths and
+     [d_into(y_i, h(t)) <= d_from(y_i, t)] for every answer variable
+     [y_i] and body term [t]. Minimizing per [(rel, pos)] gives a
+     profile that must be pointwise dominated, and the pairwise
+     distances between answer variables must not grow. *)
+
+(* Anchor fingerprint: one bit per (relation, position, rigid term),
+   hashed into 61 bits. A set bit of [from] missing in [into] refutes
+   the homomorphism; collisions only weaken the filter, never lie. *)
+let anchor_mask q =
+  if q.anchors >= 0 then q.anchors
+  else begin
+    let free_index : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iteri (fun i v -> Hashtbl.replace free_index v.Term.id i) q.free;
+    let m =
+      List.fold_left
+        (fun acc a ->
+          let rel = Symbol.id (Atom.rel a) in
+          snd
+            (List.fold_left
+               (fun (pos, acc) (t : Term.t) ->
+                 let tag =
+                   match t.Term.view with
+                   | Term.Var _ -> (
+                       match Hashtbl.find_opt free_index t.Term.id with
+                       | Some i -> Some ((2 * i) + 1)
+                       | None -> None (* existential: not rigid *))
+                   | Term.Const _ | Term.App _ -> Some (2 * t.Term.id)
+                 in
+                 ( pos + 1,
+                   match tag with
+                   | None -> acc
+                   | Some tag ->
+                       acc
+                       lor (1 lsl ((((rel * 31) + pos) * 131 + tag) mod 61))
+                 ))
+               (0, acc) (Atom.args a)))
+        0 q.atoms
+    in
+    q.anchors <- m;
+    m
+  end
+
+(* Distance profile: a sorted array of packed [(key, dist)] entries,
+   [key] identifying either (relation, position, answer-variable index)
+   — even tags — or an (i, j) pair of answer variables — odd tags.
+   Positions and answer indexes beyond 15 are skipped (both sides skip
+   them identically, so the filter just loses precision). *)
+let dist_cap = 1022
+
+let hom_profile q =
+  match q.profile with
+  | Some p -> p
+  | None ->
+      let free = Array.of_list q.free in
+      let nfree = min (Array.length free) 16 in
+      let acc : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      let note key d =
+        match Hashtbl.find_opt acc key with
+        | Some d' when d' <= d -> ()
+        | Some _ | None -> Hashtbl.replace acc key d
+      in
+      if nfree > 0 then begin
+        let g = Gaifman.of_terms_per_atom (List.map Atom.terms q.atoms) in
+        for i = 0 to nfree - 1 do
+          let dist = Gaifman.distances_from g free.(i) in
+          List.iter
+            (fun a ->
+              let rel = Symbol.id (Atom.rel a) in
+              List.iteri
+                (fun pos t ->
+                  if pos < 16 then
+                    match Term.Map.find_opt t dist with
+                    | Some d ->
+                        note
+                          (((((rel * 16) + pos) * 16) + i) * 2)
+                          (min d dist_cap)
+                    | None -> ())
+                (Atom.args a))
+            q.atoms;
+          for j = i + 1 to nfree - 1 do
+            match Term.Map.find_opt free.(j) dist with
+            | Some d -> note ((((i * 16) + j) * 2) + 1) (min d dist_cap)
+            | None -> ()
+          done
+        done
+      end;
+      let p =
+        Array.of_seq
+          (Seq.map
+             (fun (k, d) -> (k lsl 10) lor d)
+             (Hashtbl.to_seq acc))
+      in
+      Array.sort compare p;
+      q.profile <- Some p;
+      p
+
+(* [into]'s profile must contain every key of [from]'s with a distance
+   that is no larger: a key of [from] records a finite distance that the
+   homomorphic image realizes in [into]; a missing key in [into] means
+   that distance is infinite there. Both arrays are sorted by key (keys
+   are unique per query, so sorting the packed ints sorts the keys). *)
+let profile_dominated ~from ~into =
+  let pf = hom_profile from and pi = hom_profile into in
+  let nf = Array.length pf and ni = Array.length pi in
+  let rec go i j =
+    j >= nf
+    || (i < ni
+       &&
+       let ki = pi.(i) lsr 10 and kj = pf.(j) lsr 10 in
+       if ki < kj then go (i + 1) j
+       else
+         ki = kj
+         && pi.(i) land 1023 <= pf.(j) land 1023
+         && go (i + 1) (j + 1))
+  in
+  go 0 0
+
+let hom_feasible ~from ~into =
+  sig_mask from land lnot (sig_mask into) = 0
+  && anchor_mask from land lnot (anchor_mask into) = 0
+  && profile_dominated ~from ~into
+
+(* ------------------------------------------------------------------ *)
+(* Isomorphism invariant: 1-WL color refinement                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The fingerprints above are necessary conditions for a *homomorphism*
+   and keep only extremal statistics (minimal distances), so they cannot
+   tell apart queries that differ in which of several interchangeable
+   atoms sits where — e.g. two markings of symmetric branches. One round
+   of Weisfeiler-Leman color refinement per node does: every node keeps
+   its own joint view of relation, position and neighborhood, and the
+   positionally distinct colors of the answer variables propagate
+   outward, separating the branches.
+
+   Nodes are the direct-argument terms of the body; edges connect the
+   co-arguments of each atom, labeled by (relation, position, position).
+   Initial colors are isomorphism-invariant under the engine's notion
+   (bound variables renamable, free variables positional, ground terms
+   literal): answer variables by position, ground terms by hash-consed
+   id, bound variables by their multiset of (relation, position)
+   occurrence slots, and non-ground functional terms coarsely by head
+   symbol and arity (their bound arguments are renamable, so their ids
+   must not leak in). Refinement folds the old color with the sorted
+   neighbor signatures; since the old color is folded in, the partition
+   only ever splits, so it is stable as soon as the number of distinct
+   colors stops growing — isomorphic queries then traverse identical
+   trajectories and end on the identical sorted color array, while
+   colliding arrays on non-isomorphic queries merely weaken the filter
+   (never lie). *)
+let wl_mix h x = ((h * 0x01000193) lxor x) land max_int
+
+let wl_colors q =
+  match q.wl with
+  | Some c -> c
+  | None ->
+      let free_index : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      List.iteri
+        (fun i (v : Term.t) -> Hashtbl.replace free_index v.Term.id i)
+        q.free;
+      let index : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let rev_nodes = ref [] in
+      let node_of (t : Term.t) =
+        match Hashtbl.find_opt index t.Term.id with
+        | Some i -> i
+        | None ->
+            let i = Hashtbl.length index in
+            Hashtbl.add index t.Term.id i;
+            rev_nodes := t :: !rev_nodes;
+            i
+      in
+      List.iter
+        (fun a -> List.iter (fun t -> ignore (node_of t)) (Atom.args a))
+        q.atoms;
+      let n = Hashtbl.length index in
+      let nodes = Array.of_list (List.rev !rev_nodes) in
+      let tokens = Array.make n [] in
+      let adj = Array.make n [] in
+      List.iter
+        (fun a ->
+          let rel = Symbol.id (Atom.rel a) in
+          let args = Array.of_list (Atom.args a) in
+          Array.iteri
+            (fun i t ->
+              let vi = node_of t in
+              tokens.(vi) <- ((rel * 131) + i) :: tokens.(vi);
+              Array.iteri
+                (fun j u ->
+                  if j <> i then
+                    adj.(vi) <-
+                      ((((rel * 131) + i) * 131) + j, node_of u)
+                      :: adj.(vi))
+                args)
+            args)
+        q.atoms;
+      let color = Array.make n 0 in
+      Array.iteri
+        (fun i (t : Term.t) ->
+          color.(i) <-
+            (match t.Term.view with
+            | Term.Var _ -> (
+                match Hashtbl.find_opt free_index t.Term.id with
+                | Some pos -> wl_mix 0x9e3779b1 ((2 * pos) + 1)
+                | None ->
+                    List.fold_left wl_mix 0x85ebca6b
+                      (List.sort Int.compare tokens.(i)))
+            | Term.Const _ -> wl_mix 0x27220a95 (2 * t.Term.id)
+            | Term.App { fn; args } ->
+                if Term.vars t = [] then wl_mix 0x27220a95 (2 * t.Term.id)
+                else
+                  wl_mix
+                    (wl_mix 0x165667b1 (Hashtbl.hash fn))
+                    (List.length args)))
+        nodes;
+      let distinct () =
+        let s : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+        Array.iter (fun c -> Hashtbl.replace s c ()) color;
+        Hashtbl.length s
+      in
+      let rec refine rounds cnt =
+        if rounds < n && cnt < n then begin
+          let color' =
+            Array.mapi
+              (fun i c ->
+                List.fold_left wl_mix (wl_mix 0x2545f491 c)
+                  (List.sort Int.compare
+                     (List.map
+                        (fun (lbl, j) -> wl_mix lbl color.(j))
+                        adj.(i))))
+              color
+          in
+          Array.blit color' 0 color 0 n;
+          let cnt' = distinct () in
+          if cnt' > cnt then refine (rounds + 1) cnt'
+        end
+      in
+      refine 0 (distinct ());
+      Array.sort Int.compare color;
+      q.wl <- Some color;
+      color
+
+let wl_hash q = Array.fold_left wl_mix 0x1fd3 (wl_colors q)
+
+let wl_equal q1 q2 =
+  let c1 = wl_colors q1 and c2 = wl_colors q2 in
+  Array.length c1 = Array.length c2 && Array.for_all2 Int.equal c1 c2
+
+(* Connected components of the body under *shared existential
+   variables in argument position* — exactly the coupling the search
+   engine sees: answer variables are pre-bound (rigid), constants and
+   functional terms are matched literally, and a variable occurring
+   only inside a functional term never receives a binding from that
+   argument slot. Two atoms in different components constrain disjoint
+   sets of bindable variables, so a conjunctive match exists iff each
+   component matches independently. *)
+let body_components q =
+  match q.ecomps with
+  | Some c -> c
+  | None ->
+      let fv = Term.Set.of_list q.free in
+      let atoms = Array.of_list q.atoms in
+      let n = Array.length atoms in
+      let parent = Array.init n Fun.id in
+      let rec find i =
+        if parent.(i) = i then i
+        else begin
+          let r = find parent.(i) in
+          parent.(i) <- r;
+          r
+        end
+      in
+      let union i j =
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      in
+      let last : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      Array.iteri
+        (fun i a ->
+          List.iter
+            (fun (t : Term.t) ->
+              if Term.is_var t && not (Term.Set.mem t fv) then begin
+                (match Hashtbl.find_opt last t.Term.id with
+                | Some j -> union i j
+                | None -> ());
+                Hashtbl.replace last t.Term.id i
+              end)
+            (Atom.args a))
+        atoms;
+      let groups : (int, Atom.t list) Hashtbl.t = Hashtbl.create 8 in
+      let order = ref [] in
+      Array.iteri
+        (fun i a ->
+          let r = find i in
+          match Hashtbl.find_opt groups r with
+          | Some l -> Hashtbl.replace groups r (a :: l)
+          | None ->
+              order := r :: !order;
+              Hashtbl.replace groups r [ a ])
+        atoms;
+      let comps =
+        List.rev_map
+          (fun r -> List.rev (Hashtbl.find groups r))
+          !order
+      in
+      q.ecomps <- Some comps;
+      comps
 
 let exist_vars q =
   let fv = Term.Set.of_list q.free in

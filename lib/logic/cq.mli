@@ -12,6 +12,11 @@ type t = private {
   mutable fs : Fact_set.t option;  (** cached [as_fact_set] view *)
   mutable vset : Term.Set.t option;  (** cached [var_set] *)
   mutable sig_mask : int;  (** cached [sig_mask]; [0] until first computed *)
+  mutable anchors : int;  (** cached [anchor_mask]; [-1] until computed *)
+  mutable profile : int array option;  (** cached [hom_profile] *)
+  mutable ecomps : Atom.t list list option;
+      (** cached [body_components] *)
+  mutable wl : int array option;  (** cached [wl_colors] *)
 }
 
 val make : free:Term.t list -> Atom.t list -> t
@@ -36,6 +41,58 @@ val sig_mask : t -> int
     some relation of [q] does not occur in [q'], so no homomorphism
     [q -> q'] exists — an O(1) necessary condition for containment.
     Cached. *)
+
+val anchor_mask : t -> int
+(** A 61-bit fingerprint of the body's {e anchors}: rigid terms
+    (constants, functional terms, answer variables — the latter tagged by
+    their position in the free list) at their (relation, position) slots.
+    A homomorphism fixing answer variables positionally maps every anchor
+    of its pattern to the identical anchor in its target, so
+    [anchor_mask from land lnot (anchor_mask into) <> 0] refutes any
+    homomorphism [from -> into]. Cached. *)
+
+val hom_profile : t -> int array
+(** Sorted packed Gaifman-distance profile of the body: for each answer
+    variable, its minimal distance (in the graph over all body terms) to
+    each (relation, position) slot, plus the pairwise distances between
+    answer variables. See [hom_feasible]. Cached. *)
+
+val hom_feasible : from:t -> into:t -> bool
+(** Conjunction of O(1)/near-linear necessary conditions for a
+    homomorphism [from -> into] fixing answer variables positionally
+    (the test [Containment.implies into from] performs): relation
+    support ([sig_mask]), anchors ([anchor_mask]) and distance-profile
+    domination — homomorphisms map Gaifman edges to edges, so no
+    distance may grow. [false] certifies there is no homomorphism;
+    [true] says nothing. Note that atom and per-predicate occurrence
+    {e counts} are deliberately not compared: a homomorphism may collapse
+    atoms, so counts of [from] bound nothing in [into]. *)
+
+val wl_colors : t -> int array
+(** Sorted stable colors of a 1-Weisfeiler-Leman refinement over the
+    body's direct-argument terms (edges labeled by relation and argument
+    positions; answer variables colored by position, ground terms by
+    identity, bound variables by their occurrence slots, non-ground
+    functional terms coarsely by head symbol and arity). Equal for
+    isomorphic queries; unlike the extremal-statistics fingerprints it
+    separates queries that differ only in which of several symmetric
+    nodes carries a distinguishing atom. Cached. *)
+
+val wl_hash : t -> int
+(** [wl_colors] folded to one int — an isomorphism-invariant hash
+    suitable for bucketing (collisions possible, never unequal hashes on
+    isomorphic queries). *)
+
+val wl_equal : t -> t -> bool
+(** Equality of [wl_colors]: a necessary condition for isomorphism. *)
+
+val body_components : t -> Atom.t list list
+(** Connected components of the body atoms under shared existential
+    variables in argument position (answer variables, constants and
+    functional terms are rigid for the match and do not couple atoms).
+    Atoms keep their body order inside each component; components are
+    ordered by first atom. A homomorphism fixing the rigid terms exists
+    iff one exists per component independently. Cached. *)
 
 val exist_vars : t -> Term.t list
 val is_boolean : t -> bool

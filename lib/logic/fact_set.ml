@@ -526,6 +526,29 @@ let iter_candidates t rel ~bound f =
             List.iter (fun a -> if matches a then f a) b.items)
           seed
 
+(* Every atom with [term] in some argument position, in [Atom.Set]
+   order (the order a filter over [atoms] would produce). One bucket
+   probe per (layer, relation, position) replaces the full scan callers
+   like [Engine.birth_atom] used to pay per term. *)
+let atoms_with_term t (term : Term.t) =
+  let idx = index t in
+  let acc = ref Atom.Set.empty in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun sym ->
+          let sid = Symbol.id sym in
+          let arity = Symbol.arity sym in
+          for pos = 0 to arity - 1 do
+            match Hashtbl.find_opt l.l_pos (sid, (term.Term.id * arity) + pos) with
+            | None -> ()
+            | Some b ->
+                List.iter (fun a -> acc := Atom.Set.add a !acc) b.items
+          done)
+        l.l_syms)
+    idx.layers;
+  Atom.Set.elements !acc
+
 let restrict t allowed =
   filter
     (fun a -> List.for_all (fun term -> Term.Set.mem term allowed) (Atom.args a))

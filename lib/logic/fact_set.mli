@@ -62,6 +62,18 @@ val iter_candidates :
     [candidates t rel ~bound] would return, in the same order, without
     materializing the list — the homomorphism join's inner loop. *)
 
+val atoms_with_term : t -> Term.t -> Atom.t list
+(** Every atom with the given term in some argument position, in the
+    same order a [List.filter] over [atoms] would produce. Answered from
+    the (relation, position, term) join index — one bucket probe per
+    (layer, relation, position) instead of a scan of the whole set.
+    Forces the index. *)
+
+val is_indexed : t -> bool
+(** Whether the set's index has (or shares) a built form — lets callers
+    choose between index-driven lookups and a plain scan without
+    triggering a from-scratch index build. *)
+
 val restrict : t -> Term.Set.t -> t
 (** The induced substructure on the given terms: keep the atoms whose every
     argument is in the set (Definition 36's "ban the other terms"). *)

@@ -9,6 +9,12 @@
 type t
 
 val of_fact_set : Fact_set.t -> t
+
+val of_terms_per_atom : Term.t list list -> t
+(** Gaifman graph whose vertices are exactly the given terms, adjacent iff
+    they share a list (one list per atom). [of_fact_set] passes all terms,
+    [of_atoms] only the variables. *)
+
 val of_atoms : Atom.t list -> t
 (** Gaifman graph over the *variables* of the atoms — the query Gaifman
     graph of Section 2 ("Connected queries"). Constants are ignored. *)

@@ -20,7 +20,8 @@ exception Stop
    semi-naive chase partitions body atoms between "old", "delta" and "full"
    stages), and each domain-bound variable carries its own candidate pool. *)
 let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
-    ?prefer ~flexible ~pattern ~domain_bindings f =
+    ?prefer ?tie_break ?(injective = false) ~flexible ~pattern
+    ~domain_bindings f =
   (* Per-search-node match plan: the flexibility of each argument
      position and the current assignment are fixed while the candidates
      of one atom are scanned, so they are resolved once into an array of
@@ -49,38 +50,52 @@ let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
         else Slot.Rigid t)
       args
   in
-  let match_plan assignment plan fact =
+  (* [used] is the image set of the current assignment, maintained only
+     in injective mode (the extra argument is dead weight otherwise): a
+     candidate binding whose image is already taken fails immediately,
+     pruning the search instead of filtering complete mappings. *)
+  let match_plan assignment used plan fact =
     let n = Array.length plan in
-    let rec go assignment pos =
-      if pos >= n then Some assignment
+    let rec go assignment used pos =
+      if pos >= n then Some (assignment, used)
       else
         let u = Atom.arg fact pos in
         match plan.(pos) with
         | Slot.Rigid t ->
-            if Term.equal t u then go assignment (pos + 1) else None
+            if Term.equal t u then go assignment used (pos + 1) else None
         | Slot.Free v ->
-            if image_ok v u then
-              go (Term.Map.add v u assignment) (pos + 1)
+            if
+              image_ok v u
+              && not (injective && Term.Set.mem u used)
+            then
+              go (Term.Map.add v u assignment)
+                (if injective then Term.Set.add u used else used)
+                (pos + 1)
             else None
         | Slot.Dup p ->
-            if Term.equal u (Atom.arg fact p) then go assignment (pos + 1)
+            if Term.equal u (Atom.arg fact p) then
+              go assignment used (pos + 1)
             else None
     in
-    go assignment 0
+    go assignment used 0
   in
-  let rec bind_domain assignment = function
+  let rec bind_domain assignment used = function
     | [] -> f assignment
     | (v, pool) :: rest -> (
         match Term.Map.find_opt v assignment with
         | Some u ->
             (* Pre-bound (e.g. by a body atom): still honour the pool. *)
             if List.exists (Term.equal u) pool then
-              bind_domain assignment rest
+              bind_domain assignment used rest
         | None ->
             List.iter
               (fun u ->
-                if image_ok v u then
-                  bind_domain (Term.Map.add v u assignment) rest)
+                if image_ok v u && not (injective && Term.Set.mem u used)
+                then
+                  bind_domain
+                    (Term.Map.add v u assignment)
+                    (if injective then Term.Set.add u used else used)
+                    rest)
               pool)
   in
   let bound_count assignment atom =
@@ -96,16 +111,29 @@ let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
       (Atom.args atom);
     !n
   in
-  let rec solve assignment remaining =
+  let rec solve assignment used remaining =
     match remaining with
-    | [] -> bind_domain assignment domain_bindings
+    | [] -> bind_domain assignment used domain_bindings
     | ((a0, _) as e0) :: others ->
-        let (best_atom, best_target), _ =
+        (* Most-bound-first seed selection; [tie_break] (higher first)
+           settles ties — the containment solver feeds it static
+           connectivity weights so that, at equal bound counts, the
+           atom most entangled with the rest of the pattern is matched
+           next. It permutes the enumeration order, never the verdict. *)
+        let tb =
+          match tie_break with None -> fun _ -> 0 | Some f -> f
+        in
+        let (best_atom, best_target), _, _ =
           List.fold_left
-            (fun ((_, bn) as best) ((a, _) as cur) ->
+            (fun ((_, bn, bt) as best) ((a, _) as cur) ->
               let n = bound_count assignment a in
-              if n > bn then (cur, n) else best)
-            (e0, bound_count assignment a0)
+              if n > bn then (cur, n, tb a)
+              else if n = bn then begin
+                let t = tb a in
+                if t > bt then (cur, n, t) else best
+              end
+              else best)
+            (e0, bound_count assignment a0, tb a0)
             others
         in
         let plan = compile_plan assignment best_atom in
@@ -121,8 +149,8 @@ let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
           List.filter (fun (a, _) -> not (a == best_atom)) remaining
         in
         let try_fact fact =
-          match match_plan assignment plan fact with
-          | Some assignment' -> solve assignment' rest
+          match match_plan assignment used plan fact with
+          | Some (assignment', used') -> solve assignment' used' rest
           | None -> ()
         in
         (match prefer with
@@ -143,7 +171,18 @@ let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
                  (fun a b -> Int.compare (rank a) (rank b))
                  cands))
   in
-  if Term.Map.for_all (fun v u -> image_ok v u) init then solve init pattern
+  if Term.Map.for_all (fun v u -> image_ok v u) init then begin
+    let used0 =
+      if injective then
+        Term.Map.fold (fun _ u s -> Term.Set.add u s) init Term.Set.empty
+      else Term.Set.empty
+    in
+    (* An init with a repeated image admits no injective extension. *)
+    if
+      (not injective)
+      || Term.Set.cardinal used0 = Term.Map.cardinal init
+    then solve init used0 pattern
+  end
 
 let iter p f =
   let pool =

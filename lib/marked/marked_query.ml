@@ -5,6 +5,8 @@ type t = {
   free : (Term.t * Term.t) list;
   atoms : Atom.t list;
   marked : Term.Set.t;
+  mutable tagged : Cq.t option option;
+      (* cached [tagged_cq]; [None] = not yet computed *)
 }
 
 let marked_tag = Symbol.make "MARKED?" ~arity:1
@@ -59,7 +61,7 @@ let make ~levels ~free ~marked atoms =
   let rep_set = Term.Set.of_list (List.map snd free) in
   if not (Term.Set.subset marked (Term.Set.union var_set rep_set)) then
     invalid_arg "Marked_query.make: marked variables must occur in the query";
-  { levels; free; atoms; marked }
+  { levels; free; atoms; marked; tagged = None }
 
 let of_cq ~levels q ~marked =
   let marked =
@@ -233,12 +235,25 @@ let to_cq q =
   else Some (Cq.make ~free:(dedup_terms (List.map snd q.free)) q.atoms)
 
 let tagged_cq q =
-  if q.atoms = [] then None
-  else
-    let tags =
-      List.map (fun v -> Atom.make marked_tag [ v ]) (Term.Set.elements q.marked)
-    in
-    Some (Cq.make ~free:(dedup_terms (List.map snd q.free)) (q.atoms @ tags))
+  (* Cached: the rewriting process probes its seen-store with the tagged
+     encoding on every generated query, and the encoding in turn carries
+     the CQ-level caches (iso keys, canonical ids, fingerprints). *)
+  match q.tagged with
+  | Some t -> t
+  | None ->
+      let t =
+        if q.atoms = [] then None
+        else
+          let tags =
+            List.map
+              (fun v -> Atom.make marked_tag [ v ])
+              (Term.Set.elements q.marked)
+          in
+          Some
+            (Cq.make ~free:(dedup_terms (List.map snd q.free)) (q.atoms @ tags))
+      in
+      q.tagged <- Some t;
+      t
 
 let alias_pattern q =
   (* For each answer position, the first position sharing its rep. *)
@@ -261,7 +276,12 @@ let equal_upto_iso q1 q2 =
   &&
   match (tagged_cq q1, tagged_cq q2) with
   | None, None -> true
-  | Some c1, Some c2 -> Containment.isomorphic c1 c2
+  | Some c1, Some c2 ->
+      (* Equal canonical ids certify isomorphism without a search (the
+         common rediscovery case); distinct ids decide nothing — the
+         canonical code is sound but not complete — so fall back to the
+         full injective-homomorphism test. *)
+      Cq.canon_id c1 = Cq.canon_id c2 || Containment.isomorphic c1 c2
   | None, Some _ | Some _, None -> false
 
 let tuple_admissible q tuple =

@@ -21,6 +21,8 @@ type t = private {
       (** (original answer variable, current representative). *)
   atoms : Atom.t list;  (** binary atoms over [levels]; may be empty *)
   marked : Term.Set.t;  (** contains every representative of [free] *)
+  mutable tagged : Cq.t option option;
+      (** cached [tagged_cq]; [None] until first computed *)
 }
 
 val make :

@@ -28,7 +28,16 @@ let dedup_terms l =
   in
   List.rev rev
 
-(* Iso-aware membership in a bucketed store of marked queries. *)
+(* Iso-aware membership in a bucketed store of marked queries. The
+   fingerprint key is complete for isomorphism (isomorphic queries share
+   it), so only the bucket needs the expensive pairwise test — and that
+   test short-circuits on equal canonical ids inside
+   [Marked_query.equal_upto_iso]. The 1-WL hash rides along in the key:
+   [iso_key] alone lumps together all markings with the same atom
+   multiset, so at depth the buckets fill with same-shape queries whose
+   marks sit on different symmetric branches, and every probe pays a
+   full (always-refuting) isomorphism search against each of them. The
+   WL colors separate those, keeping buckets near-singleton. *)
 module Store = struct
   type t = (string, Marked_query.t list) Hashtbl.t
 
@@ -36,17 +45,19 @@ module Store = struct
 
   let key q =
     match Marked_query.tagged_cq q with
-    | Some cq -> Cq.iso_key cq
+    | Some cq -> Printf.sprintf "%s#%d" (Cq.iso_key cq) (Cq.wl_hash cq)
     | None -> "<trivial>"
 
-  let mem (store : t) q =
-    let bucket = Option.value ~default:[] (Hashtbl.find_opt store (key q)) in
-    List.exists (Marked_query.equal_upto_iso q) bucket
-
-  let add (store : t) q =
+  (* Membership test and insertion in one probe: the key computation
+     and the bucket lookup are paid once per classified query. *)
+  let add_if_absent (store : t) q =
     let k = key q in
     let bucket = Option.value ~default:[] (Hashtbl.find_opt store k) in
-    Hashtbl.replace store k (q :: bucket)
+    if List.exists (Marked_query.equal_upto_iso q) bucket then false
+    else begin
+      Hashtbl.replace store k (q :: bucket);
+      true
+    end
 end
 
 let run ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels q =
@@ -74,9 +85,7 @@ let run ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels q =
   let classify_new mq =
     if not (Marked_query.is_properly_marked mq) then
       stats := { !stats with dropped_improper = !stats.dropped_improper + 1 }
-    else if Store.mem seen mq then ()
-    else begin
-      Store.add seen mq;
+    else if Store.add_if_absent seen mq then begin
       if Marked_query.is_trivial mq then trivial := mq :: !trivial
       else if Marked_query.is_totally_marked mq then
         finished := mq :: !finished

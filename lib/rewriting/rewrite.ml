@@ -19,6 +19,8 @@ type result = {
   containment_checks : int;
   cache_hits : int;
   cache_misses : int;
+  index_pruned : int;
+  component_splits : int;
 }
 
 (* Both saturation strategies share the containment-based minimization of
@@ -50,21 +52,29 @@ let make_dedup () =
        end
 
 let finalize ~aux ~ucq ~outcome ~steps ~generated ~containment_checks
-    ~dedup_hits ~(memo0 : Containment.memo_stats) =
+    ~dedup_hits ~(memo0 : Containment.memo_stats)
+    ~(ix0 : Ucq_index.stats) ~(solver0 : Containment.solver_stats) =
   let memo1 = Containment.memo_stats () in
   let visible =
     List.filter
       (fun d -> not (Single_head.mentions_aux aux d))
       (Ucq.disjuncts ucq)
   in
+  let ucq = Ucq.of_list visible in
+  let ix1 = Ucq_index.stats () in
+  let solver1 = Containment.solver_stats () in
   {
-    ucq = Ucq.of_list visible;
+    ucq;
     outcome;
     steps;
     generated;
     containment_checks;
     cache_hits = (memo1.hits - memo0.hits) + dedup_hits;
     cache_misses = memo1.misses - memo0.misses;
+    index_pruned =
+      ix1.pruned - ix0.pruned
+      + (solver1.prescreened - solver0.prescreened);
+    component_splits = solver1.splits - solver0.splits;
   }
 
 (* Tail-recursive frontier split: [split_batch n l] is [(first n, rest)]
@@ -82,28 +92,100 @@ let split_batch n l =
 (* Sequential saturation (the reference semantics)                     *)
 (* ------------------------------------------------------------------ *)
 
+(* The evolving minimal UCQ, behind the [Ucq_index.set_indexing] A/B
+   toggle: the indexed store probes homomorphism-invariant fingerprints
+   before any containment search, the reference store is the PR 2
+   linear scan. Both expose the same three operations, make the same
+   [implies] calls succeed, and keep the disjuncts in the same
+   (newest-first) order — the engines produce identical UCQs.
+
+   Both stores also maintain the canonical ids of the currently live
+   disjuncts, so the worklist's "was this disjunct subsumed since it
+   was enqueued?" probe is one hash lookup instead of the O(frontier)
+   scan it used to be. The probe is exact: two live disjuncts never
+   share a canonical id (an isomorphic candidate is subsumed at
+   insertion), and a killed disjunct's class can never re-enter the
+   store (its killer — or, transitively, the killer's killer — still
+   covers every isomorphic copy). *)
+type store = {
+  insert : Cq.t -> [ `Added | `Subsumed ];
+  cardinal : unit -> int;
+  to_ucq : unit -> Ucq.t;
+  is_live : Cq.t -> bool;
+}
+
+let make_store ~implies =
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let is_live q = Hashtbl.mem live (Cq.canon_id q) in
+  if Ucq_index.indexing_enabled () then begin
+    let idx = Ucq_index.create () in
+    let insert q' =
+      if Ucq_index.covered idx q' ~implies then `Subsumed
+      else begin
+        List.iter
+          (fun (slot, d) ->
+            if implies d q' then begin
+              Ucq_index.kill idx slot;
+              Hashtbl.remove live (Cq.canon_id d)
+            end)
+          (Ucq_index.victim_candidates idx q');
+        Ucq_index.add idx q';
+        Hashtbl.replace live (Cq.canon_id q') ();
+        `Added
+      end
+    in
+    {
+      insert;
+      cardinal = (fun () -> Ucq_index.cardinal idx);
+      to_ucq =
+        (fun () -> Ucq.of_disjuncts_unchecked (Ucq_index.disjuncts idx));
+      is_live;
+    }
+  end
+  else begin
+    let disjuncts = ref [] in
+    let insert q' =
+      if List.exists (fun d -> implies q' d) !disjuncts then `Subsumed
+      else begin
+        let kept =
+          List.filter
+            (fun d ->
+              if implies d q' then begin
+                Hashtbl.remove live (Cq.canon_id d);
+                false
+              end
+              else true)
+            !disjuncts
+        in
+        disjuncts := q' :: kept;
+        Hashtbl.replace live (Cq.canon_id q') ();
+        `Added
+      end
+    in
+    {
+      insert;
+      cardinal = (fun () -> List.length !disjuncts);
+      to_ucq = (fun () -> Ucq.of_disjuncts_unchecked !disjuncts);
+      is_live;
+    }
+  end
+
 let rewrite_sequential ~budget theory q =
   let compiled, aux = Single_head.compile theory in
   let memo0 = Containment.memo_stats () in
+  let ix0 = Ucq_index.stats () in
+  let solver0 = Containment.solver_stats () in
   let checks = ref 0 in
   let implies a b =
     incr checks;
     Containment.implies_memo a b
   in
-  let add_minimal u q' =
-    if List.exists (fun d -> implies q' d) (Ucq.disjuncts u) then
-      (u, `Subsumed)
-    else
-      let kept =
-        List.filter (fun d -> not (implies d q')) (Ucq.disjuncts u)
-      in
-      (Ucq.of_disjuncts_unchecked (q' :: kept), `Added)
-  in
+  let store = make_store ~implies in
   let q0 = Containment.core_of_query q in
   let seen_before = make_dedup () in
   let dedup_hits = ref 0 in
   ignore (seen_before q0);
-  let ucq = ref (fst (add_minimal Ucq.empty q0)) in
+  ignore (store.insert q0);
   let worklist = Queue.create () in
   Queue.add q0 worklist;
   let steps = ref 0 in
@@ -117,7 +199,7 @@ let rewrite_sequential ~budget theory q =
        end;
        let current = Queue.pop worklist in
        (* A query subsumed since it was enqueued need not be expanded. *)
-       if Ucq.exists (fun d -> d == current) !ucq then begin
+       if store.is_live current then begin
          incr steps;
          List.iter
            (fun q' ->
@@ -128,12 +210,10 @@ let rewrite_sequential ~budget theory q =
              end;
              if seen_before q' then incr dedup_hits
              else
-               let ucq', status = add_minimal !ucq q' in
-               ucq := ucq';
-               match status with
+               match store.insert q' with
                | `Added ->
                    Queue.add q' worklist;
-                   if Ucq.cardinal !ucq > budget.max_disjuncts then begin
+                   if store.cardinal () > budget.max_disjuncts then begin
                      outcome := Disjunct_budget;
                      raise Exit
                    end
@@ -142,9 +222,9 @@ let rewrite_sequential ~budget theory q =
        end
      done
    with Exit -> ());
-  finalize ~aux ~ucq:!ucq ~outcome:!outcome ~steps:!steps
+  finalize ~aux ~ucq:(store.to_ucq ()) ~outcome:!outcome ~steps:!steps
     ~generated:!generated ~containment_checks:!checks
-    ~dedup_hits:!dedup_hits ~memo0
+    ~dedup_hits:!dedup_hits ~memo0 ~ix0 ~solver0
 
 (* ------------------------------------------------------------------ *)
 (* Parallel saturation                                                 *)
@@ -164,31 +244,96 @@ let rewrite_sequential ~budget theory q =
 let rewrite_parallel ~pool ~budget theory q =
   let compiled, aux = Single_head.compile theory in
   let memo0 = Containment.memo_stats () in
+  let ix0 = Ucq_index.stats () in
+  let solver0 = Containment.solver_stats () in
   let checks = Atomic.make 0 in
   let implies a b =
     Atomic.incr checks;
     Containment.implies_memo a b
   in
-  let covers u q' =
-    Parallel.Pool.exists pool
-      (fun d -> implies q' d)
-      (Array.of_list (Ucq.disjuncts u))
-  in
-  let add_minimal u q' =
-    if covers u q' then (u, `Subsumed)
-    else
-      let kept =
-        Parallel.Pool.filter_list pool
-          (fun d -> not (implies d q'))
-          (Ucq.disjuncts u)
+  (* Same store abstraction as the sequential engine (including the
+     O(1) canonical-id liveness set — see [make_store]), with the
+     surviving containment checks of each insertion fanned out across
+     the pool. All store mutation happens on the coordinator. *)
+  let live_set : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let is_live q' = Hashtbl.mem live_set (Cq.canon_id q') in
+  let store =
+    if Ucq_index.indexing_enabled () then begin
+      let idx = Ucq_index.create () in
+      let insert q' =
+        let subsumers = Ucq_index.subsumer_candidates idx q' in
+        if
+          Parallel.Pool.exists pool
+            (fun d -> implies q' d)
+            (Array.of_list subsumers)
+        then `Subsumed
+        else begin
+          let victims = Ucq_index.victim_candidates idx q' in
+          let verdicts =
+            Parallel.Pool.map_list pool
+              (fun (_, d) -> implies d q')
+              victims
+          in
+          List.iter2
+            (fun (slot, d) dropped ->
+              if dropped then begin
+                Ucq_index.kill idx slot;
+                Hashtbl.remove live_set (Cq.canon_id d)
+              end)
+            victims verdicts;
+          Ucq_index.add idx q';
+          Hashtbl.replace live_set (Cq.canon_id q') ();
+          `Added
+        end
       in
-      (Ucq.of_disjuncts_unchecked (q' :: kept), `Added)
+      {
+        insert;
+        cardinal = (fun () -> Ucq_index.cardinal idx);
+        to_ucq =
+          (fun () -> Ucq.of_disjuncts_unchecked (Ucq_index.disjuncts idx));
+        is_live;
+      }
+    end
+    else begin
+      let disjuncts = ref [] in
+      let insert q' =
+        if
+          Parallel.Pool.exists pool
+            (fun d -> implies q' d)
+            (Array.of_list !disjuncts)
+        then `Subsumed
+        else begin
+          let verdicts =
+            Parallel.Pool.map_list pool (fun d -> implies d q') !disjuncts
+          in
+          let kept =
+            List.fold_right2
+              (fun d dropped acc ->
+                if dropped then begin
+                  Hashtbl.remove live_set (Cq.canon_id d);
+                  acc
+                end
+                else d :: acc)
+              !disjuncts verdicts []
+          in
+          disjuncts := q' :: kept;
+          Hashtbl.replace live_set (Cq.canon_id q') ();
+          `Added
+        end
+      in
+      {
+        insert;
+        cardinal = (fun () -> List.length !disjuncts);
+        to_ucq = (fun () -> Ucq.of_disjuncts_unchecked !disjuncts);
+        is_live;
+      }
+    end
   in
   let q0 = Containment.core_of_query q in
   let seen_before = make_dedup () in
   let dedup_hits = ref 0 in
   ignore (seen_before q0);
-  let ucq = ref (Ucq.of_disjuncts_unchecked [ q0 ]) in
+  ignore (store.insert q0);
   let steps = ref 0 in
   let generated = ref 0 in
   let outcome = ref Complete in
@@ -200,11 +345,7 @@ let rewrite_parallel ~pool ~budget theory q =
          raise Exit
        end;
        (* Disjuncts subsumed since they were enqueued need not expand. *)
-       let live =
-         List.filter
-           (fun q' -> Ucq.exists (fun d -> d == q') !ucq)
-           !frontier
-       in
+       let live = List.filter store.is_live !frontier in
        let batch, deferred = split_batch (budget.max_steps - !steps) live in
        let expansions =
          Parallel.Pool.map_list pool
@@ -224,12 +365,10 @@ let rewrite_parallel ~pool ~budget theory q =
                  sequential), so the plain hash table is safe. *)
               if seen_before q' then incr dedup_hits
               else
-                let ucq', status = add_minimal !ucq q' in
-                ucq := ucq';
-                match status with
+                match store.insert q' with
                 | `Added ->
                     added := q' :: !added;
-                    if Ucq.cardinal !ucq > budget.max_disjuncts then begin
+                    if store.cardinal () > budget.max_disjuncts then begin
                       outcome := Disjunct_budget;
                       raise Exit
                     end
@@ -238,10 +377,10 @@ let rewrite_parallel ~pool ~budget theory q =
        frontier := deferred @ List.rev !added
      done
    with Exit -> ());
-  finalize ~aux ~ucq:!ucq ~outcome:!outcome ~steps:!steps
+  finalize ~aux ~ucq:(store.to_ucq ()) ~outcome:!outcome ~steps:!steps
     ~generated:!generated
     ~containment_checks:(Atomic.get checks)
-    ~dedup_hits:!dedup_hits ~memo0
+    ~dedup_hits:!dedup_hits ~memo0 ~ix0 ~solver0
 
 let rewrite ?pool ?(budget = default_budget) theory q =
   match pool with

@@ -39,6 +39,16 @@ type result = {
           once, though it saves up to [|ucq|] checks) *)
   cache_misses : int;
       (** containment verdicts this run computed and cached *)
+  index_pruned : int;
+      (** disjunct pairs (and core-shrink candidates) refuted during this
+          run by the subsumption-index fingerprints — anchor masks,
+          occurrence-vector support, distance profiles — without running
+          any containment search (0 when [Ucq_index.set_indexing] and
+          [Containment.set_decomposition] are both off) *)
+  component_splits : int;
+      (** containment checks this run whose pattern split into two or
+          more Gaifman components and were solved per component (0 when
+          [Containment.set_decomposition] is off) *)
 }
 
 val rewrite : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> result
