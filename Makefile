@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke examples doc clean fmt
+.PHONY: all build test check check-faults bench bench-smoke examples doc clean fmt
 
 all: build
 
@@ -14,6 +14,26 @@ check:
 	dune build @all
 	dune runtest --force
 	dune exec bench/main.exe -- e1 par -j 2
+
+# Fault matrix (mirrored by the CI fault-matrix job): replay the
+# property suite under three deterministic fault schedules
+# (FRONTIER_FAULTS seeds task exceptions, worker deaths, and simulated
+# deadline/memory trips), then drive the CLI's degraded mode — a
+# non-terminating chase under --timeout must print a partial result and
+# exit 2 — at -j1 and -j4.
+check-faults: build
+	for seed in 1 7 42; do \
+	  echo "== FRONTIER_FAULTS=$$seed =="; \
+	  FRONTIER_FAULTS=$$seed FRONTIER_QCHECK_COUNT=25 \
+	    dune exec test/test_properties.exe || exit 1; \
+	done
+	for j in 1 4; do \
+	  echo "== degraded-mode chase, -j $$j =="; \
+	  dune exec bin/frontier_cli.exe -- chase \
+	    -t 'E(x,y) -> exists z. E(y,z)' -d 'E(a,b)' \
+	    --depth 1000000 --max-atoms 100000000 --timeout 0.3 -j $$j; \
+	  test $$? -eq 2 || exit 1; \
+	done
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt

@@ -444,7 +444,9 @@ let e11 () =
     | Rewriting.Rewrite.Complete -> "complete"
     | Rewriting.Rewrite.Step_budget -> "step budget exhausted"
     | Rewriting.Rewrite.Disjunct_budget -> "disjunct budget exhausted"
-    | Rewriting.Rewrite.Size_budget -> "size budget exhausted")
+    | Rewriting.Rewrite.Size_budget -> "size budget exhausted"
+    | Rewriting.Rewrite.Guard_exhausted c ->
+        "guard: " ^ Guard.cause_to_string c)
     r.Rewriting.Rewrite.steps
     (Ucq.cardinal r.Rewriting.Rewrite.ucq);
   row "  (the marked-query process, which exploits all three rules of T_d,@.";

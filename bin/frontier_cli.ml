@@ -9,6 +9,12 @@
 
 open Cmdliner
 
+(* Exit codes: 0 = complete result; 2 = a resource budget (deadline, fuel,
+   memory ceiling, Ctrl-C) tripped and a PARTIAL result was printed;
+   3 = internal error (bad input, unknown variant, ...). *)
+let exit_exhausted = 2
+let exit_internal = 3
+
 let read_source s =
   (* A value is either inline text or @file. *)
   if String.length s > 0 && s.[0] = '@' then (
@@ -50,6 +56,60 @@ let jobs_arg =
   let env = Cmd.Env.info "FRONTIER_JOBS" in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~env ~doc)
 
+let timeout_arg =
+  let doc =
+    "Wall-clock deadline in seconds (may be fractional). On expiry the \
+     run stops at its next guard checkpoint, the partial result computed \
+     so far is printed, and the exit code is 2."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~doc)
+
+let memory_arg =
+  let doc =
+    "Live-heap ceiling in megabytes, sampled via Gc.quick_stat at guard \
+     checkpoints. Exceeding it stops the run with partial output and \
+     exit code 2."
+  in
+  Arg.(value & opt (some int) None & info [ "max-memory-mb" ] ~doc)
+
+let words_of_mb mb = mb * 1024 * 1024 / (Sys.word_size / 8)
+
+(* One guard per invocation: deadline/memory flags plus a cancellation
+   token flipped by Ctrl-C, so an interrupted run still prints its
+   partial result (and --stats) on the way out. *)
+let with_guard ~timeout ~max_memory_mb f =
+  let cancel = Atomic.make false in
+  let guard =
+    Frontier.Guard.create ?deadline_s:timeout
+      ?max_heap_words:(Option.map words_of_mb max_memory_mb)
+      ~cancel ()
+  in
+  let previous =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Atomic.set cancel true))
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+    (fun () -> f guard)
+
+(* Report the guard verdict and translate it into the exit code. *)
+let finish guard =
+  match Frontier.Guard.status guard with
+  | None -> ()
+  | Some cause ->
+      let p = Frontier.Guard.progress guard in
+      Fmt.pr
+        "guard: exhausted (%s) after %d checkpoints, %d fuel spent, %.3fs \
+         elapsed%s — partial result above@."
+        (Frontier.Guard.cause_to_string cause)
+        p.Frontier.Guard.checkpoints p.Frontier.Guard.fuel_spent
+        p.Frontier.Guard.elapsed_s
+        (if p.Frontier.Guard.peak_heap_words > 0 then
+           Printf.sprintf ", peak heap %d words"
+             p.Frontier.Guard.peak_heap_words
+         else "");
+      exit exit_exhausted
+
 let with_pool jobs f =
   if jobs > 1 then (
     let pool = Frontier.Pool.create jobs in
@@ -65,34 +125,37 @@ let handle f =
   try f () with
   | Frontier.Parse.Error msg ->
       Fmt.epr "parse error: %s@." msg;
-      exit 2
+      exit exit_internal
   | Invalid_argument msg ->
       Fmt.epr "error: %s@." msg;
-      exit 2
+      exit exit_internal
 
 (* ------------------------------------------------------------------ *)
 
 let chase_cmd =
   let run theory instance depth max_atoms verbose variant dot_file jobs stats
-      =
+      timeout max_memory_mb =
     handle (fun () ->
         with_pool jobs (fun pool ->
+        with_guard ~timeout ~max_memory_mb (fun guard ->
         let t = parse_theory theory in
         let d = parse_instance instance in
         let result_facts =
           match variant with
           | "semi-oblivious" ->
               let run =
-                Frontier.Chase_engine.run ~pool ~max_depth:depth ~max_atoms t
-                  d
+                Frontier.Chase_engine.run ~pool ~guard ~max_depth:depth
+                  ~max_atoms t d
               in
               Fmt.pr "chase: %d stages%s%s@."
                 (Frontier.Chase_engine.depth run)
                 (if Frontier.Chase_engine.saturated run then " (saturated)"
                  else "")
-                (if Frontier.Chase_engine.hit_atom_budget run then
-                   " (atom budget hit)"
-                 else "");
+                (match Frontier.Chase_engine.interrupted run with
+                 | Some c ->
+                     " (interrupted: " ^ Frontier.Guard.cause_to_string c
+                     ^ ")"
+                 | None -> "");
               for i = 0 to Frontier.Chase_engine.depth run do
                 Fmt.pr "stage %d: %d atoms@." i
                   (Frontier.Fact_set.cardinal
@@ -113,8 +176,8 @@ let chase_cmd =
               Frontier.Chase_engine.result run
           | "oblivious" ->
               let r =
-                Frontier.Chase_variants.run_oblivious ~pool ~max_depth:depth
-                  ~max_atoms t d
+                Frontier.Chase_variants.run_oblivious ~pool ~guard
+                  ~max_depth:depth ~max_atoms t d
               in
               Fmt.pr "oblivious chase: %d stages%s, %d atoms@."
                 r.Frontier.Chase_variants.steps
@@ -124,7 +187,7 @@ let chase_cmd =
               r.Frontier.Chase_variants.facts
           | "restricted" ->
               let r =
-                Frontier.Chase_variants.run_restricted
+                Frontier.Chase_variants.run_restricted ~guard
                   ~max_applications:(depth * 100) ~max_atoms t d
               in
               Fmt.pr "restricted chase: %d applications%s, %d atoms@."
@@ -136,7 +199,7 @@ let chase_cmd =
               r.Frontier.Chase_variants.facts
           | other ->
               Fmt.epr "unknown chase variant %S@." other;
-              exit 2
+              exit exit_internal
         in
         (match dot_file with
         | Some path ->
@@ -148,7 +211,8 @@ let chase_cmd =
             close_out oc;
             Fmt.pr "dot graph written to %s@." path
         | None -> ());
-        if verbose then Fmt.pr "%a@." Frontier.Fact_set.pp result_facts))
+        if verbose then Fmt.pr "%a@." Frontier.Fact_set.pp result_facts;
+        finish guard)))
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print all atoms.")
@@ -178,12 +242,13 @@ let chase_cmd =
     (Cmd.info "chase" ~doc:"Run the chase (semi-oblivious by default)")
     Term.(
       const run $ theory_arg $ instance_arg $ depth_arg $ atoms_arg $ verbose
-      $ variant $ dot_file $ jobs_arg $ stats)
+      $ variant $ dot_file $ jobs_arg $ stats $ timeout_arg $ memory_arg)
 
 let rewrite_cmd =
-  let run theory query steps disjuncts jobs stats =
+  let run theory query steps disjuncts jobs stats timeout max_memory_mb =
     handle (fun () ->
         with_pool jobs (fun pool ->
+        with_guard ~timeout ~max_memory_mb (fun guard ->
         let t = parse_theory theory in
         let q = parse_query query in
         let budget =
@@ -193,14 +258,17 @@ let rewrite_cmd =
             max_disjuncts = disjuncts;
           }
         in
-        let r = Frontier.rewrite ~pool ~budget t q in
+        let r = Frontier.rewrite ~pool ~guard ~budget t q in
         (match r.Frontier.Rewrite.outcome with
         | Frontier.Rewrite.Complete -> Fmt.pr "rewriting complete:@."
         | Frontier.Rewrite.Step_budget -> Fmt.pr "step budget exhausted; partial:@."
         | Frontier.Rewrite.Disjunct_budget ->
             Fmt.pr "disjunct budget exhausted; partial:@."
         | Frontier.Rewrite.Size_budget ->
-            Fmt.pr "disjunct size budget exhausted; partial:@.");
+            Fmt.pr "disjunct size budget exhausted; partial:@."
+        | Frontier.Rewrite.Guard_exhausted cause ->
+            Fmt.pr "guard exhausted (%s); partial:@."
+              (Frontier.Guard.cause_to_string cause));
         Fmt.pr "%a@." Frontier.Ucq.pp r.Frontier.Rewrite.ucq;
         Fmt.pr
           "disjuncts: %d, max size: %d, steps: %d, generated: %d, \
@@ -215,7 +283,12 @@ let rewrite_cmd =
             "solver: %d candidate pairs pruned by the subsumption index, \
              %d containment searches split into components@."
             r.Frontier.Rewrite.index_pruned
-            r.Frontier.Rewrite.component_splits))
+            r.Frontier.Rewrite.component_splits;
+        finish guard;
+        (* Exhausted legacy budgets (no guard trip) also mean the printed
+           UCQ is partial: keep the exit-code contract uniform. *)
+        if r.Frontier.Rewrite.outcome <> Frontier.Rewrite.Complete then
+          exit exit_exhausted)))
   in
   let steps =
     Arg.(value & opt int 5_000 & info [ "steps" ] ~doc:"Rewriting step budget.")
@@ -236,17 +309,19 @@ let rewrite_cmd =
     (Cmd.info "rewrite" ~doc:"Compute the UCQ rewriting of a query")
     Term.(
       const run $ theory_arg $ query_arg $ steps $ disjuncts $ jobs_arg
-      $ stats)
+      $ stats $ timeout_arg $ memory_arg)
 
 let answer_cmd =
-  let run theory instance query depth max_atoms jobs =
+  let run theory instance query depth max_atoms jobs timeout max_memory_mb =
     handle (fun () ->
         with_pool jobs (fun pool ->
+        with_guard ~timeout ~max_memory_mb (fun guard ->
         let t = parse_theory theory in
         let d = parse_instance instance in
         let q = parse_query query in
         let answers =
-          Frontier.certain_answers ~pool ~max_depth:depth ~max_atoms t d q
+          Frontier.certain_answers ~pool ~guard ~max_depth:depth ~max_atoms t
+            d q
         in
         Fmt.pr "via chase (%d answers):@." (List.length answers);
         List.iter
@@ -255,20 +330,21 @@ let answer_cmd =
               (Fmt.list ~sep:(Fmt.any ", ") Frontier.Term.pp)
               tuple)
           answers;
-        match Frontier.answer_via_rewriting ~pool t d q with
+        (match Frontier.answer_via_rewriting ~pool ~guard t d q with
         | Some answers' ->
             Fmt.pr "via rewriting (%d answers): %s@." (List.length answers')
               (if
                  List.sort compare answers' = List.sort compare answers
                then "agrees with the chase"
                else "DISAGREES with the chase")
-        | None -> Fmt.pr "via rewriting: did not complete within budget@."))
+        | None -> Fmt.pr "via rewriting: did not complete within budget@.");
+        finish guard)))
   in
   Cmd.v
     (Cmd.info "answer" ~doc:"Certain answers via chase and rewriting")
     Term.(
       const run $ theory_arg $ instance_arg $ query_arg $ depth_arg
-      $ atoms_arg $ jobs_arg)
+      $ atoms_arg $ jobs_arg $ timeout_arg $ memory_arg)
 
 let explain_cmd =
   let run theory instance query tuple depth max_atoms =
@@ -311,16 +387,24 @@ let explain_cmd =
       $ atoms_arg)
 
 let marked_rewrite_cmd =
-  let run query levels steps =
+  let run query levels steps timeout max_memory_mb =
     handle (fun () ->
+        with_guard ~timeout ~max_memory_mb (fun guard ->
         let q = parse_query (read_source query) in
         let res =
-          if levels = 2 then Frontier.Marked_process.rewrite_td ~max_steps:steps q
-          else Frontier.Marked_process.rewrite_tdk ~max_steps:steps levels q
+          if levels = 2 then
+            Frontier.Marked_process.rewrite_td ~guard ~max_steps:steps q
+          else
+            Frontier.Marked_process.rewrite_tdk ~guard ~max_steps:steps levels
+              q
         in
         Fmt.pr "%s after %d process steps (%d cut, %d fuse, %d reduce):@."
           (if res.Frontier.Marked_process.complete then "complete"
-           else "step budget exhausted")
+           else
+             match res.Frontier.Marked_process.interrupted with
+             | Some c ->
+                 "guard exhausted (" ^ Frontier.Guard.cause_to_string c ^ ")"
+             | None -> "step budget exhausted")
           res.Frontier.Marked_process.stats.Frontier.Marked_process.steps
           res.Frontier.Marked_process.stats.Frontier.Marked_process.cut_steps
           res.Frontier.Marked_process.stats.Frontier.Marked_process.fuse_steps
@@ -331,7 +415,9 @@ let marked_rewrite_cmd =
           (Frontier.Ucq.max_disjunct_size
              res.Frontier.Marked_process.rewriting)
           (List.length res.Frontier.Marked_process.trivial)
-          (List.length res.Frontier.Marked_process.aliased))
+          (List.length res.Frontier.Marked_process.aliased);
+        finish guard;
+        if not res.Frontier.Marked_process.complete then exit exit_exhausted))
   in
   let levels =
     Arg.(
@@ -348,7 +434,7 @@ let marked_rewrite_cmd =
     (Cmd.info "marked-rewrite"
        ~doc:
          "Rewrite a query under T_d (or T_d^K) with the marked-query           process of Sections 10-12")
-    Term.(const run $ query_arg $ levels $ steps)
+    Term.(const run $ query_arg $ levels $ steps $ timeout_arg $ memory_arg)
 
 let classify_cmd =
   let run theory =
@@ -361,8 +447,9 @@ let classify_cmd =
     Term.(const run $ theory_arg)
 
 let analyze_cmd =
-  let run theory instance depth max_l =
+  let run theory instance depth max_l timeout max_memory_mb =
     handle (fun () ->
+        with_guard ~timeout ~max_memory_mb (fun guard ->
         let t = parse_theory theory in
         let d = parse_instance instance in
         (match Frontier.Locality.min_constant ~depth t d ~max_l with
@@ -377,22 +464,30 @@ let analyze_cmd =
               Frontier.Term.pp p.Frontier.Distancing.a Frontier.Term.pp
               p.Frontier.Distancing.b
         | None -> Fmt.pr "distancing: no connected pair@.");
-        match Frontier.Termination.core_terminates_on ~max_c:depth t d with
+        (match
+           Frontier.Termination.core_terminates_on ~guard ~max_c:depth t d
+         with
         | Frontier.Termination.Holds c ->
             Fmt.pr "core termination: model inside stage %d@." c
         | Frontier.Termination.Budget_exhausted ->
             Fmt.pr "core termination: no model found within budget@."
         | Frontier.Termination.Fails ->
-            Fmt.pr "core termination: refuted@.")
+            Fmt.pr "core termination: refuted@.");
+        finish guard))
   in
   let max_l =
     Arg.(value & opt int 4 & info [ "max-l" ] ~doc:"Locality constant bound.")
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Locality / distancing / termination probes")
-    Term.(const run $ theory_arg $ instance_arg $ depth_arg $ max_l)
+    Term.(
+      const run $ theory_arg $ instance_arg $ depth_arg $ max_l $ timeout_arg
+      $ memory_arg)
 
 let () =
+  (* FRONTIER_FAULTS=<seed> turns on deterministic fault injection for the
+     whole process — the replayable chaos knob the CI fault matrix uses. *)
+  Frontier.Guard.Faults.install (Frontier.Guard.Faults.from_env ());
   let info =
     Cmd.info "frontier" ~version:"1.0.0"
       ~doc:

@@ -103,6 +103,7 @@ let () =
     | Rewrite.Complete -> "complete"
     | Rewrite.Step_budget -> "step budget exhausted"
     | Rewrite.Disjunct_budget -> "disjunct budget exhausted"
-    | Rewrite.Size_budget -> "size budget exhausted")
+    | Rewrite.Size_budget -> "size budget exhausted"
+    | Rewrite.Guard_exhausted c -> "guard: " ^ Guard.cause_to_string c)
     r.Rewrite.steps
     (Ucq.cardinal r.Rewrite.ucq)

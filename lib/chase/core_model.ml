@@ -51,17 +51,22 @@ let image_of f mapping ~flexible =
   let shrunk = Fact_set.diff f (Fact_set.of_list !removed) in
   List.fold_left (fun fs a -> Fact_set.add a fs) shrunk !added
 
-let core_of ?(keep = Term.Set.empty) f =
+let core_of ?guard ?(keep = Term.Set.empty) f =
+  let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   let rec shrink f =
     let dom = Fact_set.domain f in
     let candidates = Term.Set.elements (Term.Set.diff dom keep) in
     let rec try_avoid = function
       | [] -> f
       | a :: rest -> (
-          match endomorphism_avoiding f ~keep ~avoid:a with
-          | Some h ->
-              shrink (image_of f h ~flexible:(Term.Set.diff dom keep))
-          | None -> try_avoid rest)
+          (* One checkpoint per avoided-element probe; a trip returns the
+             current structure — a sound (possibly non-minimal) retract. *)
+          if Guard.check guard <> None then f
+          else
+            match endomorphism_avoiding f ~keep ~avoid:a with
+            | Some h ->
+                shrink (image_of f h ~flexible:(Term.Set.diff dom keep))
+            | None -> try_avoid rest)
     in
     try_avoid candidates
   in
@@ -76,9 +81,12 @@ type core_result = { c : int; model : Fact_set.t; core : Fact_set.t }
 
 exception Found_model of Fact_set.t
 
-let core_of_chase ?pool ?(max_c = 20) ?(lookahead = 6) ?(max_atoms = 100_000)
-    ?(max_homs = 5_000) theory d =
-  let run = Engine.run ?pool ~max_depth:(max_c + lookahead) ~max_atoms theory d in
+let core_of_chase ?pool ?guard ?(max_c = 20) ?(lookahead = 6)
+    ?(max_atoms = 100_000) ?(max_homs = 5_000) theory d =
+  let guard' = match guard with Some g -> g | None -> Guard.unlimited () in
+  let run =
+    Engine.run ?pool ?guard ~max_depth:(max_c + lookahead) ~max_atoms theory d
+  in
   let keep = Fact_set.domain d in
   let deepest = Engine.result run in
   let deepest_is_everything = Engine.saturated run in
@@ -107,6 +115,10 @@ let core_of_chase ?pool ?(max_c = 20) ?(lookahead = 6) ?(max_atoms = 100_000)
         (fun h ->
           incr tried;
           if !tried > max_homs then raise Not_found;
+          if
+            !tried land Guard.poll_mask = 0
+            && Guard.check guard' <> None
+          then raise Not_found;
           let m = image_of deepest h ~flexible in
           if deepest_is_everything || Theory.satisfied_in theory m then
             raise (Found_model m));
@@ -116,11 +128,12 @@ let core_of_chase ?pool ?(max_c = 20) ?(lookahead = 6) ?(max_atoms = 100_000)
     | Not_found -> None
   in
   let rec search n =
-    if n > max_c || n > Engine.depth run then None
+    if n > max_c || n > Engine.depth run || Guard.status guard' <> None then
+      None
     else
       match model_inside n with
       | Some m ->
-          Some { c = n; model = m; core = core_of ~keep m }
+          Some { c = n; model = m; core = core_of ?guard ~keep m }
       | None -> search (n + 1)
   in
   search 0

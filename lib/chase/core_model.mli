@@ -9,10 +9,12 @@
 
 open Logic
 
-val core_of : ?keep:Term.Set.t -> Fact_set.t -> Fact_set.t
+val core_of : ?guard:Guard.t -> ?keep:Term.Set.t -> Fact_set.t -> Fact_set.t
 (** Minimal retract of the structure fixing [keep] (default: nothing).
     The result is an induced sub-collapse: a homomorphic image inside the
-    input. *)
+    input. The guard is checkpointed once per avoided-element probe; on a
+    trip the current structure is returned — still a sound retract of the
+    input, merely possibly non-minimal. *)
 
 val retract_onto : Fact_set.t -> into:Fact_set.t -> keep:Term.Set.t ->
   Homomorphism.mapping option
@@ -28,6 +30,7 @@ type core_result = {
 
 val core_of_chase :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?max_c:int -> ?lookahead:int -> ?max_atoms:int -> ?max_homs:int ->
   Theory.t -> Fact_set.t -> core_result option
 (** Searches [n = 0, 1, ...] for the first chase stage containing a model of
@@ -35,4 +38,8 @@ val core_of_chase :
     is exact; otherwise the model is witnessed by folding the computed
     prefix ([lookahead] extra stages, default 6) into stage [n] and model-
     checking the image — a sound semi-decision procedure ([None] = budget
-    exhausted, matching the undecidability of core termination). *)
+    exhausted, matching the undecidability of core termination). The guard
+    bounds the underlying chase, the fold enumeration (polled every
+    {!Guard.poll_mask}+1 homomorphisms), and the final core fold; a trip
+    yields [None], indistinguishable from budget exhaustion by design —
+    inspect [Guard.status] to tell them apart. *)

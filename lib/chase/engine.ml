@@ -25,7 +25,11 @@ type run = {
   initial : Fact_set.t;
   stages : Fact_set.t array;
   saturated : bool;
-  hit_atom_budget : bool;
+  interrupted : Guard.cause option;
+      (* Some: the guard tripped (the max_atoms compat budget trips it
+         with [Fuel]); the stages are the sound prefix computed before
+         the trip — an aborted sweep contributes nothing *)
+  guard : Guard.t;
   info : (int * (Tgd.t * Homomorphism.mapping) list ref) Atom_tbl.t;
       (* derived atoms: first stage, creating applications; the list is
          mutated in place so a rediscovery costs one table probe *)
@@ -89,8 +93,17 @@ let part_triggers rule part ~old_facts ~delta ~full ~old_dom_list
       Homomorphism.iter_multi ~flexible ~pattern ~domain_bindings f
   | Ground -> f Term.Map.empty
 
-let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
+(* Abort marker for a guard trip observed inside a task's trigger
+   enumeration: the task catches it and returns its partial local list,
+   which the coordinator then discards wholesale (the guard is sticky,
+   so the post-sweep status check sees the trip). *)
+exception Sweep_aborted
+
+let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
     ?(max_atoms = 200_000) theory initial =
+  let guard =
+    match guard with Some g -> g | None -> Guard.unlimited ()
+  in
   let stages = ref [ initial ] in
   let info = Atom_tbl.create (1 lsl 18) in
   let full = ref initial in
@@ -98,13 +111,18 @@ let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
   let delta = ref initial in
   let old_dom = ref Term.Set.empty in
   let saturated = ref false in
-  let hit_budget = ref false in
+  let interrupted = ref (Guard.status guard) in
   let stage_index = ref 0 in
   let stats = ref [] in
   while
-    (not !saturated) && (not !hit_budget) && !stage_index < max_depth
+    (not !saturated) && !interrupted = None && !stage_index < max_depth
   do
     incr stage_index;
+    (match Guard.check guard with
+    | Some cause ->
+        interrupted := Some cause;
+        decr stage_index
+    | None ->
     let stage_t0 = Unix.gettimeofday () in
     let busy0 = Parallel.Pool.busy_times pool in
     let ix0 = Fact_set.counters () in
@@ -133,23 +151,41 @@ let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
            (Theory.rules theory))
     in
     let locals =
-      Parallel.Pool.map_array pool
+      Parallel.Pool.map_array ~guard pool
         (fun (rule, part) ->
           let local = ref [] in
           let triggers = ref 0 in
-          part_triggers rule part ~old_facts:!old_facts ~delta:!delta
-            ~full:!full ~old_dom_list ~new_dom_list ~full_dom_list
-            (fun sigma ->
-              incr triggers;
-              List.iter
-                (fun atom -> local := (atom, rule, sigma) :: !local)
-                (Tgd.apply rule sigma));
+          (* Guard checkpoints every [poll_mask]+1 triggers: a trip
+             aborts this task's enumeration early; the coordinator then
+             discards the whole sweep (stages stay an exact prefix). *)
+          (try
+             part_triggers rule part ~old_facts:!old_facts ~delta:!delta
+               ~full:!full ~old_dom_list ~new_dom_list ~full_dom_list
+               (fun sigma ->
+                 incr triggers;
+                 if
+                   !triggers land Guard.poll_mask = 0
+                   && Guard.check guard <> None
+                 then raise Sweep_aborted;
+                 List.iter
+                   (fun atom -> local := (atom, rule, sigma) :: !local)
+                   (Tgd.apply rule sigma))
+           with Sweep_aborted -> ());
           (!local, !triggers))
         tasks
     in
     let triggers =
       Array.fold_left (fun acc (_, t) -> acc + t) 0 locals
     in
+    match Guard.status guard with
+    | Some cause ->
+        (* The sweep was aborted mid-enumeration: its partial
+           productions are unsound as a stage, so discard them — the
+           recorded stages remain exactly [Ch_0 .. Ch_i] for the last
+           completed sweep [i]. *)
+        interrupted := Some cause;
+        decr stage_index
+    | None ->
     (* Partition into genuinely new atoms and rediscoveries; record all
        derivations either way, iterating the per-task locals in the
        sequential engine's production order (tasks last-to-first, each
@@ -209,14 +245,26 @@ let run ?(pool = Parallel.Pool.sequential) ?(max_depth = 50)
          sweep did real trigger-enumeration work even though it derived
          nothing. *)
     end
-    else if Fact_set.cardinal !full > max_atoms then hit_budget := true
+    else if Fact_set.cardinal !full > max_atoms then
+      (* The historical atom cap, expressed as the unified fuel cause:
+         the completed stage is kept, the run stops. *)
+      interrupted := Some Guard.Fuel
+    else begin
+      (* Draw the stage's fresh atoms from the guard's fuel account; a
+         fuel (or boundary-sampled deadline/memory) trip keeps the
+         completed stage and stops the run. *)
+      match Guard.spend guard (Fact_set.cardinal delta') with
+      | Some cause -> interrupted := Some cause
+      | None -> ()
+    end)
   done;
   {
     theory;
     initial;
     stages = Array.of_list (List.rev !stages);
     saturated = !saturated;
-    hit_atom_budget = !hit_budget;
+    interrupted = !interrupted;
+    guard;
     info;
     stats = Array.of_list (List.rev !stats);
   }
@@ -226,7 +274,24 @@ let initial r = r.initial
 let stage_stats r = r.stats
 let depth r = Array.length r.stages - 1
 let saturated r = r.saturated
-let hit_atom_budget r = r.hit_atom_budget
+let interrupted r = r.interrupted
+let guard r = r.guard
+
+(* Derived view of the unified guard outcome: true exactly when the
+   atom/step fuel account (the historical [max_atoms] cap included) ran
+   dry. *)
+let hit_atom_budget r = r.interrupted = Some Guard.Fuel
+
+let outcome r =
+  if r.saturated then Guard.Complete r
+  else
+    let cause =
+      match r.interrupted with
+      | Some cause -> cause
+      | None -> Guard.Fuel (* the max_depth compat budget: depth fuel *)
+    in
+    Guard.Exhausted
+      { partial = r; cause; progress = Guard.progress r.guard }
 
 let stage r i =
   if i < 0 then invalid_arg "Engine.stage: negative index"

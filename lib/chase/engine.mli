@@ -34,15 +34,26 @@ type stage_stats = {
 
 val run :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> run
-(** Defaults: [max_depth = 50], [max_atoms = 200_000], [pool] sequential.
+(** Defaults: [max_depth = 50], [max_atoms = 200_000], [pool] sequential,
+    [guard] unlimited.
 
     With a pool of [N > 1] domains, each stage's semi-naive trigger
     enumeration is partitioned by (rule x delta-seed position) across the
     domains and the per-task results are merged at the stage barrier in
     task order — the exact production order of the sequential engine — so
     stages, saturation and budget flags, and recorded provenance are
-    identical whatever [N] is. *)
+    identical whatever [N] is.
+
+    The guard is checkpointed at every stage boundary and every
+    {!Guard.poll_mask}+1 trigger enumerations inside each parallel task,
+    and the stage's fresh atoms are drawn from its fuel account. On a
+    trip, a partially enumerated sweep is discarded wholesale, so the
+    recorded stages are always exactly [Ch_0 .. Ch_i] — a sound prefix
+    of the fault-free chase ({!interrupted} reports the cause;
+    [max_depth]/[max_atoms] remain as thin compatibility shims over the
+    same mechanism). *)
 
 val stage_stats : run -> stage_stats array
 (** One entry per executed sweep, in stage order. When the run saturated,
@@ -58,7 +69,23 @@ val depth : run -> int
 val saturated : run -> bool
 (** True iff the last stage is a fixpoint, i.e. equals [Ch(T, D)]. *)
 
+val interrupted : run -> Guard.cause option
+(** Why the run stopped early, if a guard (or the [max_atoms] compat
+    budget, reported as {!Guard.Fuel}) tripped; [None] when the run
+    saturated or only exhausted [max_depth]. *)
+
+val guard : run -> Guard.t
+(** The guard the run drew on (an unlimited one when none was given). *)
+
+val outcome : run -> (run, run) Guard.outcome
+(** The unified verdict: [Complete] iff the run saturated, otherwise
+    [Exhausted] with the trip cause ({!Guard.Fuel} for the depth/atom
+    compat budgets) and the guard's progress counters. The partial run
+    is a sound prefix: every recorded stage [i] is exactly [Ch_i]. *)
+
 val hit_atom_budget : run -> bool
+(** Deprecated: a derived view of {!outcome} — equivalent to
+    [interrupted run = Some Guard.Fuel]. Use {!outcome} in new code. *)
 
 val stage : run -> int -> Fact_set.t
 (** [stage r i] is [Ch_i(T,D)]. For [i > depth r]: the last stage when

@@ -17,8 +17,8 @@ let entails_run run q tuple =
   | Some n -> Entailed n
   | None -> if Engine.saturated run then Not_entailed else Unknown
 
-let entails ?max_depth ?max_atoms theory d q tuple =
-  let run = Engine.run ?max_depth ?max_atoms theory d in
+let entails ?guard ?max_depth ?max_atoms theory d q tuple =
+  let run = Engine.run ?guard ?max_depth ?max_atoms theory d in
   entails_run run q tuple
 
 let all_tuples d len =

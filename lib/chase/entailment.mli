@@ -7,12 +7,20 @@ type verdict =
   | Entailed of int
       (** [Entailed n]: the query holds in [Ch_n] (minimal computed [n]). *)
   | Not_entailed  (** The chase saturated and the query does not hold. *)
-  | Unknown  (** Budget exhausted without finding the query. *)
+  | Unknown
+      (** Budget exhausted — or the guard tripped — without finding the
+          query. A derived view of the chase's [Guard.outcome]: the
+          computed prefix is sound, so [Unknown] never contradicts a
+          would-be [Entailed]; it only under-approximates it. *)
 
 val entails :
+  ?guard:Guard.t ->
   ?max_depth:int -> ?max_atoms:int ->
   Theory.t -> Fact_set.t -> Cq.t -> Term.t list -> verdict
-(** [entails t d q tuple]: does [T, D |= q(tuple)]? *)
+(** [entails t d q tuple]: does [T, D |= q(tuple)]? The guard bounds the
+    underlying chase; on a trip the verdict degrades to [Unknown] (or to a
+    still-correct [Entailed n] when the query already holds in the computed
+    prefix). *)
 
 val entails_run : Engine.run -> Cq.t -> Term.t list -> verdict
 (** Same, over an already-computed run. *)

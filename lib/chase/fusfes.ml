@@ -13,7 +13,7 @@ let subsets_up_to l items =
     (fun size -> choose size items)
     (List.init l (fun i -> i + 1))
 
-let c_d ?(l = 2) ?max_c ?lookahead ?max_atoms theory d =
+let c_d ?guard ?(l = 2) ?max_c ?lookahead ?max_atoms theory d =
   let subsets = subsets_up_to l (Fact_set.atoms d) in
   List.fold_left
     (fun acc subset ->
@@ -21,16 +21,22 @@ let c_d ?(l = 2) ?max_c ?lookahead ?max_atoms theory d =
       | None -> None
       | Some (union, k) -> (
           let f = Fact_set.of_list subset in
-          match Core_model.core_of_chase ?max_c ?lookahead ?max_atoms theory f with
+          match
+            Core_model.core_of_chase ?guard ?max_c ?lookahead ?max_atoms
+              theory f
+          with
           | Some { Core_model.c; core; _ } ->
               Some (Fact_set.union union core, max k c)
           | None -> None))
     (Some (Fact_set.empty, 0))
     subsets
 
-let lemma33_holds ?l ?max_c ?lookahead ?max_atoms theory d =
-  match c_d ?l ?max_c ?lookahead ?max_atoms theory d with
+let lemma33_holds ?guard ?l ?max_c ?lookahead ?max_atoms theory d =
+  match c_d ?guard ?l ?max_c ?lookahead ?max_atoms theory d with
   | None -> None
   | Some (cd, k_t) ->
-      let run = Engine.run ~max_depth:k_t ?max_atoms theory d in
-      Some (Fact_set.subset cd (Engine.stage run (min k_t (Engine.depth run))))
+      let run = Engine.run ?guard ~max_depth:k_t ?max_atoms theory d in
+      if Engine.interrupted run <> None then None
+      else
+        Some
+          (Fact_set.subset cd (Engine.stage run (min k_t (Engine.depth run))))

@@ -17,13 +17,17 @@
 open Logic
 
 val c_d :
+  ?guard:Guard.t ->
   ?l:int -> ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
   Theory.t -> Fact_set.t -> (Fact_set.t * int) option
 (** [(C_D, k_T)] with [k_T] the largest per-sub-instance core stage;
     [None] when some sub-instance's core search exhausts its budget
-    (non-FES theories). Default [l = 2]. *)
+    (non-FES theories) or the guard trips. Default [l = 2]. *)
 
 val lemma33_holds :
+  ?guard:Guard.t ->
   ?l:int -> ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
   Theory.t -> Fact_set.t -> bool option
-(** Check [C_D subseteq Ch_{k_T}(D)] directly. [None] when [c_d] fails. *)
+(** Check [C_D subseteq Ch_{k_T}(D)] directly. [None] when [c_d] fails or
+    the guard trips before the witnessing chase reaches stage [k_T] (a
+    partial prefix cannot certify the inclusion either way). *)

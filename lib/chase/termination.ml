@@ -1,21 +1,32 @@
 type verdict = Holds of int | Fails | Budget_exhausted
 
-let core_terminates_on ?pool ?max_c ?lookahead ?max_atoms theory d =
-  match Core_model.core_of_chase ?pool ?max_c ?lookahead ?max_atoms theory d with
+let core_terminates_on ?pool ?guard ?max_c ?lookahead ?max_atoms theory d =
+  match
+    Core_model.core_of_chase ?pool ?guard ?max_c ?lookahead ?max_atoms theory d
+  with
   | Some { Core_model.c; _ } -> Holds c
   | None -> Budget_exhausted
 
-let all_instances_terminates_on ?pool ?max_depth ?max_atoms theory d =
-  let run = Engine.run ?pool ?max_depth ?max_atoms theory d in
+let all_instances_terminates_on ?pool ?guard ?max_depth ?max_atoms theory d =
+  let run = Engine.run ?pool ?guard ?max_depth ?max_atoms theory d in
   if Engine.saturated run then Holds (Engine.depth run) else Budget_exhausted
 
-let uniform_bound_on ?pool ?max_c ?lookahead ?max_atoms theory instances =
+let uniform_bound_on ?pool ?guard ?max_c ?lookahead ?max_atoms theory instances
+    =
+  let tripped () =
+    match guard with None -> false | Some g -> Guard.status g <> None
+  in
   let per_instance =
     List.filter_map
       (fun d ->
-        match core_terminates_on ?pool ?max_c ?lookahead ?max_atoms theory d with
-        | Holds c -> Some (d, c)
-        | Fails | Budget_exhausted -> None)
+        if tripped () then None
+        else
+          match
+            core_terminates_on ?pool ?guard ?max_c ?lookahead ?max_atoms
+              theory d
+          with
+          | Holds c -> Some (d, c)
+          | Fails | Budget_exhausted -> None)
       instances
   in
   let all_ok = List.length per_instance = List.length instances in

@@ -6,9 +6,14 @@
 open Logic
 
 type verdict = Holds of int | Fails | Budget_exhausted
+(** [Budget_exhausted] is the legacy name for every resource trip: it now
+    covers both the [max_*] compat caps and {!Guard} trips (deadline, fuel,
+    memory, cancellation). To distinguish the cause, pass an explicit
+    [?guard] and inspect [Guard.status] after the call. *)
 
 val core_terminates_on :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
   Theory.t -> Fact_set.t -> verdict
 (** [Holds c]: stage [c] of the chase on this instance contains a model
@@ -18,14 +23,18 @@ val core_terminates_on :
 
 val all_instances_terminates_on :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> verdict
 (** [Holds n]: the chase saturates at stage [n] on this instance. *)
 
 val uniform_bound_on :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?max_c:int -> ?lookahead:int -> ?max_atoms:int ->
   Theory.t -> Fact_set.t list -> (int option * (Fact_set.t * int) list)
 (** For each instance, [c_{T,D}]; the first component is the maximum when
     every instance succeeded ([None] when some budget was exhausted). By
     Observation 27, a uniform bound across *all* instances witnesses UBDD;
-    across a family it is the experimental series of E4/E8. *)
+    across a family it is the experimental series of E4/E8. A guard trip
+    mid-family stops probing further instances — the per-instance list then
+    covers a prefix of the family. *)

@@ -1,6 +1,15 @@
 open Logic
 
-type result = { facts : Fact_set.t; steps : int; saturated : bool }
+type result = {
+  facts : Fact_set.t;
+  steps : int;
+  saturated : bool;
+  interrupted : Guard.cause option;
+}
+
+(* Abort marker for guard trips observed inside a task's trigger
+   enumeration (see Engine.Sweep_aborted). *)
+exception Sweep_aborted
 
 (* ------------------------------------------------------------------ *)
 (* Oblivious chase                                                     *)
@@ -22,69 +31,133 @@ let oblivious_apply ~rule_index rule sigma =
   in
   List.map (Atom.subst subst) (Tgd.head rule)
 
-let run_oblivious ?(pool = Parallel.Pool.sequential) ?(max_depth = 20)
-    ?(max_atoms = 100_000) theory d =
+let run_oblivious ?(pool = Parallel.Pool.sequential) ?guard
+    ?(max_depth = 20) ?(max_atoms = 100_000) theory d =
+  let guard =
+    match guard with Some g -> g | None -> Guard.unlimited ()
+  in
   let facts = ref d in
   let steps = ref 0 in
   let saturated = ref false in
-  let budget_ok () = Fact_set.cardinal !facts <= max_atoms in
+  let interrupted = ref (Guard.status guard) in
+  let budget_ok () =
+    if Fact_set.cardinal !facts > max_atoms then begin
+      interrupted := Some Guard.Fuel;
+      false
+    end
+    else true
+  in
   let rules = Array.of_list (Theory.rules theory) in
-  while (not !saturated) && !steps < max_depth && budget_ok () do
+  while
+    (not !saturated) && !interrupted = None && !steps < max_depth
+    && budget_ok ()
+  do
     incr steps;
+    match Guard.check guard with
+    | Some cause ->
+        interrupted := Some cause;
+        decr steps
+    | None ->
     (* Publish the index before the fan-out; workers only read [!facts].
        The per-rule addition sets are merged in rule order (set union is
        order-insensitive anyway, so the result is trivially deterministic). *)
     ignore (Fact_set.domain !facts);
     let per_rule =
-      Parallel.Pool.map_array pool
+      Parallel.Pool.map_array ~guard pool
         (fun (rule_index, rule) ->
           let local = ref Atom.Set.empty in
-          Tgd.triggers rule !facts (fun sigma ->
-              List.iter
-                (fun atom ->
-                  if not (Fact_set.mem atom !facts) then
-                    local := Atom.Set.add atom !local)
-                (oblivious_apply ~rule_index rule sigma));
+          let seen = ref 0 in
+          (try
+             Tgd.triggers rule !facts (fun sigma ->
+                 incr seen;
+                 if
+                   !seen land Guard.poll_mask = 0
+                   && Guard.check guard <> None
+                 then raise Sweep_aborted;
+                 List.iter
+                   (fun atom ->
+                     if not (Fact_set.mem atom !facts) then
+                       local := Atom.Set.add atom !local)
+                   (oblivious_apply ~rule_index rule sigma))
+           with Sweep_aborted -> ());
           !local)
         (Array.mapi (fun i r -> (i, r)) rules)
     in
-    let additions =
-      Array.fold_left Atom.Set.union Atom.Set.empty per_rule
-    in
-    if Atom.Set.is_empty additions then begin
-      saturated := true;
-      decr steps
-    end
-    else
-      (* [additions] was mem-filtered against [!facts], so this is the
-         disjoint-union fast path: the existing index is extended by the
-         delta rather than rebuilt over the whole set. *)
-      facts := Fact_set.union !facts (Fact_set.of_set additions)
+    match Guard.status guard with
+    | Some cause ->
+        (* Discard the aborted sweep: [facts] stays the last completed
+           stage, a sound prefix of the fault-free oblivious chase. *)
+        interrupted := Some cause;
+        decr steps
+    | None ->
+        let additions =
+          Array.fold_left Atom.Set.union Atom.Set.empty per_rule
+        in
+        if Atom.Set.is_empty additions then begin
+          saturated := true;
+          decr steps
+        end
+        else begin
+          (* [additions] was mem-filtered against [!facts], so this is the
+             disjoint-union fast path: the existing index is extended by the
+             delta rather than rebuilt over the whole set. *)
+          facts := Fact_set.union !facts (Fact_set.of_set additions);
+          match Guard.spend guard (Atom.Set.cardinal additions) with
+          | Some cause -> interrupted := Some cause
+          | None -> ()
+        end
   done;
-  { facts = !facts; steps = !steps; saturated = !saturated }
+  {
+    facts = !facts;
+    steps = !steps;
+    saturated = !saturated;
+    interrupted = !interrupted;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Core chase                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_core ?pool ?(max_rounds = 20) ?(max_atoms = 100_000) theory d =
+let run_core ?pool ?guard ?(max_rounds = 20) ?(max_atoms = 100_000) theory
+    d =
+  let guard =
+    match guard with Some g -> g | None -> Guard.unlimited ()
+  in
   let keep = Fact_set.domain d in
   let current = ref d in
   let rounds = ref 0 in
   let saturated = ref false in
+  let interrupted = ref (Guard.status guard) in
   while
-    (not !saturated)
+    (not !saturated) && !interrupted = None
     && !rounds < max_rounds
     && Fact_set.cardinal !current <= max_atoms
   do
-    if Theory.satisfied_in theory !current then saturated := true
-    else begin
-      incr rounds;
-      let step = Engine.run ?pool ~max_depth:1 ~max_atoms theory !current in
-      current := Core_model.core_of ~keep (Engine.result step)
-    end
+    match Guard.check guard with
+    | Some cause -> interrupted := Some cause
+    | None ->
+        if Theory.satisfied_in theory !current then saturated := true
+        else begin
+          incr rounds;
+          let step =
+            Engine.run ?pool ~guard ~max_depth:1 ~max_atoms theory !current
+          in
+          match Engine.interrupted step with
+          | Some cause ->
+              (* Keep the last completed round's structure. *)
+              interrupted := Some cause;
+              decr rounds
+          | None ->
+              current :=
+                Core_model.core_of ~guard ~keep (Engine.result step)
+        end
   done;
-  { facts = !current; steps = !rounds; saturated = !saturated }
+  {
+    facts = !current;
+    steps = !rounds;
+    saturated = !saturated;
+    interrupted = !interrupted;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Restricted (standard) chase                                         *)
@@ -103,11 +176,15 @@ let restricted_apply rule sigma =
   in
   List.map (Atom.subst subst) (Tgd.head rule)
 
-let run_restricted ?(max_applications = 10_000) ?(max_atoms = 100_000) theory
-    d =
+let run_restricted ?guard ?(max_applications = 10_000)
+    ?(max_atoms = 100_000) theory d =
+  let guard =
+    match guard with Some g -> g | None -> Guard.unlimited ()
+  in
   let facts = ref d in
   let steps = ref 0 in
   let saturated = ref false in
+  let interrupted = ref (Guard.status guard) in
   let budget_ok () =
     !steps < max_applications && Fact_set.cardinal !facts <= max_atoms
   in
@@ -119,16 +196,25 @@ let run_restricted ?(max_applications = 10_000) ?(max_atoms = 100_000) theory
         | None -> first_violation rest)
   in
   let continue_ = ref true in
-  while !continue_ && budget_ok () do
-    match first_violation (Theory.rules theory) with
-    | None ->
-        saturated := true;
-        continue_ := false
-    | Some (rule, sigma) ->
-        incr steps;
-        facts :=
-          List.fold_left
-            (fun fs atom -> Fact_set.add atom fs)
-            !facts (restricted_apply rule sigma)
+  while !continue_ && !interrupted = None && budget_ok () do
+    (* One checkpoint (and one fuel unit) per rule application. *)
+    match Guard.spend guard 1 with
+    | Some cause -> interrupted := Some cause
+    | None -> (
+        match first_violation (Theory.rules theory) with
+        | None ->
+            saturated := true;
+            continue_ := false
+        | Some (rule, sigma) ->
+            incr steps;
+            facts :=
+              List.fold_left
+                (fun fs atom -> Fact_set.add atom fs)
+                !facts (restricted_apply rule sigma))
   done;
-  { facts = !facts; steps = !steps; saturated = !saturated }
+  {
+    facts = !facts;
+    steps = !steps;
+    saturated = !saturated;
+    interrupted = !interrupted;
+  }

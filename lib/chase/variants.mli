@@ -20,10 +20,16 @@ type result = {
   facts : Fact_set.t;
   steps : int;  (** stages (oblivious) or rule applications (restricted) *)
   saturated : bool;
+  interrupted : Guard.cause option;
+      (** why the run stopped early, when its guard (or the [max_atoms]
+          compat cap, reported as {!Guard.Fuel}) tripped; the facts are
+          then the last completed stage/round — a sound prefix. Package
+          a full verdict with [Guard.outcome g ~complete ~partial]. *)
 }
 
 val run_oblivious :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> result
 (** Parallel stages like {!Engine.run}, but with oblivious Skolemization
     (per-rule function symbols over all body variables). With a pool, the
@@ -32,6 +38,7 @@ val run_oblivious :
 
 val run_core :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?max_rounds:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> result
 (** The core chase of Deutsch-Nash-Remmel (the paper's reference [1]): one
     parallel semi-oblivious step, then fold the result to its core keeping
@@ -42,8 +49,10 @@ val run_core :
     chases are infinite. [steps] counts rounds. *)
 
 val run_restricted :
+  ?guard:Guard.t ->
   ?max_applications:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> result
 (** Sequential restricted chase: repeatedly find the first violating
     trigger (deterministic order) and satisfy it with a fresh Skolem
-    witness; stop when the structure is a model ([saturated = true]) or a
-    budget trips. *)
+    witness; stop when the structure is a model ([saturated = true]), a
+    budget trips, or the guard does (one checkpoint and one fuel unit
+    per rule application). *)

@@ -43,6 +43,7 @@ module Generators = Theories.Generators
 
 module Reasoner = Reasoner
 module Pool = Parallel.Pool
+module Guard = Guard
 
 module Parse = struct
   exception Error of string
@@ -56,23 +57,25 @@ module Parse = struct
   let rule input = wrap Logic.Parser.parse_rule input
 end
 
-let certain_answers ?pool ?max_depth ?max_atoms theory d q =
-  let run = Chase.Engine.run ?pool ?max_depth ?max_atoms theory d in
+let certain_answers ?pool ?guard ?max_depth ?max_atoms theory d q =
+  let run = Chase.Engine.run ?pool ?guard ?max_depth ?max_atoms theory d in
   let dom = Fact_set.domain d in
   List.filter
     (fun tuple -> List.for_all (fun t -> Term.Set.mem t dom) tuple)
     (Cq.answers q (Chase.Engine.result run))
 
-let certain ?max_depth ?max_atoms theory d q tuple =
-  match Chase.Entailment.entails ?max_depth ?max_atoms theory d q tuple with
+let certain ?guard ?max_depth ?max_atoms theory d q tuple =
+  match
+    Chase.Entailment.entails ?guard ?max_depth ?max_atoms theory d q tuple
+  with
   | Chase.Entailment.Entailed _ -> true
   | Chase.Entailment.Not_entailed | Chase.Entailment.Unknown -> false
 
-let rewrite ?pool ?budget theory q =
-  Rewriting.Rewrite.rewrite ?pool ?budget theory q
+let rewrite ?pool ?guard ?budget theory q =
+  Rewriting.Rewrite.rewrite ?pool ?guard ?budget theory q
 
-let answer_via_rewriting ?pool ?budget theory d q =
-  let r = Rewriting.Rewrite.rewrite ?pool ?budget theory q in
+let answer_via_rewriting ?pool ?guard ?budget theory d q =
+  let r = Rewriting.Rewrite.rewrite ?pool ?guard ?budget theory q in
   match r.Rewriting.Rewrite.outcome with
   | Rewriting.Rewrite.Complete ->
       let module Tuple_set = Set.Make (struct

@@ -80,6 +80,15 @@ module Pool = Parallel.Pool
     stages and rewriting saturation out over OCaml 5 domains. Results are
     independent of the domain count. *)
 
+module Guard = Guard
+(** Process-wide resource governor: wall-clock deadlines, fuel accounts,
+    live-heap ceilings, and cooperative cancellation, with a unified
+    [(complete, partial)] outcome type. Pass one [Guard.t] to the [?guard]
+    entry points below (and to {!Chase_engine.run}, {!Rewrite.rewrite},
+    {!Marked_process.run}, ...) to bound a whole pipeline — including its
+    parallel fan-outs — by a single budget; every stage then degrades to a
+    documented sound partial result instead of running away. *)
+
 (** {1 Parsing} *)
 
 module Parse : sig
@@ -95,13 +104,17 @@ end
 
 val certain_answers :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?max_depth:int -> ?max_atoms:int ->
   Logic.Theory.t -> Logic.Fact_set.t -> Logic.Cq.t ->
   Logic.Term.t list list
 (** The certain answers of the query over the instance under the theory,
-    computed through the chase (complete up to the depth budget). *)
+    computed through the chase (complete up to the depth budget; a guard
+    trip truncates the chase, so the answers are then sound but possibly
+    incomplete — inspect [Guard.status] to detect it). *)
 
 val certain :
+  ?guard:Guard.t ->
   ?max_depth:int -> ?max_atoms:int ->
   Logic.Theory.t -> Logic.Fact_set.t -> Logic.Cq.t -> Logic.Term.t list ->
   bool
@@ -109,12 +122,14 @@ val certain :
 
 val rewrite :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?budget:Rewriting.Rewrite.budget ->
   Logic.Theory.t -> Logic.Cq.t -> Rewriting.Rewrite.result
 (** The UCQ rewriting of the query (Theorem 1), by saturation. *)
 
 val answer_via_rewriting :
   ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
   ?budget:Rewriting.Rewrite.budget ->
   Logic.Theory.t -> Logic.Fact_set.t -> Logic.Cq.t ->
   Logic.Term.t list list option

@@ -1,0 +1,259 @@
+(* The process-wide resource governor: one account for wall-clock,
+   fuel, memory and cancellation, drawn on by every semi-decision
+   procedure in the codebase. See guard.mli for the contract.
+
+   Everything a worker domain touches is an Atomic: checkpoints are
+   called concurrently from inside pool tasks, and a trip observed by
+   one domain must be visible to all of them. The trip cell is
+   compare-and-set so the *first* cause wins and stays put (sticky). *)
+
+type cause = Deadline | Fuel | Memory | Cancelled
+
+let cause_to_string = function
+  | Deadline -> "deadline"
+  | Fuel -> "fuel"
+  | Memory -> "memory"
+  | Cancelled -> "cancelled"
+
+let pp_cause fmt c = Format.pp_print_string fmt (cause_to_string c)
+
+type counters = {
+  checkpoints : int;
+  fuel_spent : int;
+  elapsed_s : float;
+  peak_heap_words : int;
+}
+
+type ('a, 'p) outcome =
+  | Complete of 'a
+  | Exhausted of { partial : 'p; cause : cause; progress : counters }
+
+(* Trip state coded as an int so a single CAS decides the cause:
+   0 = running, 1..4 = tripped. *)
+let code_of_cause = function
+  | Deadline -> 1
+  | Fuel -> 2
+  | Memory -> 3
+  | Cancelled -> 4
+
+let cause_of_code = function
+  | 1 -> Deadline
+  | 2 -> Fuel
+  | 3 -> Memory
+  | 4 -> Cancelled
+  | _ -> invalid_arg "Guard.cause_of_code"
+
+type t = {
+  deadline : float option;  (* absolute gettimeofday *)
+  max_heap_words : int option;
+  fuel_limit : int option;
+  fuel : int Atomic.t;  (* remaining balance; may go negative at the trip *)
+  fuel_spent : int Atomic.t;
+  cancel_token : bool Atomic.t;
+  tripped : int Atomic.t;
+  checkpoints : int Atomic.t;
+  peak_heap : int Atomic.t;
+  born : float;
+}
+
+let poll_mask = 63
+let mem_mask = 31
+
+let create ?deadline_s ?fuel ?max_heap_words ?cancel () =
+  let now = Unix.gettimeofday () in
+  {
+    deadline = Option.map (fun s -> now +. s) deadline_s;
+    max_heap_words;
+    fuel_limit = fuel;
+    fuel = Atomic.make (Option.value ~default:max_int fuel);
+    fuel_spent = Atomic.make 0;
+    cancel_token =
+      (match cancel with Some token -> token | None -> Atomic.make false);
+    tripped = Atomic.make 0;
+    checkpoints = Atomic.make 0;
+    peak_heap = Atomic.make 0;
+    born = now;
+  }
+
+let unlimited () = create ()
+
+let cancel g = Atomic.set g.cancel_token true
+let cancelled g = Atomic.get g.cancel_token
+
+let status g =
+  match Atomic.get g.tripped with
+  | 0 -> None
+  | code -> Some (cause_of_code code)
+
+(* First cause wins; later trips (e.g. a cancellation racing a deadline
+   observed on another domain) keep the original verdict. *)
+let trip g cause =
+  ignore (Atomic.compare_and_set g.tripped 0 (code_of_cause cause));
+  Some (cause_of_code (Atomic.get g.tripped))
+
+let progress g =
+  {
+    checkpoints = Atomic.get g.checkpoints;
+    fuel_spent = Atomic.get g.fuel_spent;
+    elapsed_s = Unix.gettimeofday () -. g.born;
+    peak_heap_words = Atomic.get g.peak_heap;
+  }
+
+let outcome g ~complete ~partial =
+  match status g with
+  | None -> Complete complete
+  | Some cause -> Exhausted { partial; cause; progress = progress g }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault injection                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = struct
+  exception Injected_fault of int
+
+  type schedule = {
+    seed : int;
+    raise_period : int option;  (* every k-th pool claim raises *)
+    die_period : int option;  (* every m-th claim: the worker dies *)
+    trip_period : int option;  (* every n-th guard checkpoint trips *)
+    trip_cause : cause;
+  }
+
+  let none =
+    {
+      seed = 0;
+      raise_period = None;
+      die_period = None;
+      trip_period = None;
+      trip_cause = Deadline;
+    }
+
+  (* splitmix-style avalanche; the derivation only needs well-spread
+     bits, not cryptographic quality. *)
+  let mix x =
+    let x = x * 0x1E3779B97F4A7C15 in
+    let x = x lxor (x lsr 30) in
+    let x = x * 0x3F58476D1CE4E5B9 in
+    let x = x lxor (x lsr 27) in
+    x land max_int
+
+  let of_seed seed =
+    if seed = 0 then none
+    else
+      let h k = mix (seed + (k * 0x1000003)) in
+      (* 1..7: a nonempty subset of {raise, die, trip}. *)
+      let kinds = 1 + (h 0 mod 7) in
+      {
+        seed;
+        raise_period =
+          (if kinds land 1 <> 0 then Some (2 + (h 1 mod 9)) else None);
+        die_period =
+          (if kinds land 2 <> 0 then Some (2 + (h 2 mod 9)) else None);
+        trip_period =
+          (if kinds land 4 <> 0 then Some (5 + (h 3 mod 50)) else None);
+        trip_cause = (if h 4 land 1 = 0 then Deadline else Memory);
+      }
+
+  let from_env () =
+    match Sys.getenv_opt "FRONTIER_FAULTS" with
+    | None -> none
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some seed -> of_seed seed
+        | None -> none)
+
+  (* The installed schedule plus process-wide claim / checkpoint
+     counters. The counters restart at [install] so a given seed
+     replays the same fault positions. *)
+  let state = Atomic.make none
+  let claims = Atomic.make 0
+  let checks = Atomic.make 0
+
+  let install schedule =
+    Atomic.set claims 0;
+    Atomic.set checks 0;
+    Atomic.set state schedule
+
+  let current () = Atomic.get state
+  let active () = (Atomic.get state).seed <> 0
+
+  let describe s =
+    if s.seed = 0 then "no fault injection"
+    else
+      String.concat ", "
+        (List.filter_map Fun.id
+           [
+             Option.map
+               (Printf.sprintf "task exception every %d claims")
+               s.raise_period;
+             Option.map
+               (Printf.sprintf "worker death every %d claims")
+               s.die_period;
+             Option.map
+               (fun p ->
+                 Printf.sprintf "forced %s trip every %d checkpoints"
+                   (cause_to_string s.trip_cause)
+                   p)
+               s.trip_period;
+           ])
+
+  let claim_fate ~worker =
+    let s = Atomic.get state in
+    if s.seed = 0 then `Run
+    else
+      let n = 1 + Atomic.fetch_and_add claims 1 in
+      let hits = function Some p -> n mod p = 0 | None -> false in
+      if hits s.raise_period then `Raise n
+      else if hits s.die_period && worker > 0 then `Die
+      else `Run
+
+  let forced_trip () =
+    let s = Atomic.get state in
+    if s.seed = 0 then None
+    else
+      let n = 1 + Atomic.fetch_and_add checks 1 in
+      match s.trip_period with
+      | Some p when n mod p = 0 -> Some s.trip_cause
+      | Some _ | None -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check g =
+  match status g with
+  | Some _ as tripped -> tripped
+  | None -> (
+      let n = Atomic.fetch_and_add g.checkpoints 1 in
+      if Atomic.get g.cancel_token then trip g Cancelled
+      else
+        match Faults.forced_trip () with
+        | Some cause -> trip g cause
+        | None -> (
+            match g.deadline with
+            | Some d when Unix.gettimeofday () > d -> trip g Deadline
+            | _ -> (
+                match g.max_heap_words with
+                | Some ceiling when n land mem_mask = 0 ->
+                    let words = (Gc.quick_stat ()).Gc.heap_words in
+                    let rec raise_peak () =
+                      let seen = Atomic.get g.peak_heap in
+                      if
+                        words > seen
+                        && not
+                             (Atomic.compare_and_set g.peak_heap seen words)
+                      then raise_peak ()
+                    in
+                    raise_peak ();
+                    if words > ceiling then trip g Memory else None
+                | _ -> None)))
+
+let spend g n =
+  if n < 0 then invalid_arg "Guard.spend: negative amount";
+  ignore (Atomic.fetch_and_add g.fuel_spent n);
+  match g.fuel_limit with
+  | None -> check g
+  | Some _ ->
+      let remaining = Atomic.fetch_and_add g.fuel (-n) - n in
+      if remaining < 0 then trip g Fuel else check g

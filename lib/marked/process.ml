@@ -14,6 +14,7 @@ type result = {
   aliased : Marked_query.t list;
   trivial : Marked_query.t list;
   complete : bool;
+  interrupted : Guard.cause option;
   stats : stats;
   rank_trace : Rank.srk list option;
 }
@@ -60,7 +61,9 @@ module Store = struct
     end
 end
 
-let run ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels q =
+let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
+    q =
+  let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   if Cq.free q = [] then
     invalid_arg
       "Process.run: boolean queries need no rewriting under (loop); \
@@ -104,9 +107,20 @@ let run ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels q =
   in
   snapshot ();
   let complete = ref true in
+  let interrupted = ref (Guard.status guard) in
+  if !interrupted <> None then complete := false;
   while (not (Queue.is_empty live)) && !complete do
     if !stats.steps >= max_steps then complete := false
-    else begin
+    else
+      (* One checkpoint and one fuel unit per process step. The live
+         queue is simply abandoned on a trip: the totally-marked queries
+         collected so far form a sound partial rewriting (each came from
+         finitely many rank-descending operations on a proper marking). *)
+      match Guard.spend guard 1 with
+      | Some cause ->
+          interrupted := Some cause;
+          complete := false
+      | None -> begin
       let current = Queue.pop live in
       match Operations.maximal_var current with
       | None ->
@@ -138,7 +152,7 @@ let run ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels q =
           | None -> ());
           List.iter classify_new results;
           snapshot ()
-    end
+      end
   done;
   let aliased, plain =
     List.partition Marked_query.aliased !finished
@@ -151,21 +165,22 @@ let run ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels q =
     aliased;
     trivial = !trivial;
     complete = !complete;
+    interrupted = !interrupted;
     stats = !stats;
     rank_trace = (if record_ranks then Some (List.rev !rank_trace) else None);
   }
 
 let td_levels = [| Symbol.make "G" ~arity:2; Symbol.make "R" ~arity:2 |]
 
-let rewrite_td ?max_steps ?on_step q =
-  run ?max_steps ?on_step ~levels:td_levels q
+let rewrite_td ?guard ?max_steps ?on_step q =
+  run ?guard ?max_steps ?on_step ~levels:td_levels q
 
-let rewrite_tdk ?max_steps ?on_step kk q =
+let rewrite_tdk ?guard ?max_steps ?on_step kk q =
   if kk < 2 then invalid_arg "Process.rewrite_tdk: K must be at least 2";
   let levels =
     Array.init kk (fun i -> Symbol.make (Printf.sprintf "I%d" (i + 1)) ~arity:2)
   in
-  run ?max_steps ?on_step ~levels q
+  run ?guard ?max_steps ?on_step ~levels q
 
 let boolean_always_true () = ()
 

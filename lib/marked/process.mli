@@ -25,12 +25,19 @@ type result = {
   trivial : Marked_query.t list;
       (** Queries reduced to an empty body: true for every answer tuple over
           the instance domain (respecting aliases). *)
-  complete : bool;  (** false iff the step budget tripped *)
+  complete : bool;  (** false iff the step budget or the guard tripped *)
+  interrupted : Guard.cause option;
+      (** the guard's trip cause when one fired; [None] for a clean finish
+          or a plain [max_steps] trip. When set, [rewriting]/[aliased]/
+          [trivial] hold the totally-marked queries collected so far — a
+          sound partial rewriting (each disjunct is a genuine member of
+          [rew(phi)]); only completeness is lost. *)
   stats : stats;
   rank_trace : Rank.srk list option;
 }
 
 val run :
+  ?guard:Guard.t ->
   ?max_steps:int -> ?record_ranks:bool ->
   ?on_step:
     (before:Marked_query.t ->
@@ -42,9 +49,12 @@ val run :
 (** Requires a connected query with at least one answer variable (the paper
     dispenses with boolean queries via the (loop) rule — see
     {!boolean_always_true}). Defaults: [max_steps = 200_000],
-    [record_ranks = false]. *)
+    [record_ranks = false]. The guard is checkpointed (one fuel unit) per
+    process step; a trip abandons the live queue and reports the cause in
+    [interrupted]. *)
 
 val rewrite_td :
+  ?guard:Guard.t ->
   ?max_steps:int ->
   ?on_step:
     (before:Marked_query.t ->
@@ -55,6 +65,7 @@ val rewrite_td :
 (** The process for [T_d] itself: levels [G; R]. *)
 
 val rewrite_tdk :
+  ?guard:Guard.t ->
   ?max_steps:int ->
   ?on_step:
     (before:Marked_query.t ->

@@ -1,14 +1,15 @@
 open Logic
 
-let estimate_n_at ?(max_depth = 6) ?(max_atoms = 50_000) theory samples =
+let estimate_n_at ?guard ?(max_depth = 6) ?(max_atoms = 50_000) theory samples
+    =
   List.fold_left
     (fun acc d ->
-      let run = Chase.Engine.run ~max_depth ~max_atoms theory d in
+      let run = Chase.Engine.run ?guard ~max_depth ~max_atoms theory d in
       max acc (Rewriting.Exercises.atom_delay run))
     1 samples
 
-let locality_constant ?budget ?max_depth ?max_atoms theory ~samples =
-  match Normalize.normalize ?budget theory with
+let locality_constant ?guard ?budget ?max_depth ?max_atoms theory ~samples =
+  match Normalize.normalize ?guard ?budget theory with
   | None -> None
   | Some nf ->
       let m = Normalize.crucial_bound nf in
@@ -19,7 +20,7 @@ let locality_constant ?budget ?max_depth ?max_atoms theory ~samples =
             (fun acc r -> max acc (List.length (Tgd.body r)))
             1 (Theory.rules theory)
         in
-        let n_at = estimate_n_at ?max_depth ?max_atoms theory samples in
+        let n_at = estimate_n_at ?guard ?max_depth ?max_atoms theory samples in
         (* d_T = h^{n_at}, saturating. *)
         let rec power acc i =
           if i = 0 then Some acc

@@ -10,15 +10,20 @@
 open Logic
 
 val estimate_n_at :
+  ?guard:Guard.t ->
   ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t list -> int
-(** Maximal atom delay (Exercise 17) observed across the sample runs. *)
+(** Maximal atom delay (Exercise 17) observed across the sample runs. A
+    guard trip truncates the sample chases, so the estimate degrades to a
+    lower bound on the observed delay. *)
 
 val locality_constant :
+  ?guard:Guard.t ->
   ?budget:Rewriting.Rewrite.budget ->
   ?max_depth:int -> ?max_atoms:int ->
   Theory.t -> samples:Fact_set.t list -> int option
 (** [M * h^{n_at}]: the locality constant Theorem 3 extracts. [None] when
-    normalization does not complete or the numbers overflow. *)
+    normalization does not complete, the guard trips, or the numbers
+    overflow. *)
 
 val validate_locality :
   ?depth:int -> ?sub_depth:int -> ?max_atoms:int ->

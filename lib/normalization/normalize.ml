@@ -60,17 +60,17 @@ let separate_body rule =
   in
   List.partition in_frontier_component body
 
-let body_rewritings ?budget theory rule =
+let body_rewritings ?guard ?budget theory rule =
   match Tgd.body_cq rule with
   | None -> if Tgd.body rule = [] then Some [ [] ] else None
   | Some cq -> (
-      let r = Rewriting.Rewrite.rewrite ?budget theory cq in
+      let r = Rewriting.Rewrite.rewrite ?guard ?budget theory cq in
       match r.Rewriting.Rewrite.outcome with
       | Rewriting.Rewrite.Complete ->
           Some (List.map Cq.atoms (Ucq.disjuncts r.Rewriting.Rewrite.ucq))
       | _ -> None)
 
-let normalize ?budget theory =
+let normalize ?guard ?budget theory =
   let existential = Theory.existential_rules theory in
   if List.exists (fun r -> Tgd.dom_vars r <> []) (Theory.rules theory) then
     None
@@ -83,7 +83,7 @@ let normalize ?budget theory =
           match acc with
           | None -> None
           | Some rules -> (
-              match body_rewritings ?budget theory rule with
+              match body_rewritings ?guard ?budget theory rule with
               | None -> None
               | Some bodies ->
                   Some
@@ -133,7 +133,7 @@ let normalize ?budget theory =
               match acc with
               | None -> None
               | Some rules -> (
-                  match body_rewritings ?budget theory rule with
+                  match body_rewritings ?guard ?budget theory rule with
                   | None -> None
                   | Some bodies ->
                       Some

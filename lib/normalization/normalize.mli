@@ -25,10 +25,14 @@ type t = {
   nullary : Symbol.Set.t;  (** all [M_phi] predicates introduced *)
 }
 
-val normalize : ?budget:Rewriting.Rewrite.budget -> Theory.t -> t option
-(** [None] when some body rewriting did not complete within budget (the
-    construction needs [T] to be BDD). Rules with domain variables are not
-    supported (the paper's Appendix A setting is plain binary TGDs). *)
+val normalize :
+  ?guard:Guard.t -> ?budget:Rewriting.Rewrite.budget -> Theory.t -> t option
+(** [None] when some body rewriting did not complete within budget — or the
+    guard tripped mid-construction (the construction needs every body
+    rewriting to finish, so there is no useful partial output; inspect
+    [Guard.status] to tell a trip from a plain budget miss). Rules with
+    domain variables are not supported (the paper's Appendix A setting is
+    plain binary TGDs). *)
 
 val constants : t -> int * int * int * int
 (** [(k, h, n, cap_n)] of the Crucial Lemma: number of nullary predicates,

@@ -4,20 +4,52 @@
    a domain that finishes its task immediately steals the next undone
    index. Results live in per-index slots, which fixes the merge order
    once and for all — the caller's task order — independently of
-   scheduling. *)
+   scheduling.
+
+   Degraded-mode hardening: per-index slots hold [Ok]/[Error] results, a
+   task exception never poisons the batch (all failures are aggregated
+   into [Task_errors] with their backtraces after one inline retry), a
+   worker that dies mid-job (fault injection's [`Die] fate) leaves its
+   claimed index to the coordinator's rescue pass, and guard
+   cancellation stops workers from claiming further tasks — the
+   coordinator alone finishes the job, with guard-aware task bodies
+   early-exiting at their own checkpoints. *)
+
+exception
+  Task_errors of (int * exn * Printexc.raw_backtrace) list
+    (* (task index, exception, backtrace), sorted by index; every entry
+       failed twice: once in its claiming domain and once in the
+       coordinator's inline retry *)
+
+let () =
+  Printexc.register_printer (function
+    | Task_errors errors ->
+        Some
+          (Printf.sprintf "Pool.Task_errors [%s]"
+             (String.concat "; "
+                (List.map
+                   (fun (i, e, _) ->
+                     Printf.sprintf "task %d: %s" i (Printexc.to_string e))
+                   errors)))
+    | _ -> None)
 
 type job = {
-  run : int -> unit;  (* run task [i]; must not raise *)
+  run : int -> fate:[ `Run | `Raise of int ] -> unit;
+      (* execute task [i] (or record its injected failure); never raises *)
   n : int;
   next : int Atomic.t;
+  cancelled : unit -> bool;  (* workers stop claiming once true *)
   mutable completed : int;  (* tasks finished; protected by the pool mutex *)
+  mutable orphans : int list;
+      (* indices claimed and then abandoned by a dying worker, awaiting
+         the coordinator's rescue pass; protected by the pool mutex *)
 }
 
 type t = {
   size : int;
   mutex : Mutex.t;
   work : Condition.t;  (* workers: a new job was posted *)
-  finished : Condition.t;  (* coordinator: all tasks of the job are done *)
+  finished : Condition.t;  (* coordinator: progress on the job *)
   mutable job : job option;
   mutable generation : int;  (* bumped per job; workers join each job once *)
   mutable stop : bool;
@@ -27,26 +59,37 @@ type t = {
 
 let now () = Unix.gettimeofday ()
 
-(* Claim and run tasks until the job is drained, then report how many this
-   worker completed. The completion count (not a per-worker barrier) is
-   what the coordinator waits on, so it never matters which workers ever
-   woke up for a given job. *)
+(* Claim and run tasks until the job is drained, the guard is cancelled
+   (workers only — the coordinator must keep going so the job always
+   completes), or the fault schedule kills this worker. The completion
+   count (not a per-worker barrier) is what the coordinator waits on, so
+   it never matters which workers ever woke up for a given job; a dying
+   worker hands its claimed index over as an orphan. *)
 let drain pool job worker =
   let t0 = now () in
   let rec loop done_count =
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i < job.n then begin
-      job.run i;
-      loop (done_count + 1)
-    end
-    else done_count
+    if worker > 0 && job.cancelled () then (done_count, None)
+    else
+      let i = Atomic.fetch_and_add job.next 1 in
+      if i >= job.n then (done_count, None)
+      else
+        match Guard.Faults.claim_fate ~worker with
+        | `Die -> (done_count, Some i)
+        | (`Run | `Raise _) as fate ->
+            job.run i ~fate;
+            loop (done_count + 1)
   in
-  let did = loop 0 in
+  let did, orphan = loop 0 in
   let dt = now () -. t0 in
   Mutex.lock pool.mutex;
   pool.busy.(worker) <- pool.busy.(worker) +. dt;
   job.completed <- job.completed + did;
-  if job.completed = job.n then Condition.broadcast pool.finished;
+  (match orphan with
+  | Some i -> job.orphans <- i :: job.orphans
+  | None -> ());
+  (* Wake the coordinator on any exit: completion, cancellation bail-out,
+     or death — it re-evaluates and rescues orphans as needed. *)
+  Condition.broadcast pool.finished;
   Mutex.unlock pool.mutex
 
 let worker_loop pool worker =
@@ -105,25 +148,64 @@ let shutdown pool =
   List.iter Domain.join pool.domains;
   pool.domains <- []
 
-let map_array (type a b) pool (f : a -> b) (tasks : a array) : b array =
+(* Execute task [i] into its slot, catching everything: a real task
+   exception and an injected one both land as [Error] — the caller
+   retries those inline before giving up on them. *)
+let exec_into (type a b) (f : a -> b) (tasks : a array)
+    (slots : (b, exn * Printexc.raw_backtrace) result option array) i
+    ~fate =
+  match fate with
+  | `Raise claim ->
+      slots.(i) <-
+        Some
+          (Error
+             ( Guard.Faults.Injected_fault claim,
+               Printexc.get_callstack 16 ))
+  | `Run -> (
+      match f tasks.(i) with
+      | r -> slots.(i) <- Some (Ok r)
+      | exception e ->
+          slots.(i) <- Some (Error (e, Printexc.get_raw_backtrace ())))
+
+(* The degraded-mode core: run every task, rescue orphans inline, retry
+   failed slots once (transient/injected failures recover; deterministic
+   ones stay [Error]). Always returns a fully populated slot per index. *)
+let run_all (type a b) ?guard pool (f : a -> b) (tasks : a array) :
+    (b, exn * Printexc.raw_backtrace) result array =
   let n = Array.length tasks in
-  if n = 0 then [||]
-  else if pool.size = 1 || n = 1 then begin
+  let slots : (b, exn * Printexc.raw_backtrace) result option array =
+    Array.make n None
+  in
+  let exec = exec_into f tasks slots in
+  if pool.size = 1 || n = 1 then begin
+    (* Inline sequential execution: the coordinator is the only worker,
+       so injected worker death degrades to a no-op and cancellation is
+       handled inside the (guard-aware) task bodies. *)
+    ignore guard;
     let t0 = now () in
-    let results = Array.map f tasks in
-    pool.busy.(0) <- pool.busy.(0) +. (now () -. t0);
-    results
+    for i = 0 to n - 1 do
+      match Guard.Faults.claim_fate ~worker:0 with
+      | (`Run | `Raise _) as fate -> exec i ~fate
+      | `Die -> exec i ~fate:`Run (* the coordinator never dies *)
+    done;
+    pool.busy.(0) <- pool.busy.(0) +. (now () -. t0)
   end
   else begin
-    let results : b option array = Array.make n None in
-    let error = Atomic.make None in
-    let run i =
-      match f tasks.(i) with
-      | r -> results.(i) <- Some r
-      | exception e ->
-          ignore (Atomic.compare_and_set error None (Some e))
+    let cancelled =
+      match guard with
+      | Some g -> fun () -> Guard.cancelled g
+      | None -> fun () -> false
     in
-    let job = { run; n; next = Atomic.make 0; completed = 0 } in
+    let job =
+      {
+        run = exec;
+        n;
+        next = Atomic.make 0;
+        cancelled;
+        completed = 0;
+        orphans = [];
+      }
+    in
     Mutex.lock pool.mutex;
     pool.job <- Some job;
     pool.generation <- pool.generation + 1;
@@ -132,34 +214,78 @@ let map_array (type a b) pool (f : a -> b) (tasks : a array) : b array =
     (* The coordinator is worker 0: it drains alongside the domains. *)
     drain pool job 0;
     Mutex.lock pool.mutex;
-    while job.completed < job.n do
-      Condition.wait pool.finished pool.mutex
-    done;
+    let rec wait () =
+      if job.completed >= job.n then ()
+      else if job.orphans <> [] then begin
+        (* Redistribute a dead worker's abandoned indices: run them
+           inline in the coordinator (fault-free by construction — the
+           rescue path does not consult the fault schedule). *)
+        let orphans = job.orphans in
+        job.orphans <- [];
+        Mutex.unlock pool.mutex;
+        let t0 = now () in
+        List.iter (fun i -> exec i ~fate:`Run) orphans;
+        pool.busy.(0) <- pool.busy.(0) +. (now () -. t0);
+        Mutex.lock pool.mutex;
+        job.completed <- job.completed + List.length orphans;
+        wait ()
+      end
+      else begin
+        Condition.wait pool.finished pool.mutex;
+        wait ()
+      end
+    in
+    wait ();
     pool.job <- None;
-    Mutex.unlock pool.mutex;
-    (match Atomic.get error with Some e -> raise e | None -> ());
-    Array.map (function Some r -> r | None -> assert false) results
-  end
+    Mutex.unlock pool.mutex
+  end;
+  (* Inline retry of failed tasks: an injected or otherwise transient
+     exception recovers here; a deterministic one fails again and is
+     reported. Tasks must therefore be effect-free or idempotent. *)
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (Error _) -> exec i ~fate:`Run
+      | Some (Ok _) -> ()
+      | None -> assert false (* every index was run or rescued *))
+    slots;
+  Array.map (function Some r -> r | None -> assert false) slots
 
-let map_list pool f l = Array.to_list (map_array pool f (Array.of_list l))
+let map_array_result ?guard pool f tasks =
+  if Array.length tasks = 0 then [||] else run_all ?guard pool f tasks
 
-let exists pool pred tasks =
+let map_array ?guard pool f tasks =
+  let slots = map_array_result ?guard pool f tasks in
+  let errors =
+    Array.to_list slots
+    |> List.mapi (fun i slot -> (i, slot))
+    |> List.filter_map (function
+         | i, Error (e, bt) -> Some (i, e, bt)
+         | _, Ok _ -> None)
+  in
+  if errors <> [] then raise (Task_errors errors);
+  Array.map (function Ok r -> r | Error _ -> assert false) slots
+
+let map_list ?guard pool f l =
+  Array.to_list (map_array ?guard pool f (Array.of_list l))
+
+let exists ?guard pool pred tasks =
   if pool.size = 1 || Array.length tasks < 2 then Array.exists pred tasks
   else begin
     let found = Atomic.make false in
     ignore
-      (map_array pool
+      (map_array ?guard pool
          (fun x ->
            if (not (Atomic.get found)) && pred x then Atomic.set found true)
          tasks);
     Atomic.get found
   end
 
-let filter_list pool pred l =
+let filter_list ?guard pool pred l =
   if pool.size = 1 then List.filter pred l
   else
     let arr = Array.of_list l in
-    let keep = map_array pool pred arr in
+    let keep = map_array ?guard pool pred arr in
     let out = ref [] in
     for i = Array.length arr - 1 downto 0 do
       if keep.(i) then out := arr.(i) :: !out
@@ -184,9 +310,10 @@ let reset_busy pool =
 let jobs_from_env () =
   match Sys.getenv_opt "FRONTIER_JOBS" with
   | None -> 1
-  | Some s -> ( match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> 1)
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
 
 let default_size = ref None
 let default_pool = ref None

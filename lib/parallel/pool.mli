@@ -1,4 +1,5 @@
-(** A work-sharing pool of OCaml 5 domains.
+(** A work-sharing pool of OCaml 5 domains, hardened for degraded-mode
+    operation.
 
     The pool executes arrays of independent tasks: workers claim task
     indices from a shared atomic counter (a degenerate work-stealing deque —
@@ -13,10 +14,27 @@
     caller, so [~pool:(Pool.create 1)] is observationally the sequential
     code path.
 
+    Failure containment: a task that raises does {e not} poison the batch.
+    Its per-index slot records the exception with its backtrace, every
+    other task still runs, the coordinator retries each failed index once
+    inline (recovering transient and injected faults), and only then are
+    the surviving failures aggregated into a single {!Task_errors}. A
+    worker "killed" by the fault-injection schedule ({!Guard.Faults})
+    abandons its claimed index, which the coordinator rescues inline —
+    automatic redistribution of a dead worker's work, degenerating to
+    plain sequential execution at pool size 1. Because failed or orphaned
+    tasks may be re-executed, tasks must be effect-free or idempotent.
+
     Tasks must not themselves call into the same pool (no nesting), and the
     shared structures they read must be published before [map_array] is
     called (the job hand-off is a memory barrier: anything written by the
     caller before [map_array] is visible to the workers). *)
+
+exception Task_errors of (int * exn * Printexc.raw_backtrace) list
+(** All task failures of one batch — [(task index, exception, backtrace)],
+    sorted by task index. Raised by {!map_array} (and its derivatives)
+    after the barrier, once every task has run and each failed one has
+    been retried inline. *)
 
 type t
 
@@ -34,20 +52,33 @@ val shutdown : t -> unit
 (** Terminate and join the worker domains. The pool must not be used
     afterwards. Idempotent. *)
 
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
-(** Parallel [Array.map] with deterministic output order. If a task raises,
-    the remaining tasks still run and one of the exceptions is re-raised in
-    the caller after the barrier. Must be called from the thread that
+val map_array : ?guard:Guard.t -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic output order. If tasks raise,
+    the remaining tasks still run, failed indices are retried inline, and
+    the surviving failures are re-raised together as {!Task_errors} after
+    the barrier. With [?guard], workers stop claiming new tasks once the
+    guard is cancelled; the coordinator finishes the remaining tasks
+    inline (guard-aware task bodies early-exit at their own checkpoints),
+    so the call always returns. Must be called from the thread that
     created the pool (the coordinator), never from inside a task. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map_array_result :
+  ?guard:Guard.t ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn * Printexc.raw_backtrace) result array
+(** Degraded-mode variant of {!map_array}: never raises {!Task_errors};
+    each persistent per-task failure stays in its slot as [Error]. *)
 
-val exists : t -> ('a -> bool) -> 'a array -> bool
+val map_list : ?guard:Guard.t -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+val exists : ?guard:Guard.t -> t -> ('a -> bool) -> 'a array -> bool
 (** Parallel existential check. Early-exits cooperatively: once a witness
     is found, not-yet-started tasks are skipped. The boolean result is
     deterministic (it does not depend on scheduling). *)
 
-val filter_list : t -> ('a -> bool) -> 'a list -> 'a list
+val filter_list : ?guard:Guard.t -> t -> ('a -> bool) -> 'a list -> 'a list
 (** Parallel filter preserving list order. *)
 
 val busy_times : t -> float array

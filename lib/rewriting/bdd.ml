@@ -2,13 +2,15 @@ open Logic
 
 type probe = { query : Cq.t; result : Rewrite.result }
 
-let probe ?budget theory queries =
-  List.map (fun q -> { query = q; result = Rewrite.rewrite ?budget theory q }) queries
+let probe ?guard ?budget theory queries =
+  List.map
+    (fun q -> { query = q; result = Rewrite.rewrite ?guard ?budget theory q })
+    queries
 
-let depth_profile ?max_depth ?max_atoms theory q _tuple_opt cases =
+let depth_profile ?guard ?max_depth ?max_atoms theory q _tuple_opt cases =
   List.map
     (fun (d, tuple) ->
-      let run = Chase.Engine.run ?max_depth ?max_atoms theory d in
+      let run = Chase.Engine.run ?guard ?max_depth ?max_atoms theory d in
       (Fact_set.cardinal d, Chase.Entailment.needed_depth run q tuple))
     cases
 

@@ -11,11 +11,15 @@ open Logic
 
 type probe = { query : Cq.t; result : Rewrite.result }
 
-val probe : ?budget:Rewrite.budget -> Theory.t -> Cq.t list -> probe list
+val probe :
+  ?guard:Guard.t -> ?budget:Rewrite.budget -> Theory.t -> Cq.t list -> probe list
 (** Rewrite each query; [result.outcome = Complete] certifies bounded
-    derivation depth for that query. *)
+    derivation depth for that query. A shared guard bounds the whole
+    probe sweep: once it trips, the remaining queries come back
+    [Guard_exhausted] immediately (their partial UCQs still sound). *)
 
 val depth_profile :
+  ?guard:Guard.t ->
   ?max_depth:int -> ?max_atoms:int ->
   Theory.t -> Cq.t -> Term.t list option ->
   (Fact_set.t * Term.t list) list -> (int * int option) list

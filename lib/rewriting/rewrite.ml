@@ -9,7 +9,12 @@ type budget = {
 let default_budget =
   { max_disjuncts = 2_000; max_atoms_per_disjunct = 40; max_steps = 5_000 }
 
-type outcome = Complete | Disjunct_budget | Size_budget | Step_budget
+type outcome =
+  | Complete
+  | Disjunct_budget
+  | Size_budget
+  | Step_budget
+  | Guard_exhausted of Guard.cause
 
 type result = {
   ucq : Ucq.t;
@@ -170,7 +175,7 @@ let make_store ~implies =
     }
   end
 
-let rewrite_sequential ~budget theory q =
+let rewrite_sequential ~guard ~budget theory q =
   let compiled, aux = Single_head.compile theory in
   let memo0 = Containment.memo_stats () in
   let ix0 = Ucq_index.stats () in
@@ -178,6 +183,10 @@ let rewrite_sequential ~budget theory q =
   let checks = ref 0 in
   let implies a b =
     incr checks;
+    (* Poll inside the quadratic part so deadline/memory trips are
+       observed between containment searches, not only at step
+       boundaries; the worklist reacts at its next pop. *)
+    if !checks land Guard.poll_mask = 0 then ignore (Guard.check guard);
     Containment.implies_memo a b
   in
   let store = make_store ~implies in
@@ -197,6 +206,15 @@ let rewrite_sequential ~budget theory q =
          outcome := Step_budget;
          raise Exit
        end;
+       (* One checkpoint and one fuel unit per worklist pop. A trip
+          leaves the store as-is: every disjunct already inserted was
+          produced by sound piece-rewriting steps, so the partial UCQ
+          is entailed by the full rewriting. *)
+       (match Guard.spend guard 1 with
+       | Some cause ->
+           outcome := Guard_exhausted cause;
+           raise Exit
+       | None -> ());
        let current = Queue.pop worklist in
        (* A query subsumed since it was enqueued need not be expanded. *)
        if store.is_live current then begin
@@ -241,14 +259,17 @@ let rewrite_sequential ~budget theory q =
    sequential result (a subsumed frontier entry is still expanded if it
    died within its own batch), but on completion both are equivalent
    UCQs — the property the differential test suite checks. *)
-let rewrite_parallel ~pool ~budget theory q =
+let rewrite_parallel ~pool ~guard ~budget theory q =
   let compiled, aux = Single_head.compile theory in
   let memo0 = Containment.memo_stats () in
   let ix0 = Ucq_index.stats () in
   let solver0 = Containment.solver_stats () in
   let checks = Atomic.make 0 in
   let implies a b =
-    Atomic.incr checks;
+    (* Workers poll too (Guard is domain-safe); the coordinator reacts
+       at the next batch boundary. *)
+    if Atomic.fetch_and_add checks 1 land Guard.poll_mask = 0 then
+      ignore (Guard.check guard);
     Containment.implies_memo a b
   in
   (* Same store abstraction as the sequential engine (including the
@@ -347,12 +368,25 @@ let rewrite_parallel ~pool ~budget theory q =
        (* Disjuncts subsumed since they were enqueued need not expand. *)
        let live = List.filter store.is_live !frontier in
        let batch, deferred = split_batch (budget.max_steps - !steps) live in
+       (* One fuel unit per expanded disjunct, drawn before the fan-out;
+          a trip discards nothing — the store already holds only sound
+          rewritings — it just stops the saturation here. *)
+       (match Guard.spend guard (List.length batch) with
+       | Some cause ->
+           outcome := Guard_exhausted cause;
+           raise Exit
+       | None -> ());
        let expansions =
-         Parallel.Pool.map_list pool
+         Parallel.Pool.map_list ~guard pool
            (fun q' -> Piece_unifier.one_step_theory q' compiled)
            batch
        in
        steps := !steps + List.length batch;
+       (match Guard.status guard with
+       | Some cause ->
+           outcome := Guard_exhausted cause;
+           raise Exit
+       | None -> ());
        let added = ref [] in
        List.iter
          (List.iter (fun q' ->
@@ -382,13 +416,24 @@ let rewrite_parallel ~pool ~budget theory q =
     ~containment_checks:(Atomic.get checks)
     ~dedup_hits:!dedup_hits ~memo0 ~ix0 ~solver0
 
-let rewrite ?pool ?(budget = default_budget) theory q =
+let rewrite ?pool ?guard ?(budget = default_budget) theory q =
+  let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   match pool with
-  | Some p when Parallel.Pool.size p > 1 -> rewrite_parallel ~pool:p ~budget theory q
-  | Some _ | None -> rewrite_sequential ~budget theory q
+  | Some p when Parallel.Pool.size p > 1 ->
+      rewrite_parallel ~pool:p ~guard ~budget theory q
+  | Some _ | None -> rewrite_sequential ~guard ~budget theory q
+
+let outcome_of_result r ~(guard : Guard.t) =
+  match r.outcome with
+  | Complete -> Guard.Complete r
+  | Guard_exhausted cause ->
+      Guard.Exhausted { partial = r; cause; progress = Guard.progress guard }
+  | Disjunct_budget | Size_budget | Step_budget ->
+      Guard.Exhausted
+        { partial = r; cause = Guard.Fuel; progress = Guard.progress guard }
 
 let rs ?pool ?budget theory q =
   let r = rewrite ?pool ?budget theory q in
   match r.outcome with
   | Complete -> Some (Ucq.max_disjunct_size r.ucq)
-  | Disjunct_budget | Size_budget | Step_budget -> None
+  | Disjunct_budget | Size_budget | Step_budget | Guard_exhausted _ -> None

@@ -24,6 +24,13 @@ type outcome =
   | Disjunct_budget
   | Size_budget  (** Some disjunct exceeded [max_atoms_per_disjunct]. *)
   | Step_budget
+  | Guard_exhausted of Guard.cause
+      (** The run's {!Guard.t} tripped (deadline, fuel, memory ceiling,
+          or cancellation). The UCQ is still sound: every disjunct was
+          produced by piece-rewriting steps, so the partial rewriting is
+          entailed by the full one. The three [_budget] constructors are
+          the legacy per-resource flags; new code should treat all four
+          non-[Complete] cases through {!outcome_of_result}. *)
 
 type result = {
   ucq : Ucq.t;
@@ -51,7 +58,9 @@ type result = {
           [Containment.set_decomposition] is off) *)
 }
 
-val rewrite : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> result
+val rewrite :
+  ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t -> ?budget:budget -> Theory.t -> Cq.t -> result
 (** Multi-head rules are compiled via {!Single_head.compile}; auxiliary
     disjuncts are dropped from the final UCQ (kept during saturation).
     Rules with empty bodies or domain variables are skipped by the piece
@@ -63,7 +72,19 @@ val rewrite : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> res
     a fixed frontier order. The result is independent of the domain count
     and {!Ucq.equivalent} to the sequential rewriting (on [Complete] both
     are the unique minimal rewriting up to equivalence), though disjunct
-    order and budget-tripping points may differ. *)
+    order and budget-tripping points may differ.
+
+    The guard is checkpointed (and charged one fuel unit) per worklist
+    pop — per expanded frontier disjunct in the batch-synchronous engine —
+    and polled every {!Guard.poll_mask}+1 containment checks inside the
+    minimization, so deadline and memory trips surface promptly even when
+    individual steps are containment-heavy. *)
+
+val outcome_of_result : result -> guard:Guard.t -> (result, result) Guard.outcome
+(** The unified verdict for a finished run: [Complete] on saturation,
+    otherwise [Exhausted] carrying the same result as partial output, the
+    trip cause (the legacy [_budget] outcomes map to {!Guard.Fuel}), and
+    the guard's progress counters. *)
 
 val rs : ?pool:Parallel.Pool.t -> ?budget:budget -> Theory.t -> Cq.t -> int option
 (** [rs_T(q)] of Section 7: the maximal disjunct size of the full rewriting;

@@ -1,0 +1,238 @@
+(* Unit tests for the resource governor (lib/guard) and its integration
+   with the chase: trip causes, stickiness, counters, the outcome
+   combinator, fault-schedule determinism, and — the promptness
+   contract — a 1 ms deadline on an exponential chase returning in well
+   under a second. *)
+
+open Logic
+
+let cause =
+  Alcotest.testable Guard.pp_cause (fun a b ->
+      Guard.cause_to_string a = Guard.cause_to_string b)
+
+let cause_opt = Alcotest.option cause
+
+(* ------------------------------------------------------------------ *)
+(* Trip causes                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuel_trip () =
+  let g = Guard.create ~fuel:5 () in
+  Alcotest.check cause_opt "within budget" None (Guard.spend g 3);
+  Alcotest.check cause_opt "balance goes negative" (Some Guard.Fuel)
+    (Guard.spend g 3);
+  Alcotest.check cause_opt "sticky on check" (Some Guard.Fuel) (Guard.check g);
+  Alcotest.check cause_opt "sticky on status" (Some Guard.Fuel)
+    (Guard.status g);
+  let p = Guard.progress g in
+  Alcotest.(check int) "fuel accounted" 6 p.Guard.fuel_spent
+
+let test_deadline_trip () =
+  let g = Guard.create ~deadline_s:0.001 () in
+  Unix.sleepf 0.01;
+  Alcotest.check cause_opt "deadline passed" (Some Guard.Deadline)
+    (Guard.check g);
+  Alcotest.check cause_opt "spend also reports it" (Some Guard.Deadline)
+    (Guard.spend g 1)
+
+let test_memory_trip () =
+  (* A one-word ceiling: the very first checkpoint samples the heap and
+     trips. *)
+  let g = Guard.create ~max_heap_words:1 () in
+  Alcotest.check cause_opt "first checkpoint samples and trips"
+    (Some Guard.Memory) (Guard.check g);
+  let p = Guard.progress g in
+  Alcotest.(check bool) "peak heap recorded" true (p.Guard.peak_heap_words > 0)
+
+let test_cancellation () =
+  let token = Atomic.make false in
+  let g = Guard.create ~cancel:token () in
+  Alcotest.check cause_opt "not yet" None (Guard.check g);
+  Atomic.set token true;
+  Alcotest.check cause_opt "external flip observed" (Some Guard.Cancelled)
+    (Guard.check g);
+  let g' = Guard.unlimited () in
+  Guard.cancel g';
+  Alcotest.(check bool) "cancelled" true (Guard.cancelled g');
+  Alcotest.check cause_opt "own cancel observed" (Some Guard.Cancelled)
+    (Guard.check g')
+
+let test_first_cause_wins () =
+  let g = Guard.create ~fuel:0 ~deadline_s:0.0 () in
+  let first = Guard.spend g 1 in
+  Alcotest.(check bool) "tripped" true (first <> None);
+  Guard.cancel g;
+  Alcotest.check cause_opt "cause is sticky across later signals" first
+    (Guard.check g)
+
+(* ------------------------------------------------------------------ *)
+(* The outcome combinator                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_outcome () =
+  let g = Guard.unlimited () in
+  (match Guard.outcome g ~complete:"done" ~partial:"salvaged" with
+  | Guard.Complete s -> Alcotest.(check string) "complete" "done" s
+  | Guard.Exhausted _ -> Alcotest.fail "unlimited guard reported Exhausted");
+  let g' = Guard.create ~fuel:0 () in
+  ignore (Guard.spend g' 1);
+  match Guard.outcome g' ~complete:"done" ~partial:"salvaged" with
+  | Guard.Complete _ -> Alcotest.fail "tripped guard reported Complete"
+  | Guard.Exhausted { partial; cause = c; progress } ->
+      Alcotest.(check string) "partial" "salvaged" partial;
+      Alcotest.check cause "cause" Guard.Fuel c;
+      Alcotest.(check bool) "fuel counted" true (progress.Guard.fuel_spent >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Fault schedules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_deterministic () =
+  Alcotest.(check string)
+    "same seed, same schedule"
+    (Guard.Faults.describe (Guard.Faults.of_seed 42))
+    (Guard.Faults.describe (Guard.Faults.of_seed 42));
+  let fates schedule =
+    Guard.Faults.install schedule;
+    let fs =
+      List.init 64 (fun _ ->
+          match Guard.Faults.claim_fate ~worker:1 with
+          | `Run -> "r"
+          | `Raise k -> Printf.sprintf "x%d" k
+          | `Die -> "d")
+    in
+    Guard.Faults.install Guard.Faults.none;
+    String.concat "" fs
+  in
+  let s = Guard.Faults.of_seed 7 in
+  Alcotest.(check string) "replayable fate sequence" (fates s) (fates s);
+  Guard.Faults.install Guard.Faults.none;
+  Alcotest.(check bool) "none is inactive" false (Guard.Faults.active ())
+
+(* ------------------------------------------------------------------ *)
+(* Chase integration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A non-terminating theory: every edge grows the chain one further. *)
+let chain_theory =
+  let e = Symbol.make "E" ~arity:2 in
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  ( e,
+    Theory.make ~name:"chain"
+      [
+        Tgd.make ~name:"grow"
+          ~body:[ Atom.make e [ x; y ] ]
+          ~head:[ Atom.make e [ y; z ] ]
+          ();
+      ] )
+
+let test_chase_fuel_prefix () =
+  let e, theory = chain_theory in
+  let d = Fact_set.of_list [ Atom.make e [ Term.const "a"; Term.const "b" ] ] in
+  let guard = Guard.create ~fuel:10 () in
+  let run = Chase.Engine.run ~guard ~max_depth:1000 theory d in
+  Alcotest.check cause_opt "fuel trip surfaces" (Some Guard.Fuel)
+    (Chase.Engine.interrupted run);
+  Alcotest.(check bool) "made progress" true (Chase.Engine.depth run >= 1);
+  (* The salvaged stages are exactly the fault-free ones. *)
+  let reference =
+    Chase.Engine.run ~max_depth:(Chase.Engine.depth run) theory d
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stage %d equal" i)
+        true
+        (Fact_set.equal (Chase.Engine.stage run i)
+           (Chase.Engine.stage reference i)))
+    (List.init (Chase.Engine.depth run + 1) Fun.id);
+  match Chase.Engine.outcome run with
+  | Guard.Complete _ -> Alcotest.fail "interrupted run reported Complete"
+  | Guard.Exhausted { cause = c; _ } -> Alcotest.check cause "cause" Guard.Fuel c
+
+let test_chase_cancellation () =
+  let e, theory = chain_theory in
+  let d = Fact_set.of_list [ Atom.make e [ Term.const "a"; Term.const "b" ] ] in
+  let guard = Guard.unlimited () in
+  Guard.cancel guard;
+  let run = Chase.Engine.run ~guard ~max_depth:1000 theory d in
+  Alcotest.check cause_opt "cancelled before the first sweep"
+    (Some Guard.Cancelled)
+    (Chase.Engine.interrupted run);
+  Alcotest.(check int) "no stages beyond the instance" 0
+    (Chase.Engine.depth run)
+
+let test_deadline_promptness () =
+  (* The acceptance bar: a 1 ms deadline on the exponential T_d chase of
+     G^8 at depth 12 must return in well under a second — the checkpoint
+     spacing inside sweeps is what makes this hold. *)
+  let _, _, g8 = Theories.Instances.path Theories.Zoo.g2 8 in
+  let guard = Guard.create ~deadline_s:0.001 () in
+  let t0 = Unix.gettimeofday () in
+  let run =
+    Chase.Engine.run ~guard ~max_depth:12 ~max_atoms:50_000_000
+      Theories.Zoo.t_d g8
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "returned promptly (%.3fs)" elapsed)
+    true (elapsed < 1.0);
+  Alcotest.check cause_opt "deadline reported" (Some Guard.Deadline)
+    (Chase.Engine.interrupted run)
+
+let test_rewriting_deadline_partial () =
+  (* A tripped rewriting keeps its store and reports the cause through
+     [outcome_of_result]. *)
+  let x = Term.var "x" and y = Term.var "y" in
+  let q = Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.g2 [ x; y ] ] in
+  let guard = Guard.create ~fuel:3 () in
+  let budget =
+    {
+      Rewriting.Rewrite.max_disjuncts = 500;
+      max_atoms_per_disjunct = 40;
+      max_steps = 100_000;
+    }
+  in
+  let r = Rewriting.Rewrite.rewrite ~guard ~budget Theories.Zoo.t_d_noloop q in
+  (match r.Rewriting.Rewrite.outcome with
+  | Rewriting.Rewrite.Guard_exhausted c ->
+      Alcotest.check cause "fuel trip" Guard.Fuel c
+  | _ -> Alcotest.fail "expected Guard_exhausted");
+  Alcotest.(check bool) "partial store kept" true
+    (not (Ucq.is_empty r.Rewriting.Rewrite.ucq));
+  match Rewriting.Rewrite.outcome_of_result r ~guard with
+  | Guard.Complete _ -> Alcotest.fail "outcome_of_result reported Complete"
+  | Guard.Exhausted { cause = c; progress; _ } ->
+      Alcotest.check cause "cause threaded" Guard.Fuel c;
+      Alcotest.(check bool) "progress counters move" true
+        (progress.Guard.fuel_spent > 0)
+
+let () =
+  Alcotest.run "guard"
+    [
+      ( "trips",
+        [
+          Alcotest.test_case "fuel" `Quick test_fuel_trip;
+          Alcotest.test_case "deadline" `Quick test_deadline_trip;
+          Alcotest.test_case "memory" `Quick test_memory_trip;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "first cause wins" `Quick test_first_cause_wins;
+          Alcotest.test_case "outcome combinator" `Quick test_outcome;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "deterministic schedules" `Quick
+            test_faults_deterministic;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "chase fuel trip = sound prefix" `Quick
+            test_chase_fuel_prefix;
+          Alcotest.test_case "chase cancellation" `Quick
+            test_chase_cancellation;
+          Alcotest.test_case "1 ms deadline on T_d/G^8 is prompt" `Quick
+            test_deadline_promptness;
+          Alcotest.test_case "rewriting trip keeps partial UCQ" `Quick
+            test_rewriting_deadline_partial;
+        ] );
+    ]

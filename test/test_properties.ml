@@ -367,6 +367,172 @@ let prop_pool_primitives =
              = List.exists pred l)
         [ Parallel.Pool.sequential; pool2; pool4 ])
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection: every Exhausted salvage path, under random seeds   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Faults.forced_trip] is consulted by {e every} [Guard.check] — including
+   the unlimited guards that guarded entry points create internally — so a
+   fault-free reference run must execute under [Faults.none]. Each faulty
+   run installs its schedule and uninstalls it again even on exceptions.
+   The CI fault matrix sets FRONTIER_FAULTS to rotate the whole suite
+   through different schedule families; it is mixed into every seed. *)
+let fault_seed_base =
+  match Sys.getenv_opt "FRONTIER_FAULTS" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0)
+  | None -> 0
+
+let with_faults seed f =
+  Guard.Faults.install
+    (Guard.Faults.of_seed (abs (seed + (65_537 * fault_seed_base))));
+  Fun.protect ~finally:(fun () -> Guard.Faults.install Guard.Faults.none) f
+
+let prop_faulty_chase_is_prefix =
+  (* Whatever the schedule injects — task exceptions, worker deaths,
+     simulated deadline/memory trips — the chase either completes with
+     exactly the fault-free stages or stops early with a stage-exact
+     prefix of them (aborted sweeps are discarded whole). *)
+  QCheck.Test.make ~count
+    ~name:"fault-injected chase = stage-exact prefix of fault-free chase"
+    QCheck.(triple small_nat theory_arb instance_arb)
+    (fun (seed, trules, inst) ->
+      let theory = decode_theory trules and d = decode_instance inst in
+      let reference = Chase.Engine.run ~max_depth ~max_atoms theory d in
+      List.for_all
+        (fun pool ->
+          let run =
+            with_faults (1 + seed) (fun () ->
+                let guard = Guard.create () in
+                Chase.Engine.run ~pool ~guard ~max_depth ~max_atoms theory d)
+          in
+          let dr = Chase.Engine.depth run in
+          dr <= Chase.Engine.depth reference
+          && List.for_all
+               (fun i ->
+                 Fact_set.equal (Chase.Engine.stage run i)
+                   (Chase.Engine.stage reference i))
+               (List.init (dr + 1) Fun.id)
+          &&
+          match Chase.Engine.interrupted run with
+          | Some _ -> true
+          | None ->
+              (* No trip fired: the run must be indistinguishable from the
+                 fault-free one (injected task faults are absorbed by the
+                 pool's retry and orphan-rescue paths). *)
+              dr = Chase.Engine.depth reference
+              && Bool.equal (Chase.Engine.saturated run)
+                   (Chase.Engine.saturated reference))
+        [ Parallel.Pool.sequential; pool2; pool4 ])
+
+let prop_faulty_rewriting_is_sound =
+  (* A rewriting interrupted by a guard trip keeps its store: every
+     collected disjunct came from sound piece-rewriting steps, so each
+     must be subsumed by some disjunct of the fault-free fixpoint. *)
+  QCheck.Test.make ~count
+    ~name:"fault-injected rewriting is entailed by the fault-free fixpoint"
+    QCheck.(triple small_nat theory_arb query_arb)
+    (fun (seed, trules, qatoms) ->
+      let theory = decode_theory trules and q = decode_query qatoms in
+      let full = Rewriting.Rewrite.rewrite ~budget:rewrite_budget theory q in
+      match full.Rewriting.Rewrite.outcome with
+      | Rewriting.Rewrite.Complete ->
+          List.for_all
+            (fun pool ->
+              let partial =
+                with_faults (1 + seed) (fun () ->
+                    let guard = Guard.create () in
+                    Rewriting.Rewrite.rewrite ~pool ~guard
+                      ~budget:rewrite_budget theory q)
+              in
+              List.for_all
+                (fun dq ->
+                  List.exists
+                    (fun d' -> Containment.implies dq d')
+                    (Ucq.disjuncts full.Rewriting.Rewrite.ucq))
+                (Ucq.disjuncts partial.Rewriting.Rewrite.ucq))
+            [ Parallel.Pool.sequential; pool3 ]
+      | _ -> true)
+
+let prop_pool_absorbs_injected_faults =
+  (* Injected task exceptions recover through the coordinator's retry
+     pass; worker deaths recover through orphan redistribution. Under any
+     schedule, [map_array] must still return exactly the right answers. *)
+  QCheck.Test.make ~count
+    ~name:"map_array under any fault schedule = Array.map"
+    QCheck.(pair small_nat (list int))
+    (fun (seed, l) ->
+      let f x = (x * 7) + 1 in
+      let arr = Array.of_list l in
+      let expected = Array.map f arr in
+      List.for_all
+        (fun pool ->
+          with_faults (1 + seed) (fun () ->
+              Parallel.Pool.map_array pool f arr = expected))
+        [ Parallel.Pool.sequential; pool2; pool4 ])
+
+let prop_pool_aggregates_real_errors =
+  (* Genuine task failures (not injected, so the retry pass re-fails) are
+     aggregated into one [Task_errors], index-sorted, with one entry per
+     failing index — never a bare exception from whichever task lost the
+     race. *)
+  QCheck.Test.make ~count
+    ~name:"Task_errors lists exactly the failing indices, in order"
+    QCheck.(list (pair small_int bool))
+    (fun l ->
+      let arr = Array.of_list l in
+      let f (x, fail) = if fail then failwith (string_of_int x) else x * 2 in
+      let expected_idx =
+        List.concat
+          (List.mapi (fun i (_, fail) -> if fail then [ i ] else []) l)
+      in
+      List.for_all
+        (fun pool ->
+          (match Parallel.Pool.map_array pool f arr with
+          | res -> expected_idx = [] && res = Array.map f arr
+          | exception Parallel.Pool.Task_errors errs ->
+              List.map (fun (i, _, _) -> i) errs = expected_idx
+              && List.for_all
+                   (fun (i, e, _) ->
+                     match e with
+                     | Failure s -> s = string_of_int (fst arr.(i))
+                     | _ -> false)
+                   errs)
+          &&
+          (* The Result-returning variant never raises and agrees slotwise. *)
+          let slots = Parallel.Pool.map_array_result pool f arr in
+          Array.length slots = Array.length arr
+          && List.for_all
+               (fun i ->
+                 match (slots.(i), snd arr.(i)) with
+                 | Ok y, false -> y = f arr.(i)
+                 | Error (Failure _, _), true -> true
+                 | _ -> false)
+               (List.init (Array.length arr) Fun.id))
+        [ Parallel.Pool.sequential; pool2; pool4 ])
+
+let prop_faulty_answering_never_lies =
+  (* End to end: certain answers computed under fault injection are a
+     subset of the fault-free certain answers (a truncated chase can miss
+     answers, never invent them). *)
+  QCheck.Test.make ~count
+    ~name:"fault-injected certain answers are a subset of fault-free ones"
+    QCheck.(triple small_nat theory_arb instance_arb)
+    (fun (seed, trules, inst) ->
+      let theory = decode_theory trules and d = decode_instance inst in
+      let x = Term.var "x" and y = Term.var "y" in
+      let q = Cq.make ~free:[ x ] [ Atom.make e [ x; y ] ] in
+      let full =
+        Frontier.certain_answers ~max_depth ~max_atoms theory d q
+      in
+      let partial =
+        with_faults (1 + seed) (fun () ->
+            let guard = Guard.create () in
+            Frontier.certain_answers ~guard ~max_depth ~max_atoms theory d q)
+      in
+      List.for_all
+        (fun tuple -> List.exists (( = ) tuple) full)
+        (partial : Term.t list list))
+
 let () =
   Alcotest.run "properties"
     [
@@ -384,4 +550,13 @@ let () =
           ] );
       ( "pool",
         [ QCheck_alcotest.to_alcotest prop_pool_primitives ] );
+      ( "faults",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_faulty_chase_is_prefix;
+            prop_faulty_rewriting_is_sound;
+            prop_pool_absorbs_injected_faults;
+            prop_pool_aggregates_real_errors;
+            prop_faulty_answering_never_lies;
+          ] );
     ]
