@@ -1,4 +1,4 @@
-.PHONY: all build test check check-faults bench bench-smoke examples doc clean fmt
+.PHONY: all build test check check-faults check-kernel bench bench-smoke examples doc clean fmt
 
 all: build
 
@@ -33,6 +33,31 @@ check-faults: build
 	    -t 'E(x,y) -> exists z. E(y,z)' -d 'E(a,b)' \
 	    --depth 1000000 --max-atoms 100000000 --timeout 0.3 -j $$j; \
 	  test $$? -eq 2 || exit 1; \
+	done
+
+# Saturation-kernel gate: the kernel unit tests, the differential
+# property suite (kernel-based chase/rewriting vs the naive references,
+# -j1..-j4, fault seeds), then the ix and rw bench experiments re-run in
+# smoke sizing at -j1 and -j4 and compared against the recorded
+# snapshots — aggregate wall-clock drift beyond DRIFT_TOL (default 5%)
+# fails. A first run on a fresh checkout seeds the snapshots; run `make
+# bench-smoke` on the baseline commit to compare across commits.
+DRIFT_TOL ?= 0.05
+check-kernel: build
+	dune exec test/test_guard.exe
+	FRONTIER_QCHECK_COUNT=50 dune exec test/test_properties.exe
+	for j in 1 4; do \
+	  echo "== bench drift gate, -j $$j =="; \
+	  FRONTIER_JOBS=$$j FRONTIER_BENCH_SMOKE=1 \
+	    FRONTIER_BENCH_JSON=bench-kernel-ix.json \
+	    dune exec bench/main.exe -- ix || exit 1; \
+	  FRONTIER_JOBS=$$j FRONTIER_BENCH_SMOKE=1 \
+	    FRONTIER_BENCH_JSON=bench-kernel-rw.json \
+	    dune exec bench/main.exe -- rw || exit 1; \
+	  python3 tools/bench_drift.py bench-smoke.json bench-kernel-ix.json \
+	    --tolerance $(DRIFT_TOL) || exit 1; \
+	  python3 tools/bench_drift.py bench-smoke-rw.json bench-kernel-rw.json \
+	    --tolerance $(DRIFT_TOL) || exit 1; \
 	done
 
 bench:

@@ -660,11 +660,13 @@ let par () =
     (Chase.Engine.saturated run_seq = Chase.Engine.saturated run_par
     && Chase.Engine.hit_atom_budget run_seq
        = Chase.Engine.hit_atom_budget run_par);
-  Array.iteri
-    (fun i (s : Chase.Engine.stage_stats) ->
+  Array.iter
+    (fun (s : Saturation.Stats.round) ->
       row "    stage %d: %6d triggers, %6d derived (%6d fresh), %.4fs wall@."
-        (i + 1) s.Chase.Engine.triggers s.Chase.Engine.produced
-        s.Chase.Engine.fresh_atoms s.Chase.Engine.wall_s)
+        s.Saturation.Stats.index s.Saturation.Stats.tally.Saturation.Stats.expanded
+        s.Saturation.Stats.tally.Saturation.Stats.generated
+        s.Saturation.Stats.tally.Saturation.Stats.admitted
+        s.Saturation.Stats.wall_s)
     (Chase.Engine.stage_stats run_par);
   row "  per-domain busy seconds: [%a]@."
     Fmt.(array ~sep:sp (fmt "%.3f"))
@@ -696,7 +698,15 @@ let par () =
     (Ucq.cardinal r_par.Rewriting.Rewrite.ucq)
     r_par.Rewriting.Rewrite.containment_checks;
   row "  rewritings UCQ-equivalent: %b@."
-    (Ucq.equivalent r_seq.Rewriting.Rewrite.ucq r_par.Rewriting.Rewrite.ucq)
+    (Ucq.equivalent r_seq.Rewriting.Rewrite.ucq r_par.Rewriting.Rewrite.ucq);
+  let k = r_par.Rewriting.Rewrite.kernel_stats in
+  row "  -j%d kernel: %d rounds, %d expanded, %d generated, %d admitted, %d \
+       deduped@."
+    jobs k.Saturation.Stats.rounds
+    k.Saturation.Stats.totals.Saturation.Stats.expanded
+    k.Saturation.Stats.totals.Saturation.Stats.generated
+    k.Saturation.Stats.totals.Saturation.Stats.admitted
+    k.Saturation.Stats.totals.Saturation.Stats.deduped
 
 (* ------------------------------------------------------------------ *)
 (* ix — incremental indexing & containment memoization A/B             *)

@@ -143,6 +143,7 @@ let chase_cmd =
         let result_facts =
           match variant with
           | "semi-oblivious" ->
+              let ix0 = Frontier.Fact_set.counters () in
               let run =
                 Frontier.Chase_engine.run ~pool ~guard ~max_depth:depth
                   ~max_atoms t d
@@ -161,18 +162,16 @@ let chase_cmd =
                   (Frontier.Fact_set.cardinal
                      (Frontier.Chase_engine.stage run i))
               done;
-              if stats then
-                Array.iteri
-                  (fun i (s : Frontier.Chase_engine.stage_stats) ->
-                    Fmt.pr
-                      "stage %d work: %d triggers, %d derived (%d fresh), \
-                       %.4fs wall, index +%d delta / %d rebuilt atoms, \
-                       domain busy [%a]@."
-                      (i + 1) s.triggers s.produced s.fresh_atoms s.wall_s
-                      s.index_delta_atoms s.index_rebuild_atoms
-                      Fmt.(array ~sep:sp (fmt "%.4f"))
-                      s.domain_busy_s)
-                  (Frontier.Chase_engine.stage_stats run);
+              if stats then begin
+                Fmt.pr "%a@." Frontier.Saturation.Stats.pp
+                  (Frontier.Chase_engine.kernel_stats run);
+                let ix1 = Frontier.Fact_set.counters () in
+                Fmt.pr "index: +%d delta / %d rebuilt atoms@."
+                  (ix1.Frontier.Fact_set.delta_atoms
+                  - ix0.Frontier.Fact_set.delta_atoms)
+                  (ix1.Frontier.Fact_set.built_atoms
+                  - ix0.Frontier.Fact_set.built_atoms)
+              end;
               Frontier.Chase_engine.result run
           | "oblivious" ->
               let r =
@@ -278,12 +277,15 @@ let rewrite_cmd =
           r.Frontier.Rewrite.steps r.Frontier.Rewrite.generated
           r.Frontier.Rewrite.containment_checks
           r.Frontier.Rewrite.cache_hits r.Frontier.Rewrite.cache_misses;
-        if stats then
+        if stats then begin
+          Fmt.pr "%a@." Frontier.Saturation.Stats.pp
+            r.Frontier.Rewrite.kernel_stats;
           Fmt.pr
             "solver: %d candidate pairs pruned by the subsumption index, \
              %d containment searches split into components@."
             r.Frontier.Rewrite.index_pruned
-            r.Frontier.Rewrite.component_splits;
+            r.Frontier.Rewrite.component_splits
+        end;
         finish guard;
         (* Exhausted legacy budgets (no guard trip) also mean the printed
            UCQ is partial: keep the exit-code contract uniform. *)
@@ -301,9 +303,10 @@ let rewrite_cmd =
       value & flag
       & info [ "stats" ]
           ~doc:
-            "Print solver counters: pairs pruned by the UCQ subsumption \
-             index and containment searches decomposed into Gaifman \
-             components.")
+            "Print the saturation kernel's counters (rounds, frontier \
+             expansions, admissions, dedups) and the solver counters: \
+             pairs pruned by the UCQ subsumption index and containment \
+             searches decomposed into Gaifman components.")
   in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Compute the UCQ rewriting of a query")
@@ -387,7 +390,7 @@ let explain_cmd =
       $ atoms_arg)
 
 let marked_rewrite_cmd =
-  let run query levels steps timeout max_memory_mb =
+  let run query levels steps stats timeout max_memory_mb =
     handle (fun () ->
         with_guard ~timeout ~max_memory_mb (fun guard ->
         let q = parse_query (read_source query) in
@@ -409,6 +412,9 @@ let marked_rewrite_cmd =
           res.Frontier.Marked_process.stats.Frontier.Marked_process.cut_steps
           res.Frontier.Marked_process.stats.Frontier.Marked_process.fuse_steps
           res.Frontier.Marked_process.stats.Frontier.Marked_process.reduce_steps;
+        if stats then
+          Fmt.pr "%a@." Frontier.Saturation.Stats.pp
+            res.Frontier.Marked_process.kernel_stats;
         Fmt.pr "%a@." Frontier.Ucq.pp res.Frontier.Marked_process.rewriting;
         Fmt.pr "disjuncts: %d, max size: %d, trivial: %d, aliased: %d@."
           (Frontier.Ucq.cardinal res.Frontier.Marked_process.rewriting)
@@ -430,11 +436,21 @@ let marked_rewrite_cmd =
       value & opt int 200_000
       & info [ "steps" ] ~doc:"Process step budget.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the saturation kernel's counters (process steps, \
+             operation results produced, live queries enqueued).")
+  in
   Cmd.v
     (Cmd.info "marked-rewrite"
        ~doc:
          "Rewrite a query under T_d (or T_d^K) with the marked-query           process of Sections 10-12")
-    Term.(const run $ query_arg $ levels $ steps $ timeout_arg $ memory_arg)
+    Term.(
+      const run $ query_arg $ levels $ steps $ stats $ timeout_arg
+      $ memory_arg)
 
 let classify_cmd =
   let run theory =

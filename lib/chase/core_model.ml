@@ -53,24 +53,46 @@ let image_of f mapping ~flexible =
 
 let core_of ?guard ?(keep = Term.Set.empty) f =
   let guard = match guard with Some g -> g | None -> Guard.unlimited () in
-  let rec shrink f =
+  (* One kernel round per successful shrink: the round searches for an
+     endomorphism avoiding some non-kept element and applies it; a round
+     finding none (or observing a trip mid-search) ends the saturation —
+     the current structure is the core (or, after a trip, a sound,
+     possibly non-minimal retract). *)
+  let state = ref f in
+  let step (_ : Saturation.ctx) _batch =
+    let f = !state in
     let dom = Fact_set.domain f in
     let candidates = Term.Set.elements (Term.Set.diff dom keep) in
     let rec try_avoid = function
-      | [] -> f
+      | [] -> None
       | a :: rest -> (
-          (* One checkpoint per avoided-element probe; a trip returns the
-             current structure — a sound (possibly non-minimal) retract. *)
-          if Guard.check guard <> None then f
+          (* One checkpoint per avoided-element probe. *)
+          if Guard.check guard <> None then None
           else
             match endomorphism_avoiding f ~keep ~avoid:a with
-            | Some h ->
-                shrink (image_of f h ~flexible:(Term.Set.diff dom keep))
+            | Some h -> Some h
             | None -> try_avoid rest)
     in
-    try_avoid candidates
+    match try_avoid candidates with
+    | Some h ->
+        state := image_of f h ~flexible:(Term.Set.diff dom keep);
+        {
+          Saturation.next = [ () ];
+          tally = Saturation.Stats.tally ~expanded:1 ();
+          stop = false;
+          commit = true;
+        }
+    | None ->
+        {
+          Saturation.next = [];
+          tally = Saturation.Stats.zero;
+          stop = false;
+          commit = true;
+        }
   in
-  shrink f
+  ignore
+    (Saturation.run ~guard ~record_rounds:false ~init:[ () ] ~step ());
+  !state
 
 let retract_onto f ~into ~keep =
   let flexible = Term.Set.diff (Fact_set.domain f) keep in

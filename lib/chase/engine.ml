@@ -1,15 +1,5 @@
 open Logic
 
-type stage_stats = {
-  triggers : int;
-  produced : int;
-  fresh_atoms : int;
-  wall_s : float;
-  domain_busy_s : float array;
-  index_delta_atoms : int;
-  index_rebuild_atoms : int;
-}
-
 (* Provenance is recorded per derived atom in a hash table (hash-consed
    term ids make [Atom.hash] cheap and well-spread); the table is only
    ever mutated by the coordinator, in deterministic production order. *)
@@ -33,7 +23,7 @@ type run = {
   info : (int * (Tgd.t * Homomorphism.mapping) list ref) Atom_tbl.t;
       (* derived atoms: first stage, creating applications; the list is
          mutated in place so a rediscovery costs one table probe *)
-  stats : stage_stats array;
+  stats : Saturation.Stats.t;
 }
 
 (* The semi-naive trigger enumeration of a rule splits into independent
@@ -108,28 +98,23 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
   let info = Atom_tbl.create (1 lsl 18) in
   let full = ref initial in
   let old_facts = ref Fact_set.empty in
-  let delta = ref initial in
   let old_dom = ref Term.Set.empty in
-  let saturated = ref false in
-  let interrupted = ref (Guard.status guard) in
-  let stage_index = ref 0 in
-  let stats = ref [] in
-  while
-    (not !saturated) && !interrupted = None && !stage_index < max_depth
-  do
-    incr stage_index;
-    (match Guard.check guard with
-    | Some cause ->
-        interrupted := Some cause;
-        decr stage_index
-    | None ->
-    let stage_t0 = Unix.gettimeofday () in
-    let busy0 = Parallel.Pool.busy_times pool in
-    let ix0 = Fact_set.counters () in
+  (* A client-level stop that is not a guard trip: the historical
+     [max_atoms] atom cap, expressed as the unified fuel cause. *)
+  let capped = ref None in
+  (* One kernel round per chase stage: the worklist item is the stage's
+     delta, the step is the parallel semi-naive sweep, and the kernel owns
+     the boundary checkpoint, the aborted-sweep discard, and the stats. *)
+  let step (ctx : Saturation.ctx) batch =
+    let delta = match batch with [ d ] -> d | _ -> assert false in
+    let discard =
+      { Saturation.next = []; tally = Saturation.Stats.zero;
+        stop = false; commit = false }
+    in
     (* Force the lazy indexes of the shared fact sets *before* fanning out:
        workers only ever read them. *)
     ignore (Fact_set.domain !old_facts);
-    ignore (Fact_set.domain !delta);
+    ignore (Fact_set.domain delta);
     let full_dom = Fact_set.domain !full in
     let new_dom = Term.Set.diff full_dom !old_dom in
     let old_dom_list = Term.Set.elements !old_dom in
@@ -151,7 +136,7 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
            (Theory.rules theory))
     in
     let locals =
-      Parallel.Pool.map_array ~guard pool
+      Parallel.Pool.map_array ~guard ctx.Saturation.pool
         (fun (rule, part) ->
           let local = ref [] in
           let triggers = ref 0 in
@@ -159,7 +144,7 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
              aborts this task's enumeration early; the coordinator then
              discards the whole sweep (stages stay an exact prefix). *)
           (try
-             part_triggers rule part ~old_facts:!old_facts ~delta:!delta
+             part_triggers rule part ~old_facts:!old_facts ~delta
                ~full:!full ~old_dom_list ~new_dom_list ~full_dom_list
                (fun sigma ->
                  incr triggers;
@@ -178,100 +163,100 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
       Array.fold_left (fun acc (_, t) -> acc + t) 0 locals
     in
     match Guard.status guard with
-    | Some cause ->
+    | Some _ ->
         (* The sweep was aborted mid-enumeration: its partial
            productions are unsound as a stage, so discard them — the
            recorded stages remain exactly [Ch_0 .. Ch_i] for the last
            completed sweep [i]. *)
-        interrupted := Some cause;
-        decr stage_index
+        discard
     | None ->
-    (* Partition into genuinely new atoms and rediscoveries; record all
-       derivations either way, iterating the per-task locals in the
-       sequential engine's production order (tasks last-to-first, each
-       local newest-first — the order the former concatenated list had).
-       The info table dedups: an atom lands in [fresh] exactly once, at
-       its first production. *)
-    let n_produced = ref 0 in
-    let fresh = ref [] in
-    for i = Array.length locals - 1 downto 0 do
-      let local, _ = locals.(i) in
-      List.iter
-        (fun (atom, rule, sigma) ->
-          incr n_produced;
-          match Atom_tbl.find_opt info atom with
-          | Some (_, ders) -> ders := (rule, sigma) :: !ders
-          | None ->
-              if Fact_set.mem atom initial then ()
-              else begin
-                fresh := atom :: !fresh;
-                Atom_tbl.add info atom (!stage_index, ref [ (rule, sigma) ])
-              end)
-        local
-    done;
-    (* A rediscovered atom from an earlier stage cannot shift its stage:
-       every non-initial atom of [full] is already recorded in [info], so
-       it takes the rediscovery branch above and never reaches [fresh]. *)
-    let delta' = Fact_set.of_set (Atom.Set.of_list !fresh) in
-    let busy1 = Parallel.Pool.busy_times pool in
-    let ix1 = Fact_set.counters () in
-    stats :=
-      {
-        triggers;
-        produced = !n_produced;
-        fresh_atoms = Fact_set.cardinal delta';
-        wall_s = Unix.gettimeofday () -. stage_t0;
-        domain_busy_s =
-          Array.init (Array.length busy1) (fun i -> busy1.(i) -. busy0.(i));
-        index_delta_atoms =
-          ix1.Fact_set.delta_atoms - ix0.Fact_set.delta_atoms;
-        index_rebuild_atoms =
-          ix1.Fact_set.built_atoms - ix0.Fact_set.built_atoms;
-      }
-      :: !stats;
-    old_facts := !full;
-    old_dom := full_dom;
-    (* [fresh] contains no atom of [full]: every non-initial atom of
-       [full] is in [info] and initial atoms are filtered above. *)
-    full := Fact_set.union_disjoint !full delta';
-    delta := delta';
-    stages := !full :: !stages;
-    if Fact_set.is_empty delta' then begin
-      saturated := true;
-      (* Drop the stabilized duplicate stage. *)
-      stages := List.tl !stages;
-      decr stage_index
-      (* The stats entry of the fixpoint-confirming sweep is kept: the
-         sweep did real trigger-enumeration work even though it derived
-         nothing. *)
-    end
-    else if Fact_set.cardinal !full > max_atoms then
-      (* The historical atom cap, expressed as the unified fuel cause:
-         the completed stage is kept, the run stops. *)
-      interrupted := Some Guard.Fuel
-    else begin
-      (* Draw the stage's fresh atoms from the guard's fuel account; a
-         fuel (or boundary-sampled deadline/memory) trip keeps the
-         completed stage and stops the run. *)
-      match Guard.spend guard (Fact_set.cardinal delta') with
-      | Some cause -> interrupted := Some cause
-      | None -> ()
-    end)
-  done;
+        (* Partition into genuinely new atoms and rediscoveries; record all
+           derivations either way, iterating the per-task locals in the
+           sequential engine's production order (tasks last-to-first, each
+           local newest-first — the order the former concatenated list had).
+           The info table dedups: an atom lands in [fresh] exactly once, at
+           its first production. *)
+        let n_produced = ref 0 in
+        let fresh = ref [] in
+        for i = Array.length locals - 1 downto 0 do
+          let local, _ = locals.(i) in
+          List.iter
+            (fun (atom, rule, sigma) ->
+              incr n_produced;
+              match Atom_tbl.find_opt info atom with
+              | Some (_, ders) -> ders := (rule, sigma) :: !ders
+              | None ->
+                  if Fact_set.mem atom initial then ()
+                  else begin
+                    fresh := atom :: !fresh;
+                    Atom_tbl.add info atom
+                      (ctx.Saturation.round, ref [ (rule, sigma) ])
+                  end)
+            local
+        done;
+        (* A rediscovered atom from an earlier stage cannot shift its stage:
+           every non-initial atom of [full] is already recorded in [info], so
+           it takes the rediscovery branch above and never reaches [fresh]. *)
+        let delta' = Fact_set.of_set (Atom.Set.of_list !fresh) in
+        let fresh_atoms = Fact_set.cardinal delta' in
+        let tally =
+          Saturation.Stats.tally ~expanded:triggers ~generated:!n_produced
+            ~admitted:fresh_atoms ~deduped:(!n_produced - fresh_atoms) ()
+        in
+        old_facts := !full;
+        old_dom := full_dom;
+        (* [fresh] contains no atom of [full]: every non-initial atom of
+           [full] is in [info] and initial atoms are filtered above. *)
+        full := Fact_set.union_disjoint !full delta';
+        stages := !full :: !stages;
+        if Fact_set.is_empty delta' then begin
+          (* Drop the stabilized duplicate stage; the kernel sees an empty
+             frontier and reports [Saturated]. The round's stats entry is
+             kept: the fixpoint-confirming sweep did real
+             trigger-enumeration work even though it derived nothing. *)
+          stages := List.tl !stages;
+          { Saturation.next = []; tally; stop = false; commit = true }
+        end
+        else if Fact_set.cardinal !full > max_atoms then begin
+          (* The historical atom cap: the completed stage is kept, the
+             run stops — no fuel is drawn for the capped stage. *)
+          capped := Some Guard.Fuel;
+          { Saturation.next = []; tally; stop = true; commit = true }
+        end
+        else begin
+          (* Draw the stage's fresh atoms from the guard's fuel account; a
+             fuel (or boundary-sampled deadline/memory) trip keeps the
+             completed stage and stops the run (the kernel consults the
+             sticky trip state right after the commit). *)
+          ignore (Guard.spend guard fresh_atoms);
+          { Saturation.next = [ delta' ]; tally; stop = false; commit = true }
+        end
+  in
+  let verdict, stats =
+    Saturation.run ~pool ~guard ~drain:Saturation.All ~max_rounds:max_depth
+      ~record_rounds:true ~init:[ initial ] ~step ()
+  in
+  let saturated, interrupted =
+    match verdict with
+    | Saturation.Saturated -> (true, None)
+    | Saturation.Stopped -> (false, !capped) (* None for plain max_depth *)
+    | Saturation.Tripped cause -> (false, Some cause)
+  in
   {
     theory;
     initial;
     stages = Array.of_list (List.rev !stages);
-    saturated = !saturated;
-    interrupted = !interrupted;
+    saturated;
+    interrupted;
     guard;
     info;
-    stats = Array.of_list (List.rev !stats);
+    stats;
   }
 
 let theory r = r.theory
 let initial r = r.initial
-let stage_stats r = r.stats
+let kernel_stats r = r.stats
+let stage_stats r = r.stats.Saturation.Stats.per_round
 let depth r = Array.length r.stages - 1
 let saturated r = r.saturated
 let interrupted r = r.interrupted

@@ -14,24 +14,6 @@ open Logic
 
 type run
 
-type stage_stats = {
-  triggers : int;  (** trigger homomorphisms enumerated during the sweep *)
-  produced : int;  (** atom productions, rediscoveries included *)
-  fresh_atoms : int;  (** genuinely new atoms (the stage's delta) *)
-  wall_s : float;  (** wall-clock seconds for the sweep + merge *)
-  domain_busy_s : float array;
-      (** per-domain busy seconds inside the sweep (index 0 = caller) *)
-  index_delta_atoms : int;
-      (** atoms incrementally appended to fact-set indexes during the
-          sweep (process-wide [Fact_set] counter delta; index extensions
-          are lazy, so a stage's delta may be observed by the following
-          sweep, which forces it) *)
-  index_rebuild_atoms : int;
-      (** atoms indexed by from-scratch builds or layer merges during the
-          sweep — with incremental maintenance on this stays proportional
-          to the deltas instead of re-counting the whole set per stage *)
-}
-
 val run :
   ?pool:Parallel.Pool.t ->
   ?guard:Guard.t ->
@@ -55,10 +37,17 @@ val run :
     [max_depth]/[max_atoms] remain as thin compatibility shims over the
     same mechanism). *)
 
-val stage_stats : run -> stage_stats array
-(** One entry per executed sweep, in stage order. When the run saturated,
-    the final entry is the fixpoint-confirming sweep (which derived
-    nothing), so the array has [depth r + 1] entries; otherwise [depth r]. *)
+val kernel_stats : run -> Saturation.Stats.t
+(** The saturation kernel's per-round counters for the run: one round per
+    executed sweep ([expanded] = trigger homomorphisms enumerated,
+    [generated] = atom productions with rediscoveries, [admitted] = the
+    stage's fresh atoms). *)
+
+val stage_stats : run -> Saturation.Stats.round array
+(** [kernel_stats r].per_round: one entry per executed sweep, in stage
+    order. When the run saturated, the final entry is the
+    fixpoint-confirming sweep (which derived nothing), so the array has
+    [depth r + 1] entries; otherwise [depth r]. *)
 
 val theory : run -> Theory.t
 val initial : run -> Fact_set.t

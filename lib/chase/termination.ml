@@ -13,22 +13,30 @@ let all_instances_terminates_on ?pool ?guard ?max_depth ?max_atoms theory d =
 
 let uniform_bound_on ?pool ?guard ?max_c ?lookahead ?max_atoms theory instances
     =
-  let tripped () =
-    match guard with None -> false | Some g -> Guard.status g <> None
+  (* The probe worklist is the instance list itself: one kernel round per
+     instance, the guard checkpointed at every round boundary, so a trip
+     skips the remaining instances (the per-instance list stays a prefix
+     and [all_ok] below turns false). *)
+  let acc = ref [] in
+  let step (_ : Saturation.ctx) batch =
+    let d = match batch with [ d ] -> d | _ -> assert false in
+    (match
+       core_terminates_on ?pool ?guard ?max_c ?lookahead ?max_atoms theory d
+     with
+    | Holds c -> acc := (d, c) :: !acc
+    | Fails | Budget_exhausted -> ());
+    {
+      Saturation.next = [];
+      tally = Saturation.Stats.tally ~expanded:1 ();
+      stop = false;
+      commit = true;
+    }
   in
-  let per_instance =
-    List.filter_map
-      (fun d ->
-        if tripped () then None
-        else
-          match
-            core_terminates_on ?pool ?guard ?max_c ?lookahead ?max_atoms
-              theory d
-          with
-          | Holds c -> Some (d, c)
-          | Fails | Budget_exhausted -> None)
-      instances
-  in
+  ignore
+    (Saturation.run ?guard
+       ~drain:(Saturation.At_most (fun () -> 1))
+       ~record_rounds:false ~init:instances ~step ());
+  let per_instance = List.rev !acc in
   let all_ok = List.length per_instance = List.length instances in
   let bound =
     if all_ok && per_instance <> [] then

@@ -43,6 +43,7 @@ module Generators = Theories.Generators
 
 module Reasoner = Reasoner
 module Pool = Parallel.Pool
+module Saturation = Saturation
 module Guard = Guard
 
 module Parse = struct

@@ -16,6 +16,7 @@ type result = {
   complete : bool;
   interrupted : Guard.cause option;
   stats : stats;
+  kernel_stats : Saturation.Stats.t;
   rank_trace : Rank.srk list option;
 }
 
@@ -70,7 +71,6 @@ let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
        the process expects at least one answer variable";
   if not (Cq.is_connected q) then
     invalid_arg "Process.run: the query must be connected";
-  let live = Queue.create () in
   let seen = Store.create () in
   let finished = ref [] in
   let trivial = ref [] in
@@ -85,75 +85,124 @@ let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
         dropped_unsat = 0;
       }
   in
+  (* The kernel owns the FIFO worklist of live queries; [classify_new]
+     returns the items to enqueue. When rank traces are requested, a
+     mirror queue shadows the kernel's worklist (same pops, same pushes)
+     so each snapshot can enumerate the currently-live queries. *)
+  let mirror = Queue.create () in
   let classify_new mq =
-    if not (Marked_query.is_properly_marked mq) then
-      stats := { !stats with dropped_improper = !stats.dropped_improper + 1 }
-    else if Store.add_if_absent seen mq then begin
-      if Marked_query.is_trivial mq then trivial := mq :: !trivial
-      else if Marked_query.is_totally_marked mq then
-        finished := mq :: !finished
-      else Queue.add mq live
+    if not (Marked_query.is_properly_marked mq) then begin
+      stats := { !stats with dropped_improper = !stats.dropped_improper + 1 };
+      None
     end
+    else if Store.add_if_absent seen mq then begin
+      if Marked_query.is_trivial mq then begin
+        trivial := mq :: !trivial;
+        None
+      end
+      else if Marked_query.is_totally_marked mq then begin
+        finished := mq :: !finished;
+        None
+      end
+      else begin
+        if record_ranks then Queue.add mq mirror;
+        Some mq
+      end
+    end
+    else None
   in
-  List.iter classify_new (Marked_query.all_markings ~levels q);
+  let initial_live =
+    List.filter_map classify_new (Marked_query.all_markings ~levels q)
+  in
   let rank_trace = ref [] in
   let snapshot () =
     if record_ranks then begin
       let all =
-        List.of_seq (Queue.to_seq live) @ !finished @ !trivial
+        List.of_seq (Queue.to_seq mirror) @ !finished @ !trivial
       in
       rank_trace := Rank.srk all :: !rank_trace
     end
   in
   snapshot ();
-  let complete = ref true in
-  let interrupted = ref (Guard.status guard) in
-  if !interrupted <> None then complete := false;
-  while (not (Queue.is_empty live)) && !complete do
-    if !stats.steps >= max_steps then complete := false
-    else
-      (* One checkpoint and one fuel unit per process step. The live
-         queue is simply abandoned on a trip: the totally-marked queries
-         collected so far form a sound partial rewriting (each came from
-         finitely many rank-descending operations on a proper marking). *)
-      match Guard.spend guard 1 with
-      | Some cause ->
-          interrupted := Some cause;
-          complete := false
-      | None -> begin
-      let current = Queue.pop live in
-      match Operations.maximal_var current with
-      | None ->
-          (* Lemma 55 guarantees a maximal variable for live queries. *)
-          invalid_arg "Process.run: live query without maximal variable"
-      | Some (x, classification) ->
-          stats :=
-            (let s = !stats in
-             match classification with
-             | Operations.Cut _ ->
-                 { s with steps = s.steps + 1; cut_steps = s.cut_steps + 1 }
-             | Operations.Fuse _ ->
-                 { s with steps = s.steps + 1; fuse_steps = s.fuse_steps + 1 }
-             | Operations.Reduce _ ->
-                 {
-                   s with
-                   steps = s.steps + 1;
-                   reduce_steps = s.reduce_steps + 1;
-                 }
-             | Operations.Unsatisfiable ->
-                 {
-                   s with
-                   steps = s.steps + 1;
-                   dropped_unsat = s.dropped_unsat + 1;
-                 });
-          let results = Operations.apply current x classification in
-          (match on_step with
-          | Some f -> f ~before:current ~classification ~results
-          | None -> ());
-          List.iter classify_new results;
-          snapshot ()
-      end
-  done;
+  let pre_tripped = Guard.status guard in
+  (* One kernel round per process step: drain one marked query, apply the
+     operation its maximal variable selects, classify the results. The
+     live worklist is simply abandoned on a trip: the totally-marked
+     queries collected so far form a sound partial rewriting (each came
+     from finitely many rank-descending operations on a proper marking). *)
+  let step (_ : Saturation.ctx) batch =
+    let current = match batch with [ mq ] -> mq | _ -> assert false in
+    (* One checkpoint and one fuel unit per process step. *)
+    match Guard.spend guard 1 with
+    | Some _ ->
+        {
+          Saturation.next = [];
+          tally = Saturation.Stats.zero;
+          stop = true;
+          commit = false;
+        }
+    | None -> (
+        if record_ranks then ignore (Queue.pop mirror);
+        match Operations.maximal_var current with
+        | None ->
+            (* Lemma 55 guarantees a maximal variable for live queries. *)
+            invalid_arg "Process.run: live query without maximal variable"
+        | Some (x, classification) ->
+            stats :=
+              (let s = !stats in
+               match classification with
+               | Operations.Cut _ ->
+                   { s with steps = s.steps + 1; cut_steps = s.cut_steps + 1 }
+               | Operations.Fuse _ ->
+                   {
+                     s with
+                     steps = s.steps + 1;
+                     fuse_steps = s.fuse_steps + 1;
+                   }
+               | Operations.Reduce _ ->
+                   {
+                     s with
+                     steps = s.steps + 1;
+                     reduce_steps = s.reduce_steps + 1;
+                   }
+               | Operations.Unsatisfiable ->
+                   {
+                     s with
+                     steps = s.steps + 1;
+                     dropped_unsat = s.dropped_unsat + 1;
+                   });
+            let results = Operations.apply current x classification in
+            (match on_step with
+            | Some f -> f ~before:current ~classification ~results
+            | None -> ());
+            let new_live = List.filter_map classify_new results in
+            snapshot ();
+            {
+              Saturation.next = new_live;
+              tally =
+                Saturation.Stats.tally ~expanded:1
+                  ~generated:(List.length results)
+                  ~admitted:(List.length new_live)
+                  ~deduped:
+                    (List.length results - List.length new_live)
+                  ();
+              stop = false;
+              commit = true;
+            })
+  in
+  let verdict, kernel_stats =
+    Saturation.run ~guard
+      ~drain:
+        (Saturation.At_most
+           (fun () -> if !stats.steps >= max_steps then 0 else 1))
+      ~record_rounds:false ~init:initial_live ~step ()
+  in
+  let complete, interrupted =
+    match verdict with
+    | Saturation.Saturated -> (pre_tripped = None, pre_tripped)
+    | Saturation.Stopped -> (false, pre_tripped)
+    | Saturation.Tripped cause -> (false, Some cause)
+  in
   let aliased, plain =
     List.partition Marked_query.aliased !finished
   in
@@ -164,9 +213,10 @@ let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
     rewriting;
     aliased;
     trivial = !trivial;
-    complete = !complete;
-    interrupted = !interrupted;
+    complete;
+    interrupted;
     stats = !stats;
+    kernel_stats;
     rank_trace = (if record_ranks then Some (List.rev !rank_trace) else None);
   }
 

@@ -33,6 +33,11 @@ type result = {
           sound partial rewriting (each disjunct is a genuine member of
           [rew(phi)]); only completeness is lost. *)
   stats : stats;
+  kernel_stats : Saturation.Stats.t;
+      (** the saturation kernel's counters for the run ([expanded] =
+          process steps taken, [generated] = operation results produced,
+          [admitted] = live queries enqueued); per-round entries are not
+          recorded — the process is a strict one-pop-per-round worklist *)
   rank_trace : Rank.srk list option;
 }
 

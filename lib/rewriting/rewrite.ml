@@ -26,15 +26,16 @@ type result = {
   cache_misses : int;
   index_pruned : int;
   component_splits : int;
+  kernel_stats : Saturation.Stats.t;
 }
 
-(* Both saturation strategies share the containment-based minimization of
+(* The saturation shares the containment-based minimization of
    Ucq.add_minimal, reimplemented here so the pairwise implication checks
-   can be counted and, in the parallel strategy, fanned out per existing
-   disjunct. The decisions (and the disjunct order of the result) are
-   exactly those of Ucq.add_minimal — containment verdicts go through the
-   process-wide memo cache ([Containment.implies_memo]), which never
-   changes a verdict, only its cost. *)
+   can be counted and fanned out per existing disjunct. The decisions (and
+   the disjunct order of the result) are exactly those of Ucq.add_minimal —
+   containment verdicts go through the process-wide memo cache
+   ([Containment.implies_memo]), which never changes a verdict, only its
+   cost. *)
 
 (* Candidate dedup: subsumption against the evolving UCQ is *monotone* —
    [add_minimal] only ever replaces disjuncts by strictly more general
@@ -57,7 +58,7 @@ let make_dedup () =
        end
 
 let finalize ~aux ~ucq ~outcome ~steps ~generated ~containment_checks
-    ~dedup_hits ~(memo0 : Containment.memo_stats)
+    ~dedup_hits ~kernel_stats ~(memo0 : Containment.memo_stats)
     ~(ix0 : Ucq_index.stats) ~(solver0 : Containment.solver_stats) =
   let memo1 = Containment.memo_stats () in
   let visible =
@@ -80,22 +81,10 @@ let finalize ~aux ~ucq ~outcome ~steps ~generated ~containment_checks
       ix1.pruned - ix0.pruned
       + (solver1.prescreened - solver0.prescreened);
     component_splits = solver1.splits - solver0.splits;
+    kernel_stats;
   }
 
-(* Tail-recursive frontier split: [split_batch n l] is [(first n, rest)]
-   in order. The frontier of a budget-bounded saturation can hold tens of
-   thousands of disjuncts, too deep for non-tail recursion. *)
-let split_batch n l =
-  let rec go n acc = function
-    | [] -> (List.rev acc, [])
-    | rest when n <= 0 -> (List.rev acc, rest)
-    | x :: rest -> go (n - 1) (x :: acc) rest
-  in
-  go n [] l
-
-(* ------------------------------------------------------------------ *)
-(* Sequential saturation (the reference semantics)                     *)
-(* ------------------------------------------------------------------ *)
+let split_batch = Saturation.split_batch
 
 (* The evolving minimal UCQ, behind the [Ucq_index.set_indexing] A/B
    toggle: the indexed store probes homomorphism-invariant fingerprints
@@ -103,6 +92,12 @@ let split_batch n l =
    linear scan. Both expose the same three operations, make the same
    [implies] calls succeed, and keep the disjuncts in the same
    (newest-first) order — the engines produce identical UCQs.
+
+   The surviving containment checks of an insertion fan out across the
+   pool ([Ucq_index.subsumer_candidates] probes in the same newest-first
+   order as [Ucq_index.covered], so a size-1 pool reproduces the
+   sequential engine's verdicts); all store mutation happens on the
+   coordinator.
 
    Both stores also maintain the canonical ids of the currently live
    disjuncts, so the worklist's "was this disjunct subsumed since it
@@ -119,21 +114,30 @@ type store = {
   is_live : Cq.t -> bool;
 }
 
-let make_store ~implies =
+let make_store ~pool ~implies =
   let live : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let is_live q = Hashtbl.mem live (Cq.canon_id q) in
   if Ucq_index.indexing_enabled () then begin
     let idx = Ucq_index.create () in
     let insert q' =
-      if Ucq_index.covered idx q' ~implies then `Subsumed
+      let subsumers = Ucq_index.subsumer_candidates idx q' in
+      if
+        Parallel.Pool.exists pool
+          (fun d -> implies q' d)
+          (Array.of_list subsumers)
+      then `Subsumed
       else begin
-        List.iter
-          (fun (slot, d) ->
-            if implies d q' then begin
+        let victims = Ucq_index.victim_candidates idx q' in
+        let verdicts =
+          Parallel.Pool.map_list pool (fun (_, d) -> implies d q') victims
+        in
+        List.iter2
+          (fun (slot, d) dropped ->
+            if dropped then begin
               Ucq_index.kill idx slot;
               Hashtbl.remove live (Cq.canon_id d)
             end)
-          (Ucq_index.victim_candidates idx q');
+          victims verdicts;
         Ucq_index.add idx q';
         Hashtbl.replace live (Cq.canon_id q') ();
         `Added
@@ -150,17 +154,24 @@ let make_store ~implies =
   else begin
     let disjuncts = ref [] in
     let insert q' =
-      if List.exists (fun d -> implies q' d) !disjuncts then `Subsumed
+      if
+        Parallel.Pool.exists pool
+          (fun d -> implies q' d)
+          (Array.of_list !disjuncts)
+      then `Subsumed
       else begin
+        let verdicts =
+          Parallel.Pool.map_list pool (fun d -> implies d q') !disjuncts
+        in
         let kept =
-          List.filter
-            (fun d ->
-              if implies d q' then begin
+          List.fold_right2
+            (fun d dropped acc ->
+              if dropped then begin
                 Hashtbl.remove live (Cq.canon_id d);
-                false
+                acc
               end
-              else true)
-            !disjuncts
+              else d :: acc)
+            !disjuncts verdicts []
         in
         disjuncts := q' :: kept;
         Hashtbl.replace live (Cq.canon_id q') ();
@@ -175,253 +186,154 @@ let make_store ~implies =
     }
   end
 
-let rewrite_sequential ~guard ~budget theory q =
-  let compiled, aux = Single_head.compile theory in
-  let memo0 = Containment.memo_stats () in
-  let ix0 = Ucq_index.stats () in
-  let solver0 = Containment.solver_stats () in
-  let checks = ref 0 in
-  let implies a b =
-    incr checks;
-    (* Poll inside the quadratic part so deadline/memory trips are
-       observed between containment searches, not only at step
-       boundaries; the worklist reacts at its next pop. *)
-    if !checks land Guard.poll_mask = 0 then ignore (Guard.check guard);
-    Containment.implies_memo a b
-  in
-  let store = make_store ~implies in
-  let q0 = Containment.core_of_query q in
-  let seen_before = make_dedup () in
-  let dedup_hits = ref 0 in
-  ignore (seen_before q0);
-  ignore (store.insert q0);
-  let worklist = Queue.create () in
-  Queue.add q0 worklist;
-  let steps = ref 0 in
-  let generated = ref 0 in
-  let outcome = ref Complete in
-  (try
-     while not (Queue.is_empty worklist) do
-       if !steps >= budget.max_steps then begin
-         outcome := Step_budget;
-         raise Exit
-       end;
-       (* One checkpoint and one fuel unit per worklist pop. A trip
-          leaves the store as-is: every disjunct already inserted was
-          produced by sound piece-rewriting steps, so the partial UCQ
-          is entailed by the full rewriting. *)
-       (match Guard.spend guard 1 with
-       | Some cause ->
-           outcome := Guard_exhausted cause;
-           raise Exit
-       | None -> ());
-       let current = Queue.pop worklist in
-       (* A query subsumed since it was enqueued need not be expanded. *)
-       if store.is_live current then begin
-         incr steps;
-         List.iter
-           (fun q' ->
-             incr generated;
-             if Cq.size q' > budget.max_atoms_per_disjunct then begin
-               outcome := Size_budget;
-               raise Exit
-             end;
-             if seen_before q' then incr dedup_hits
-             else
-               match store.insert q' with
-               | `Added ->
-                   Queue.add q' worklist;
-                   if store.cardinal () > budget.max_disjuncts then begin
-                     outcome := Disjunct_budget;
-                     raise Exit
-                   end
-               | `Subsumed -> ())
-           (Piece_unifier.one_step_theory current compiled)
-       end
-     done
-   with Exit -> ());
-  finalize ~aux ~ucq:(store.to_ucq ()) ~outcome:!outcome ~steps:!steps
-    ~generated:!generated ~containment_checks:!checks
-    ~dedup_hits:!dedup_hits ~memo0 ~ix0 ~solver0
-
-(* ------------------------------------------------------------------ *)
-(* Parallel saturation                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* Batch-synchronous variant of the same worklist saturation: the whole
-   live frontier is expanded at once (one piece-unifier task per frontier
-   disjunct), the candidate lists are concatenated in frontier order, and
-   the containment-based minimization then folds over the candidates in
-   that fixed order — with the per-candidate coverage and subsumption
-   checks fanned out across the pool. Every ordering that influences the
-   result is fixed before work is distributed, so the produced UCQ does
-   not depend on the domain count; it may differ *syntactically* from the
-   sequential result (a subsumed frontier entry is still expanded if it
-   died within its own batch), but on completion both are equivalent
-   UCQs — the property the differential test suite checks. *)
-let rewrite_parallel ~pool ~guard ~budget theory q =
+(* The one saturation, sequential and batch-synchronous at once: a
+   kernel round expands a batch of live frontier disjuncts (one worklist
+   pop at a size-1 pool — the reference semantics; the whole live
+   frontier at -j N — every ordering that influences the result is fixed
+   before work is distributed), then folds the candidates into the
+   containment-minimal store in a fixed frontier order on the
+   coordinator. The produced UCQ does not depend on the domain count; a
+   parallel run may differ *syntactically* from the sequential result (a
+   subsumed frontier entry is still expanded if it died within its own
+   batch), but on completion both are equivalent UCQs — the property the
+   differential test suite checks. *)
+let rewrite ?(pool = Parallel.Pool.sequential) ?guard
+    ?(budget = default_budget) theory q =
+  let guard = match guard with Some g -> g | None -> Guard.unlimited () in
+  let jobs = Parallel.Pool.size pool in
   let compiled, aux = Single_head.compile theory in
   let memo0 = Containment.memo_stats () in
   let ix0 = Ucq_index.stats () in
   let solver0 = Containment.solver_stats () in
   let checks = Atomic.make 0 in
   let implies a b =
-    (* Workers poll too (Guard is domain-safe); the coordinator reacts
-       at the next batch boundary. *)
+    (* Poll inside the quadratic part so deadline/memory trips are
+       observed between containment searches, not only at round
+       boundaries (workers poll too — Guard is domain-safe); the
+       saturation reacts at the kernel's next checkpoint. *)
     if Atomic.fetch_and_add checks 1 land Guard.poll_mask = 0 then
       ignore (Guard.check guard);
     Containment.implies_memo a b
   in
-  (* Same store abstraction as the sequential engine (including the
-     O(1) canonical-id liveness set — see [make_store]), with the
-     surviving containment checks of each insertion fanned out across
-     the pool. All store mutation happens on the coordinator. *)
-  let live_set : (int, unit) Hashtbl.t = Hashtbl.create 256 in
-  let is_live q' = Hashtbl.mem live_set (Cq.canon_id q') in
-  let store =
-    if Ucq_index.indexing_enabled () then begin
-      let idx = Ucq_index.create () in
-      let insert q' =
-        let subsumers = Ucq_index.subsumer_candidates idx q' in
-        if
-          Parallel.Pool.exists pool
-            (fun d -> implies q' d)
-            (Array.of_list subsumers)
-        then `Subsumed
-        else begin
-          let victims = Ucq_index.victim_candidates idx q' in
-          let verdicts =
-            Parallel.Pool.map_list pool
-              (fun (_, d) -> implies d q')
-              victims
-          in
-          List.iter2
-            (fun (slot, d) dropped ->
-              if dropped then begin
-                Ucq_index.kill idx slot;
-                Hashtbl.remove live_set (Cq.canon_id d)
-              end)
-            victims verdicts;
-          Ucq_index.add idx q';
-          Hashtbl.replace live_set (Cq.canon_id q') ();
-          `Added
-        end
-      in
-      {
-        insert;
-        cardinal = (fun () -> Ucq_index.cardinal idx);
-        to_ucq =
-          (fun () -> Ucq.of_disjuncts_unchecked (Ucq_index.disjuncts idx));
-        is_live;
-      }
-    end
-    else begin
-      let disjuncts = ref [] in
-      let insert q' =
-        if
-          Parallel.Pool.exists pool
-            (fun d -> implies q' d)
-            (Array.of_list !disjuncts)
-        then `Subsumed
-        else begin
-          let verdicts =
-            Parallel.Pool.map_list pool (fun d -> implies d q') !disjuncts
-          in
-          let kept =
-            List.fold_right2
-              (fun d dropped acc ->
-                if dropped then begin
-                  Hashtbl.remove live_set (Cq.canon_id d);
-                  acc
-                end
-                else d :: acc)
-              !disjuncts verdicts []
-          in
-          disjuncts := q' :: kept;
-          Hashtbl.replace live_set (Cq.canon_id q') ();
-          `Added
-        end
-      in
-      {
-        insert;
-        cardinal = (fun () -> List.length !disjuncts);
-        to_ucq = (fun () -> Ucq.of_disjuncts_unchecked !disjuncts);
-        is_live;
-      }
-    end
-  in
+  let store = make_store ~pool ~implies in
   let q0 = Containment.core_of_query q in
   let seen_before = make_dedup () in
   let dedup_hits = ref 0 in
   ignore (seen_before q0);
   ignore (store.insert q0);
   let steps = ref 0 in
-  let generated = ref 0 in
   let outcome = ref Complete in
-  let frontier = ref [ q0 ] in
-  (try
-     while !frontier <> [] do
-       if !steps >= budget.max_steps then begin
-         outcome := Step_budget;
-         raise Exit
-       end;
-       (* Disjuncts subsumed since they were enqueued need not expand. *)
-       let live = List.filter store.is_live !frontier in
-       let batch, deferred = split_batch (budget.max_steps - !steps) live in
-       (* One fuel unit per expanded disjunct, drawn before the fan-out;
-          a trip discards nothing — the store already holds only sound
-          rewritings — it just stops the saturation here. *)
-       (match Guard.spend guard (List.length batch) with
-       | Some cause ->
-           outcome := Guard_exhausted cause;
-           raise Exit
-       | None -> ());
-       let expansions =
-         Parallel.Pool.map_list ~guard pool
-           (fun q' -> Piece_unifier.one_step_theory q' compiled)
-           batch
-       in
-       steps := !steps + List.length batch;
-       (match Guard.status guard with
-       | Some cause ->
-           outcome := Guard_exhausted cause;
-           raise Exit
-       | None -> ());
-       let added = ref [] in
-       List.iter
-         (List.iter (fun q' ->
-              incr generated;
-              if Cq.size q' > budget.max_atoms_per_disjunct then begin
-                outcome := Size_budget;
-                raise Exit
-              end;
-              (* The dedup runs on the coordinator (the merge loop is
-                 sequential), so the plain hash table is safe. *)
-              if seen_before q' then incr dedup_hits
-              else
-                match store.insert q' with
-                | `Added ->
-                    added := q' :: !added;
-                    if store.cardinal () > budget.max_disjuncts then begin
-                      outcome := Disjunct_budget;
-                      raise Exit
-                    end
-                | `Subsumed -> ()))
-         expansions;
-       frontier := deferred @ List.rev !added
-     done
-   with Exit -> ());
-  finalize ~aux ~ucq:(store.to_ucq ()) ~outcome:!outcome ~steps:!steps
-    ~generated:!generated
+  let exception Budget_hit in
+  let step (ctx : Saturation.ctx) batch =
+    (* Disjuncts subsumed since they were enqueued need not expand. *)
+    let live = List.filter store.is_live batch in
+    if live = [] then
+      {
+        Saturation.next = [];
+        tally = Saturation.Stats.zero;
+        stop = false;
+        commit = true;
+      }
+    else
+      (* One fuel unit per expanded disjunct, drawn before the fan-out;
+         a trip discards nothing — the store already holds only sound
+         rewritings — it just stops the saturation here. *)
+      match Guard.spend guard (List.length live) with
+      | Some cause ->
+          outcome := Guard_exhausted cause;
+          {
+            Saturation.next = [];
+            tally = Saturation.Stats.zero;
+            stop = true;
+            commit = false;
+          }
+      | None -> (
+          let expansions =
+            Parallel.Pool.map_list ~guard ctx.Saturation.pool
+              (fun q' -> Piece_unifier.one_step_theory q' compiled)
+              live
+          in
+          let expanded = List.length live in
+          steps := !steps + expanded;
+          match Guard.status guard with
+          | Some cause ->
+              (* The fan-out observed a trip: keep the store (all its
+                 disjuncts are sound) but skip the merge. *)
+              outcome := Guard_exhausted cause;
+              {
+                Saturation.next = [];
+                tally = Saturation.Stats.tally ~expanded ();
+                stop = true;
+                commit = true;
+              }
+          | None ->
+              (* The merge runs on the coordinator (so the dedup's plain
+                 hash table is safe), folding candidates in the fixed
+                 frontier order. *)
+              let added = ref [] in
+              let generated = ref 0 in
+              let admitted = ref 0 in
+              let deduped = ref 0 in
+              let stop = ref false in
+              (try
+                 List.iter
+                   (List.iter (fun q' ->
+                        incr generated;
+                        if Cq.size q' > budget.max_atoms_per_disjunct
+                        then begin
+                          outcome := Size_budget;
+                          raise Budget_hit
+                        end;
+                        if seen_before q' then begin
+                          incr dedup_hits;
+                          incr deduped
+                        end
+                        else
+                          match store.insert q' with
+                          | `Added ->
+                              incr admitted;
+                              added := q' :: !added;
+                              if store.cardinal () > budget.max_disjuncts
+                              then begin
+                                outcome := Disjunct_budget;
+                                raise Budget_hit
+                              end
+                          | `Subsumed -> incr deduped))
+                   expansions
+               with Budget_hit -> stop := true);
+              {
+                Saturation.next = List.rev !added;
+                tally =
+                  Saturation.Stats.tally ~expanded ~generated:!generated
+                    ~admitted:!admitted ~deduped:!deduped ();
+                stop = !stop;
+                commit = true;
+              })
+  in
+  let verdict, kernel_stats =
+    Saturation.run ~pool ~guard
+      ~drain:
+        (Saturation.At_most
+           (fun () ->
+             (* The remaining step budget bounds the batch; a size-1 pool
+                expands one disjunct per round — exactly the sequential
+                worklist-pop semantics. *)
+             let r = budget.max_steps - !steps in
+             if jobs = 1 then min 1 r else r))
+      ~record_rounds:(jobs > 1) ~init:[ q0 ] ~step ()
+  in
+  let outcome =
+    match verdict with
+    | Saturation.Saturated -> !outcome (* Complete *)
+    | Saturation.Stopped ->
+        if !outcome = Complete then Step_budget else !outcome
+    | Saturation.Tripped cause ->
+        if !outcome = Complete then Guard_exhausted cause else !outcome
+  in
+  finalize ~aux ~ucq:(store.to_ucq ()) ~outcome ~steps:!steps
+    ~generated:kernel_stats.Saturation.Stats.totals.Saturation.Stats.generated
     ~containment_checks:(Atomic.get checks)
-    ~dedup_hits:!dedup_hits ~memo0 ~ix0 ~solver0
-
-let rewrite ?pool ?guard ?(budget = default_budget) theory q =
-  let guard = match guard with Some g -> g | None -> Guard.unlimited () in
-  match pool with
-  | Some p when Parallel.Pool.size p > 1 ->
-      rewrite_parallel ~pool:p ~guard ~budget theory q
-  | Some _ | None -> rewrite_sequential ~guard ~budget theory q
+    ~dedup_hits:!dedup_hits ~kernel_stats ~memo0 ~ix0 ~solver0
 
 let outcome_of_result r ~(guard : Guard.t) =
   match r.outcome with

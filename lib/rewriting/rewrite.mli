@@ -56,6 +56,12 @@ type result = {
       (** containment checks this run whose pattern split into two or
           more Gaifman components and were solved per component (0 when
           [Containment.set_decomposition] is off) *)
+  kernel_stats : Saturation.Stats.t;
+      (** the saturation kernel's counters for the run ([expanded] =
+          frontier disjuncts expanded, i.e. [steps]; [admitted] =
+          disjuncts that entered the store); per-round entries are
+          recorded only for pools of size > 1, where rounds are
+          batch-synchronous sweeps *)
 }
 
 val rewrite :
@@ -66,19 +72,22 @@ val rewrite :
     Rules with empty bodies or domain variables are skipped by the piece
     rewriter — for [T_d]-style theories use the marked-query engine.
 
-    With a pool of size > 1 the saturation runs batch-synchronously: the
-    live frontier's piece-unifier expansions and the per-candidate
-    containment checks fan out across the pool, with candidates merged in
-    a fixed frontier order. The result is independent of the domain count
-    and {!Ucq.equivalent} to the sequential rewriting (on [Complete] both
+    The saturation is one {!Saturation.run} instance whose batch size is
+    set by the pool: a size-1 pool expands one live disjunct per kernel
+    round (the sequential worklist-pop reference semantics), a pool of
+    size > 1 expands the whole live frontier batch-synchronously, with
+    the piece-unifier expansions and the per-candidate containment checks
+    fanned out across the pool and candidates merged in a fixed frontier
+    order. The result is independent of the domain count and
+    {!Ucq.equivalent} to the sequential rewriting (on [Complete] both
     are the unique minimal rewriting up to equivalence), though disjunct
     order and budget-tripping points may differ.
 
-    The guard is checkpointed (and charged one fuel unit) per worklist
-    pop — per expanded frontier disjunct in the batch-synchronous engine —
-    and polled every {!Guard.poll_mask}+1 containment checks inside the
-    minimization, so deadline and memory trips surface promptly even when
-    individual steps are containment-heavy. *)
+    The guard is checkpointed at every kernel round boundary and charged
+    one fuel unit per expanded live disjunct, and polled every
+    {!Guard.poll_mask}+1 containment checks inside the minimization, so
+    deadline and memory trips surface promptly even when individual
+    steps are containment-heavy. *)
 
 val outcome_of_result : result -> guard:Guard.t -> (result, result) Guard.outcome
 (** The unified verdict for a finished run: [Complete] on saturation,

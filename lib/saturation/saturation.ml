@@ -1,0 +1,193 @@
+module Stats = struct
+  type tally = {
+    expanded : int;
+    generated : int;
+    admitted : int;
+    deduped : int;
+  }
+
+  let zero = { expanded = 0; generated = 0; admitted = 0; deduped = 0 }
+
+  let add a b =
+    {
+      expanded = a.expanded + b.expanded;
+      generated = a.generated + b.generated;
+      admitted = a.admitted + b.admitted;
+      deduped = a.deduped + b.deduped;
+    }
+
+  let tally ?(expanded = 0) ?(generated = 0) ?(admitted = 0) ?(deduped = 0)
+      () =
+    { expanded; generated; admitted; deduped }
+
+  type round = {
+    index : int;
+    frontier : int;
+    tally : tally;
+    wall_s : float;
+    domain_busy_s : float array;
+  }
+
+  type t = {
+    rounds : int;
+    totals : tally;
+    wall_s : float;
+    per_round : round array;
+  }
+
+  let pp_busy ppf busy =
+    if Array.exists (fun b -> b > 0.0005) busy then begin
+      Format.fprintf ppf " [busy";
+      Array.iter (fun b -> Format.fprintf ppf " %.3f" b) busy;
+      Format.fprintf ppf "]"
+    end
+
+  let pp_round ppf r =
+    Format.fprintf ppf
+      "round %d: frontier %d, expanded %d -> %d generated, %d admitted (%d \
+       deduped), %.3fs%a"
+      r.index r.frontier r.tally.expanded r.tally.generated r.tally.admitted
+      r.tally.deduped r.wall_s pp_busy r.domain_busy_s
+
+  let pp ppf s =
+    Array.iter (fun r -> Format.fprintf ppf "%a@\n" pp_round r) s.per_round;
+    Format.fprintf ppf
+      "total: %d round%s, expanded %d -> %d generated, %d admitted (%d \
+       deduped), %.3fs"
+      s.rounds
+      (if s.rounds = 1 then "" else "s")
+      s.totals.expanded s.totals.generated s.totals.admitted s.totals.deduped
+      s.wall_s
+end
+
+type verdict = Saturated | Stopped | Tripped of Guard.cause
+
+type ctx = { pool : Parallel.Pool.t; guard : Guard.t; round : int }
+
+type 'w step_result = {
+  next : 'w list;
+  tally : Stats.tally;
+  stop : bool;
+  commit : bool;
+}
+
+type drain = All | At_most of (unit -> int)
+
+(* Tail-recursive frontier split: [split_batch n l] is [(first n, rest)]
+   in order. A saturation frontier can hold millions of items, too deep
+   for non-tail recursion. *)
+let split_batch n l =
+  let rec go n acc = function
+    | [] -> (List.rev acc, [])
+    | rest when n <= 0 -> (List.rev acc, rest)
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] l
+
+(* First [k] items of the deque [front @ List.rev back], plus the
+   remainder in the same representation. Tail-recursive. *)
+let take k front back =
+  let rec go k acc front back =
+    if k <= 0 then (List.rev acc, front, back)
+    else
+      match front with
+      | x :: rest -> go (k - 1) (x :: acc) rest back
+      | [] -> if back = [] then (List.rev acc, [], []) else go k acc (List.rev back) []
+  in
+  go k [] front back
+
+let run ?(pool = Parallel.Pool.sequential) ?guard ?(drain = All)
+    ?(max_rounds = max_int) ?(record_rounds = true) ~init ~step () =
+  let guard = match guard with Some g -> g | None -> Guard.unlimited () in
+  let rounds = ref 0 in
+  let totals = ref Stats.zero in
+  let per_round = ref [] in
+  let t_start = Unix.gettimeofday () in
+  let finish verdict =
+    ( verdict,
+      {
+        Stats.rounds = !rounds;
+        totals = !totals;
+        wall_s = Unix.gettimeofday () -. t_start;
+        per_round = Array.of_list (List.rev !per_round);
+      } )
+  in
+  (* The worklist is a front/back deque: rounds consume from [front],
+     their productions are pushed (reversed) onto [back], and the back is
+     reversed in when the front drains — overall FIFO, with every
+     operation tail-recursive and constant-stack. *)
+  let rec loop front back =
+    match (front, back) with
+    | [], [] -> finish Saturated
+    | [], back -> loop (List.rev back) []
+    | front, back -> (
+        if !rounds >= max_rounds then finish Stopped
+        else
+          match Guard.check guard with
+          | Some cause ->
+              (* A boundary trip costs nothing: the round never ran. *)
+              finish (Tripped cause)
+          | None -> (
+              let want =
+                match drain with All -> -1 | At_most f -> f ()
+              in
+              if (match drain with All -> false | At_most _ -> want <= 0)
+              then finish Stopped
+              else
+                let batch, front, back =
+                  match drain with
+                  | All ->
+                      (List.rev_append (List.rev front) (List.rev back), [], [])
+                  | At_most _ -> take want front back
+                in
+                let ctx = { pool; guard; round = !rounds + 1 } in
+                let busy0 =
+                  if record_rounds then Parallel.Pool.busy_times pool
+                  else [||]
+                in
+                let t0 = if record_rounds then Unix.gettimeofday () else 0. in
+                let res = step ctx batch in
+                if not res.commit then
+                  (* Aborted mid-round: the partial products are unsound,
+                     so the round is discarded wholesale — the
+                     accumulated state stays an exact prefix. *)
+                  match Guard.status guard with
+                  | Some cause -> finish (Tripped cause)
+                  | None -> finish Stopped
+                else begin
+                  incr rounds;
+                  totals := Stats.add !totals res.tally;
+                  if record_rounds then begin
+                    let busy1 = Parallel.Pool.busy_times pool in
+                    per_round :=
+                      {
+                        Stats.index = !rounds;
+                        frontier = List.length batch;
+                        tally = res.tally;
+                        wall_s = Unix.gettimeofday () -. t0;
+                        domain_busy_s =
+                          Array.init (Array.length busy1) (fun i ->
+                              busy1.(i) -. busy0.(i));
+                      }
+                      :: !per_round
+                  end;
+                  let back = List.rev_append res.next back in
+                  (* A trip raised inside the committed round (typically
+                     by the step's own [Guard.spend]) stops the run with
+                     the round kept. *)
+                  match Guard.status guard with
+                  | Some cause -> finish (Tripped cause)
+                  | None ->
+                      if res.stop then finish Stopped else loop front back
+                end))
+  in
+  loop init []
+
+let outcome verdict ~guard ~complete ~partial ~stopped_cause =
+  match verdict with
+  | Saturated -> Guard.Complete complete
+  | Tripped cause ->
+      Guard.Exhausted { partial; cause; progress = Guard.progress guard }
+  | Stopped ->
+      Guard.Exhausted
+        { partial; cause = stopped_cause; progress = Guard.progress guard }

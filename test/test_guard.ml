@@ -110,6 +110,218 @@ let test_faults_deterministic () =
   Alcotest.(check bool) "none is inactive" false (Guard.Faults.active ())
 
 (* ------------------------------------------------------------------ *)
+(* The saturation kernel                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tally = Saturation.Stats.tally
+
+let verdict_str = function
+  | Saturation.Saturated -> "saturated"
+  | Saturation.Stopped -> "stopped"
+  | Saturation.Tripped c -> "tripped:" ^ Guard.cause_to_string c
+
+let check_verdict msg expected got =
+  Alcotest.(check string) msg (verdict_str expected) (verdict_str got)
+
+let test_kernel_saturates () =
+  (* Count down from 5: six committed rounds (5..0), then a drained
+     worklist. *)
+  let step (_ : Saturation.ctx) batch =
+    let next = List.concat_map (fun n -> if n = 0 then [] else [ n - 1 ]) batch in
+    {
+      Saturation.next;
+      tally =
+        tally ~expanded:(List.length batch) ~generated:(List.length next)
+          ~admitted:(List.length next) ();
+      stop = false;
+      commit = true;
+    }
+  in
+  let verdict, stats = Saturation.run ~init:[ 5 ] ~step () in
+  check_verdict "fixpoint" Saturation.Saturated verdict;
+  Alcotest.(check int) "rounds" 6 stats.Saturation.Stats.rounds;
+  Alcotest.(check int) "expanded" 6
+    stats.Saturation.Stats.totals.Saturation.Stats.expanded;
+  Alcotest.(check int) "admitted" 5
+    stats.Saturation.Stats.totals.Saturation.Stats.admitted;
+  Alcotest.(check int) "per-round entries" 6
+    (Array.length stats.Saturation.Stats.per_round);
+  Array.iteri
+    (fun i (r : Saturation.Stats.round) ->
+      Alcotest.(check int) "1-based index" (i + 1) r.Saturation.Stats.index;
+      Alcotest.(check int) "frontier of 1" 1 r.Saturation.Stats.frontier)
+    stats.Saturation.Stats.per_round;
+  (* Empty init never calls the step. *)
+  let verdict0, stats0 =
+    Saturation.run ~init:[]
+      ~step:(fun _ _ -> Alcotest.fail "step called on empty init")
+      ()
+  in
+  check_verdict "empty init" Saturation.Saturated verdict0;
+  Alcotest.(check int) "no rounds" 0 stats0.Saturation.Stats.rounds
+
+let test_kernel_stops () =
+  let forever (_ : Saturation.ctx) batch =
+    {
+      Saturation.next = batch;
+      tally = tally ~expanded:(List.length batch) ();
+      stop = false;
+      commit = true;
+    }
+  in
+  (* Client stop flag. *)
+  let v1, s1 =
+    Saturation.run ~init:[ 0 ]
+      ~step:(fun ctx batch -> { (forever ctx batch) with Saturation.stop = true })
+      ()
+  in
+  check_verdict "stop flag" Saturation.Stopped v1;
+  Alcotest.(check int) "stop round committed" 1 s1.Saturation.Stats.rounds;
+  (* max_rounds. *)
+  let v2, s2 = Saturation.run ~max_rounds:3 ~init:[ 0 ] ~step:forever () in
+  check_verdict "max_rounds" Saturation.Stopped v2;
+  Alcotest.(check int) "three rounds ran" 3 s2.Saturation.Stats.rounds;
+  (* Drain hook answering non-positive. *)
+  let v3, s3 =
+    Saturation.run
+      ~drain:(Saturation.At_most (fun () -> 0))
+      ~init:[ 0 ] ~step:forever ()
+  in
+  check_verdict "dry drain hook" Saturation.Stopped v3;
+  Alcotest.(check int) "no round ran" 0 s3.Saturation.Stats.rounds
+
+let test_kernel_trips () =
+  let forever (_ : Saturation.ctx) batch =
+    {
+      Saturation.next = batch;
+      tally = tally ~expanded:(List.length batch) ();
+      stop = false;
+      commit = true;
+    }
+  in
+  (* A pre-tripped guard stops at the first round boundary, for free. *)
+  let g = Guard.create ~fuel:0 () in
+  ignore (Guard.spend g 1);
+  let v1, s1 = Saturation.run ~guard:g ~init:[ 0 ] ~step:forever () in
+  check_verdict "boundary trip" (Saturation.Tripped Guard.Fuel) v1;
+  Alcotest.(check int) "no round ran" 0 s1.Saturation.Stats.rounds;
+  (* A [spend] trip inside a committed round keeps that round. *)
+  let g2 = Guard.create ~fuel:2 () in
+  let v2, s2 =
+    Saturation.run ~guard:g2 ~init:[ 0 ]
+      ~step:(fun ctx batch ->
+        ignore (Guard.spend g2 1);
+        forever ctx batch)
+      ()
+  in
+  check_verdict "spend trip, round kept" (Saturation.Tripped Guard.Fuel) v2;
+  Alcotest.(check int) "tripping round committed" 3 s2.Saturation.Stats.rounds;
+  (* [commit = false] discards the round wholesale. *)
+  let g3 = Guard.create ~fuel:2 () in
+  let v3, s3 =
+    Saturation.run ~guard:g3 ~init:[ 0 ]
+      ~step:(fun ctx batch ->
+        match Guard.spend g3 1 with
+        | Some _ ->
+            {
+              Saturation.next = [];
+              tally = tally ~expanded:99 ();
+              stop = false;
+              commit = false;
+            }
+        | None -> forever ctx batch)
+      ()
+  in
+  check_verdict "aborted round" (Saturation.Tripped Guard.Fuel) v3;
+  Alcotest.(check int) "discarded round not counted" 2
+    s3.Saturation.Stats.rounds;
+  Alcotest.(check int) "discarded tally not accumulated" 2
+    s3.Saturation.Stats.totals.Saturation.Stats.expanded
+
+let test_kernel_outcome () =
+  let g = Guard.unlimited () in
+  (match
+     Saturation.outcome Saturation.Saturated ~guard:g ~complete:"c"
+       ~partial:"p" ~stopped_cause:Guard.Fuel
+   with
+  | Guard.Complete s -> Alcotest.(check string) "saturated = complete" "c" s
+  | Guard.Exhausted _ -> Alcotest.fail "Saturated mapped to Exhausted");
+  (match
+     Saturation.outcome Saturation.Stopped ~guard:g ~complete:"c" ~partial:"p"
+       ~stopped_cause:Guard.Fuel
+   with
+  | Guard.Complete _ -> Alcotest.fail "Stopped mapped to Complete"
+  | Guard.Exhausted { partial; cause = c; _ } ->
+      Alcotest.(check string) "partial threaded" "p" partial;
+      Alcotest.check cause "stopped cause" Guard.Fuel c);
+  match
+    Saturation.outcome
+      (Saturation.Tripped Guard.Deadline)
+      ~guard:g ~complete:"c" ~partial:"p" ~stopped_cause:Guard.Fuel
+  with
+  | Guard.Complete _ -> Alcotest.fail "Tripped mapped to Complete"
+  | Guard.Exhausted { cause = c; _ } ->
+      Alcotest.check cause "trip cause wins" Guard.Deadline c
+
+let test_kernel_fifo () =
+  (* One-at-a-time drain: new items queue behind the remaining frontier,
+     so the expansion order is breadth-first, like the worklists the
+     rewriting and the marked process used to hand-roll. *)
+  let order = ref [] in
+  let step (_ : Saturation.ctx) batch =
+    let n = match batch with [ n ] -> n | _ -> Alcotest.fail "batch size" in
+    order := n :: !order;
+    {
+      Saturation.next = (if n < 10 then [ n + 10 ] else []);
+      tally = tally ~expanded:1 ();
+      stop = false;
+      commit = true;
+    }
+  in
+  let v, _ =
+    Saturation.run
+      ~drain:(Saturation.At_most (fun () -> 1))
+      ~init:[ 1; 2; 3 ] ~step ()
+  in
+  check_verdict "drained" Saturation.Saturated v;
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 11; 12; 13 ]
+    (List.rev !order)
+
+let test_kernel_million_item_frontier () =
+  (* The tail-recursion acceptance bar: a million-item frontier must
+     drain without stack overflow, whole (drain All) and in chunks. *)
+  let n = 1_000_000 in
+  let rec build i acc = if i = 0 then acc else build (i - 1) (i :: acc) in
+  let init = build n [] in
+  let consume (_ : Saturation.ctx) batch =
+    {
+      Saturation.next = [];
+      tally = tally ~expanded:(List.length batch) ();
+      stop = false;
+      commit = true;
+    }
+  in
+  let v1, s1 =
+    Saturation.run ~record_rounds:false ~init ~step:consume ()
+  in
+  check_verdict "one big round" Saturation.Saturated v1;
+  Alcotest.(check int) "single round" 1 s1.Saturation.Stats.rounds;
+  Alcotest.(check int) "all expanded" n
+    s1.Saturation.Stats.totals.Saturation.Stats.expanded;
+  let v2, s2 =
+    Saturation.run
+      ~drain:(Saturation.At_most (fun () -> 100_000))
+      ~record_rounds:false ~init ~step:consume ()
+  in
+  check_verdict "chunked" Saturation.Saturated v2;
+  Alcotest.(check int) "ten chunks" 10 s2.Saturation.Stats.rounds;
+  Alcotest.(check int) "all expanded in chunks" n
+    s2.Saturation.Stats.totals.Saturation.Stats.expanded;
+  let first, rest = Saturation.split_batch (n - 1) init in
+  Alcotest.(check int) "split_batch prefix" (n - 1) (List.length first);
+  Alcotest.(check (list int)) "split_batch remainder" [ n ] rest
+
+(* ------------------------------------------------------------------ *)
 (* Chase integration                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -223,6 +435,18 @@ let () =
         [
           Alcotest.test_case "deterministic schedules" `Quick
             test_faults_deterministic;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "saturation fixpoint + stats" `Quick
+            test_kernel_saturates;
+          Alcotest.test_case "client stops" `Quick test_kernel_stops;
+          Alcotest.test_case "guard trips" `Quick test_kernel_trips;
+          Alcotest.test_case "outcome packaging" `Quick test_kernel_outcome;
+          Alcotest.test_case "one-at-a-time drain is FIFO" `Quick
+            test_kernel_fifo;
+          Alcotest.test_case "1M-item frontier drains" `Quick
+            test_kernel_million_item_frontier;
         ] );
       ( "integration",
         [

@@ -217,6 +217,68 @@ let prop_parallel_rewriting_equivalent =
       | _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* The naive reference rewriting: a direct reading of Theorem 1        *)
+(* ------------------------------------------------------------------ *)
+
+(* One queue pop per step, [Ucq.add_minimal] as the store — no saturation
+   kernel, no canon-id dedup, no liveness probe, no budgets beyond the
+   pop count. Subsumed entries are expanded anyway (harmless: their
+   rewritings are covered too). Returns [None] when [max_steps] pops did
+   not drain the queue. *)
+let naive_rewrite ~max_steps theory q =
+  let compiled, aux = Rewriting.Single_head.compile theory in
+  let queue = Queue.create () in
+  let store = ref Ucq.empty in
+  let push q' =
+    let u, verdict = Ucq.add_minimal !store q' in
+    store := u;
+    if verdict = `Added then Queue.add q' queue
+  in
+  push (Containment.core_of_query q);
+  let steps = ref 0 in
+  let exception Out_of_steps in
+  match
+    while not (Queue.is_empty queue) do
+      if !steps >= max_steps then raise Out_of_steps;
+      incr steps;
+      let cur = Queue.pop queue in
+      List.iter push (Rewriting.Piece_unifier.one_step_theory cur compiled)
+    done
+  with
+  | () ->
+      Some
+        (Ucq.of_list
+           (List.filter
+              (fun d -> not (Rewriting.Single_head.mentions_aux aux d))
+              (Ucq.disjuncts !store)))
+  | exception Out_of_steps -> None
+
+let prop_kernel_rewriting_matches_naive_reference =
+  (* The kernel-based saturation (both the size-1 pool's one-pop rounds
+     and the -j4 batch-synchronous sweeps) must land on a UCQ equivalent
+     to the naive queue/add_minimal reference whenever both complete. *)
+  QCheck.Test.make ~count
+    ~name:"kernel rewriting = naive queue/add_minimal reference (j1, j4)"
+    QCheck.(pair theory_arb query_arb)
+    (fun (trules, qatoms) ->
+      let theory = decode_theory trules in
+      let q = decode_query qatoms in
+      match naive_rewrite ~max_steps:150 theory q with
+      | None -> true
+      | Some reference ->
+          List.for_all
+            (fun pool ->
+              let r =
+                Rewriting.Rewrite.rewrite ?pool ~budget:rewrite_budget theory
+                  q
+              in
+              match r.Rewriting.Rewrite.outcome with
+              | Rewriting.Rewrite.Complete ->
+                  Ucq.equivalent reference r.Rewriting.Rewrite.ucq
+              | _ -> true)
+            [ None; Some pool4 ])
+
+(* ------------------------------------------------------------------ *)
 (* Subsumption index & decomposed containment vs the reference engines *)
 (* ------------------------------------------------------------------ *)
 
@@ -450,7 +512,7 @@ let prop_faulty_rewriting_is_sound =
                     (fun d' -> Containment.implies dq d')
                     (Ucq.disjuncts full.Rewriting.Rewrite.ucq))
                 (Ucq.disjuncts partial.Rewriting.Rewrite.ucq))
-            [ Parallel.Pool.sequential; pool3 ]
+            [ Parallel.Pool.sequential; pool3; pool4 ]
       | _ -> true)
 
 let prop_pool_absorbs_injected_faults =
@@ -543,6 +605,7 @@ let () =
             prop_parallel_chase_deterministic;
             prop_parallel_oblivious_deterministic;
             prop_parallel_rewriting_equivalent;
+            prop_kernel_rewriting_matches_naive_reference;
             prop_indexed_store_matches_reference;
             prop_decomposed_implies_matches_monolithic;
             prop_rewriting_answers_like_chase;

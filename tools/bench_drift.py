@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON snapshots for wall-clock drift.
+
+Usage: bench_drift.py BASELINE AFTER [--tolerance 0.05] [--floor 0.02]
+
+Every numeric field whose name ends in "_s" is a wall-clock measurement;
+the script sums them per file and fails (exit 1) when AFTER's total
+exceeds BASELINE's by more than the tolerance. Totals below the floor
+(both files) pass unconditionally: smoke-sized workloads finish in
+milliseconds and their jitter is not a regression signal. A missing
+BASELINE is seeded from AFTER (exit 0), so the first run of a fresh
+checkout records the snapshot the next run compares against.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def walk_seconds(node, path=""):
+    if isinstance(node, dict):
+        for k, v in node.items():
+            yield from walk_seconds(v, f"{path}.{k}" if path else k)
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from walk_seconds(v, f"{path}[{i}]")
+    elif isinstance(node, (int, float)) and path.rsplit(".", 1)[-1].endswith("_s"):
+        yield path, float(node)
+
+
+def total_seconds(path):
+    with open(path) as f:
+        data = json.load(f)
+    fields = dict(walk_seconds(data))
+    return sum(fields.values()), fields
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("after")
+    ap.add_argument("--tolerance", type=float, default=0.05)
+    ap.add_argument("--floor", type=float, default=0.02)
+    args = ap.parse_args()
+
+    try:
+        base_total, base_fields = total_seconds(args.baseline)
+    except FileNotFoundError:
+        shutil.copyfile(args.after, args.baseline)
+        print(f"bench_drift: no baseline at {args.baseline}; seeded it from "
+              f"{args.after} — rerun to compare")
+        return 0
+
+    after_total, after_fields = total_seconds(args.after)
+    if not base_fields or not after_fields:
+        print("bench_drift: no *_s wall-clock fields found", file=sys.stderr)
+        return 1
+
+    drift = (after_total - base_total) / base_total if base_total > 0 else 0.0
+    print(f"bench_drift: {args.baseline} {base_total:.4f}s -> "
+          f"{args.after} {after_total:.4f}s ({drift:+.1%}, "
+          f"tolerance {args.tolerance:.0%})")
+    for key in sorted(set(base_fields) | set(after_fields)):
+        b, a = base_fields.get(key), after_fields.get(key)
+        if b is not None and a is not None:
+            print(f"  {key}: {b:.4f}s -> {a:.4f}s")
+        else:
+            print(f"  {key}: only in {'baseline' if a is None else 'after'}")
+
+    if base_total < args.floor and after_total < args.floor:
+        print(f"bench_drift: both totals under the {args.floor}s floor — "
+              "too small to measure drift, passing")
+        return 0
+    if drift > args.tolerance:
+        print(f"bench_drift: FAIL — slowdown {drift:+.1%} exceeds "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print("bench_drift: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
