@@ -1,4 +1,4 @@
-.PHONY: all build test check check-faults check-kernel bench bench-smoke examples doc clean fmt
+.PHONY: all build test check check-faults check-kernel check-portfolio bench bench-smoke examples doc clean fmt
 
 all: build
 
@@ -59,6 +59,18 @@ check-kernel: build
 	  python3 tools/bench_drift.py bench-smoke-rw.json bench-kernel-rw.json \
 	    --tolerance $(DRIFT_TOL) || exit 1; \
 	done
+
+# Portfolio gate (mirrored by the CI portfolio job): the checker /
+# selector / minimizer / repro unit suites, the zoo classification
+# cross-check in the paper suite, then a differential fuzz smoke —
+# 200 samples at each of three seeds plus a 500-sample campaign at
+# seed 42, all via the multi-seed sweep tool. Any disagreement is
+# delta-debugged to a .repro under _fuzz/ (CI uploads them).
+check-portfolio: build
+	dune exec test/test_portfolio.exe
+	dune exec test/test_paper.exe
+	dune exec tools/fuzz_campaign.exe -- --count 200 --dir _fuzz 1 7 42
+	dune exec tools/fuzz_campaign.exe -- --count 500 --dir _fuzz 42
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt

@@ -22,6 +22,7 @@
      par                   parallel layer determinism & scaling
      ix                    incremental indexing / memoization A/B
      rw                    subsumption index + decomposed containment A/B
+     po                    portfolio selection over the zoo + fuzz smoke
      perf                  bechamel micro-benchmarks
 
    Usage: dune exec bench/main.exe [-- e1 e2 ... | all | perf] *)
@@ -1056,6 +1057,36 @@ let rw () =
       row "  json snapshot written to %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* po — portfolio strategy selection + differential fuzz smoke         *)
+(* ------------------------------------------------------------------ *)
+
+let po () =
+  header "po" "portfolio: checker decisions across the zoo + fuzz campaign"
+    "every theory classifies, routes soundly; campaign: zero disagreements";
+  let smoke = Sys.getenv_opt "FRONTIER_BENCH_SMOKE" <> None in
+  row "  %-12s %-20s %-10s %s@." "theory" "strategy" "time" "reasons";
+  List.iter
+    (fun (name, theory) ->
+      let plan, dt = time_it (fun () -> Portfolio.plan theory) in
+      row "  %-12s %-20s %-10s %s@." name
+        (Portfolio.Strategy.strategy_name plan.Portfolio.Strategy.strategy)
+        (Printf.sprintf "%.1fms" (dt *. 1000.))
+        (String.concat "; " plan.Portfolio.Strategy.reasons))
+    [
+      ("T_a", Theories.Zoo.t_a); ("T_p", Theories.Zoo.t_p);
+      ("T_sticky", Theories.Zoo.t_sticky);
+      ("T_nonbdd", Theories.Zoo.t_nonbdd); ("T_d", Theories.Zoo.t_d);
+      ("T_d^3", Theories.Zoo.t_dk 3); ("T_d_noloop", Theories.Zoo.t_d_noloop);
+      ("T_loopcut", Theories.Zoo.t_loopcut); ("T_c", Theories.Zoo.t_c);
+      ("T_e28[3]", Theories.Zoo.t_e28 3); ("T_spouse", Theories.Zoo.t_spouse);
+      ("T_ex66", Theories.Zoo.t_ex66);
+    ];
+  let count = if smoke then 60 else 500 in
+  let outcome = Portfolio.Fuzz.campaign ~seed:42 ~count () in
+  row "@.  %a" Portfolio.Fuzz.pp_outcome outcome;
+  row "  campaign clean: %b@." (outcome.Portfolio.Fuzz.failures = [])
+
+(* ------------------------------------------------------------------ *)
 (* perf — bechamel micro-benchmarks                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1136,7 +1167,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("par", par); ("ix", ix);
-    ("rw", rw); ("perf", perf);
+    ("rw", rw); ("po", po); ("perf", perf);
   ]
 
 let () =

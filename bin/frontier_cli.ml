@@ -5,7 +5,9 @@
      rewrite   compute the UCQ rewriting of a query
      answer    certain answers, via the chase and (if possible) rewriting
      classify  syntactic class report for a theory
-     analyze   locality / distancing / termination probes on an instance *)
+     analyze   locality / distancing / termination probes on an instance
+     portfolio class checkers + auto-strategy selection (and execution)
+     fuzz      seeded differential fuzzing campaign across the engines *)
 
 open Cmdliner
 
@@ -500,6 +502,158 @@ let analyze_cmd =
       const run $ theory_arg $ instance_arg $ depth_arg $ max_l $ timeout_arg
       $ memory_arg)
 
+let portfolio_cmd =
+  let run theory instance query probe stats jobs timeout max_memory_mb =
+    handle (fun () ->
+        with_pool jobs (fun pool ->
+        with_guard ~timeout ~max_memory_mb (fun guard ->
+        let t = parse_theory theory in
+        let plan = Frontier.Portfolio.plan ~pool ~guard ~probe t in
+        Fmt.pr "strategy: %a (%s)@."
+          Frontier.Portfolio.Strategy.pp_strategy
+          plan.Frontier.Portfolio.Strategy.strategy
+          (String.concat "; " plan.Frontier.Portfolio.Strategy.reasons);
+        Fmt.pr "%a"
+          Frontier.Portfolio.Checkers.pp_report
+          plan.Frontier.Portfolio.Strategy.report;
+        if stats then
+          List.iter
+            (fun (name, seconds) ->
+              Fmt.pr "checker %-16s %.6fs@." name seconds)
+            plan.Frontier.Portfolio.Strategy.report
+              .Frontier.Portfolio.Checkers.timings;
+        (match (instance, query) with
+        | Some instance, Some query ->
+            let d = parse_instance instance and q = parse_query query in
+            let a = Frontier.Portfolio.execute ~pool ~guard plan t d q in
+            Fmt.pr "answers via %s%s (%s, %d tuples):@."
+              (Frontier.Portfolio.Strategy.strategy_name
+                 a.Frontier.Portfolio.Strategy.used)
+              (if a.Frontier.Portfolio.Strategy.fell_back then
+                 " [fell back]"
+               else "")
+              (if a.Frontier.Portfolio.Strategy.exact then "exact"
+               else "sound but possibly incomplete")
+              (List.length a.Frontier.Portfolio.Strategy.tuples);
+            List.iter
+              (fun tuple ->
+                Fmt.pr "  (%a)@."
+                  (Fmt.list ~sep:(Fmt.any ", ") Frontier.Term.pp)
+                  tuple)
+              a.Frontier.Portfolio.Strategy.tuples;
+            if stats then
+              List.iter
+                (fun (name, kernel) ->
+                  Fmt.pr "engine %s:@.%a@." name
+                    Frontier.Saturation.Stats.pp kernel)
+                a.Frontier.Portfolio.Strategy.attempts
+        | Some _, None | None, Some _ ->
+            Fmt.epr
+              "portfolio: --instance and --query must be given together@.";
+            exit exit_internal
+        | None, None -> ());
+        finish guard)))
+  in
+  let instance_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "d"; "instance" ]
+          ~doc:
+            "Optional instance (with --query): execute the selected \
+             strategy and print the certain answers.")
+  in
+  let query_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ]
+          ~doc:"Optional query (with --instance); see the answer command.")
+  in
+  let probe =
+    Arg.(
+      value & flag
+      & info [ "probe" ]
+          ~doc:
+            "Also run the empirical BDD probe (atomic-query rewritings + \
+             uniform-bound series over random instances). Costs chases \
+             and rewritings; off by default.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print per-checker wall-clock timings and, when executing, \
+             each attempted engine's saturation-kernel counters.")
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:
+         "Classify a theory with the portfolio checkers and select (or \
+          run) the cheapest sound strategy")
+    Term.(
+      const run $ theory_arg $ instance_opt $ query_opt $ probe $ stats
+      $ jobs_arg $ timeout_arg $ memory_arg)
+
+let fuzz_cmd =
+  let run seed count dir stats jobs timeout max_memory_mb =
+    handle (fun () ->
+        with_pool jobs (fun pool ->
+        with_guard ~timeout ~max_memory_mb (fun guard ->
+        let outcome =
+          Frontier.Portfolio.Fuzz.campaign ~pool ~guard ?dir ~seed ~count ()
+        in
+        Fmt.pr "%a" Frontier.Portfolio.Fuzz.pp_outcome outcome;
+        if stats then
+          List.iter
+            (fun f ->
+              List.iter
+                (fun a ->
+                  Fmt.pr "  sample %d arm %s: %s, %d answers@."
+                    f.Frontier.Portfolio.Fuzz.sample
+                      .Frontier.Portfolio.Fuzz.index
+                    a.Frontier.Portfolio.Fuzz.arm
+                    (if a.Frontier.Portfolio.Fuzz.exact then "exact"
+                     else "inexact")
+                    (List.length a.Frontier.Portfolio.Fuzz.answers))
+                f.Frontier.Portfolio.Fuzz.arms)
+            outcome.Frontier.Portfolio.Fuzz.failures;
+        finish guard;
+        if outcome.Frontier.Portfolio.Fuzz.failures <> [] then exit 1)))
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Campaign seed; samples are deterministic in it.")
+  in
+  let count =
+    Arg.(value & opt int 200 & info [ "count" ] ~doc:"Number of samples.")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ]
+          ~doc:
+            "Directory for minimized .repro counterexamples (created if \
+             missing). Without it failures are only reported.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print per-arm answers for each failure.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: run every applicable engine on seeded \
+          random theories, cross-check certain answers, and minimize any \
+          disagreement to a .repro file (exit 1)")
+    Term.(
+      const run $ seed $ count $ dir $ stats $ jobs_arg $ timeout_arg
+      $ memory_arg)
+
 let () =
   (* FRONTIER_FAULTS=<seed> turns on deterministic fault injection for the
      whole process — the replayable chaos knob the CI fault matrix uses. *)
@@ -515,4 +669,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ chase_cmd; rewrite_cmd; marked_rewrite_cmd; answer_cmd; explain_cmd;
-            classify_cmd; analyze_cmd ]))
+            classify_cmd; analyze_cmd; portfolio_cmd; fuzz_cmd ]))

@@ -42,6 +42,7 @@ module Transform = Theories.Transform
 module Generators = Theories.Generators
 
 module Reasoner = Reasoner
+module Portfolio = Portfolio
 module Pool = Parallel.Pool
 module Saturation = Saturation
 module Guard = Guard

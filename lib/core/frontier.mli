@@ -74,6 +74,14 @@ module Generators = Theories.Generators
 
 module Reasoner = Reasoner
 
+module Portfolio = Portfolio
+(** The strategy portfolio (ROADMAP item 5): class checkers beyond
+    {!Classes} (loop-restricted rules, a BDD probe, [T_d]-shape
+    detection), the [plan]/[execute] auto-selector over the chase,
+    rewriting, and marked-process engines, and the differential fuzzing
+    harness with counterexample minimization ([frontier portfolio] /
+    [frontier fuzz] in the CLI). *)
+
 module Pool = Parallel.Pool
 (** Work-stealing domain pool; pass one to the [?pool] entry points below
     (and to {!Chase_engine.run}, {!Rewrite.rewrite}, ...) to fan the chase

@@ -1,0 +1,290 @@
+open Logic
+
+(* ------------------------------------------------------------------ *)
+(* Loop-restricted rules (conservative core of Asuncion et al.)       *)
+(* ------------------------------------------------------------------ *)
+
+type loop_verdict = {
+  loop_restricted : bool;
+  cyclic_rules : string list;
+  offenders : string list;
+}
+
+let rels_of atoms =
+  List.fold_left
+    (fun acc a -> Symbol.Set.add (Atom.rel a) acc)
+    Symbol.Set.empty atoms
+
+(* edge i -> j: a head relation of rule i feeds rule j's body, or rule j
+   has domain variables and rule i invents terms (the invented terms
+   enlarge the active domain rule j quantifies over). *)
+let dependency_edges rules =
+  let n = Array.length rules in
+  let head_rels = Array.map (fun r -> rels_of (Tgd.head r)) rules in
+  let body_rels = Array.map (fun r -> rels_of (Tgd.body r)) rules in
+  let edges = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let inventing = Tgd.exist_vars rules.(i) <> [] in
+    for j = n - 1 downto 0 do
+      let feeds =
+        Symbol.Set.exists
+          (fun s -> Symbol.Set.mem s body_rels.(j))
+          head_rels.(i)
+      in
+      let feeds_domain = inventing && Tgd.dom_vars rules.(j) <> [] in
+      if feeds || feeds_domain then edges.(i) <- j :: edges.(i)
+    done
+  done;
+  edges
+
+(* Tarjan SCC (rule sets are small; recursion depth = |rules|). *)
+let sccs edges =
+  let n = Array.length edges in
+  let index = Array.make n (-1)
+  and lowlink = Array.make n 0
+  and on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and components = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strong w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      edges.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  !components
+
+let is_linear_datalog r = Tgd.is_linear r && Tgd.is_datalog r
+
+let loop_restricted t =
+  let rules = Array.of_list (Theory.rules t) in
+  let edges = dependency_edges rules in
+  let cyclic = Array.make (Array.length rules) false in
+  List.iter
+    (fun component ->
+      match component with
+      | [ v ] -> if List.mem v edges.(v) then cyclic.(v) <- true
+      | vs -> List.iter (fun v -> cyclic.(v) <- true) vs)
+    (sccs edges);
+  let label i r =
+    match Tgd.name r with "" -> Printf.sprintf "rule#%d" i | n -> n
+  in
+  let cyclic_rules = ref [] and offenders = ref [] in
+  Array.iteri
+    (fun i r ->
+      if cyclic.(i) then begin
+        cyclic_rules := label i r :: !cyclic_rules;
+        if not (is_linear_datalog r) then offenders := label i r :: !offenders
+      end)
+    rules;
+  {
+    loop_restricted = !offenders = [];
+    cyclic_rules = List.rev !cyclic_rules;
+    offenders = List.rev !offenders;
+  }
+
+let pp_loop_verdict ppf v =
+  if v.loop_restricted then
+    Fmt.pf ppf "loop-restricted (cyclic rules: %s)"
+      (match v.cyclic_rules with
+      | [] -> "none"
+      | names -> String.concat ", " names)
+  else
+    Fmt.pf ppf "not loop-restricted (offending cyclic rules: %s)"
+      (String.concat ", " v.offenders)
+
+(* ------------------------------------------------------------------ *)
+(* Rewriter compatibility                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rewriter_compatible t =
+  List.for_all
+    (fun r -> Tgd.body r <> [] && Tgd.dom_vars r = [])
+    (Theory.rules t)
+
+(* ------------------------------------------------------------------ *)
+(* T_d / T_d^K shape detection                                        *)
+(* ------------------------------------------------------------------ *)
+
+type td_shape = Td | Tdk of int
+
+let max_tdk = 8
+
+(* A rule rendering invariant under variable renaming: variables are
+   relabeled in first-occurrence order across dom-vars, body, head. *)
+let canonical_rule_key r =
+  let tbl = Hashtbl.create 8 and counter = ref 0 in
+  let rename t =
+    match t.Term.view with
+    | Term.Var _ -> (
+        match Hashtbl.find_opt tbl t.Term.id with
+        | Some t' -> t'
+        | None ->
+            let t' = Term.var (Printf.sprintf "c%d" !counter) in
+            incr counter;
+            Hashtbl.add tbl t.Term.id t';
+            t')
+    | _ -> t
+  in
+  let pp_atoms = Fmt.list ~sep:(Fmt.any ",") Atom.pp in
+  let dv = List.map rename (Tgd.dom_vars r) in
+  let body = List.map (Atom.map_args rename) (Tgd.body r) in
+  let head = List.map (Atom.map_args rename) (Tgd.head r) in
+  Fmt.str "%a|%a|%a"
+    (Fmt.list ~sep:(Fmt.any ",") Term.pp)
+    dv pp_atoms body pp_atoms head
+
+let theory_key t =
+  List.sort String.compare (List.map canonical_rule_key (Theory.rules t))
+
+let zoo_keys =
+  lazy
+    ((theory_key Theories.Zoo.t_d, Td)
+    :: List.init (max_tdk - 1) (fun i ->
+           let k = i + 2 in
+           (theory_key (Theories.Zoo.t_dk k), Tdk k)))
+
+let td_shape t =
+  let key = theory_key t in
+  List.assoc_opt key (Lazy.force zoo_keys)
+
+(* ------------------------------------------------------------------ *)
+(* BDD probe                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type probe = {
+  certified : bool;
+  atomic : Rewriting.Bdd.probe list;
+  uniform_bound : int option;
+}
+
+let atomic_queries t =
+  let rels =
+    Symbol.Set.elements (Theory.signature t)
+    |> List.filter (fun s -> Symbol.arity s >= 1)
+    |> List.sort (fun a b -> String.compare (Symbol.name a) (Symbol.name b))
+  in
+  List.map
+    (fun s ->
+      let vars =
+        List.init (Symbol.arity s) (fun i ->
+            Term.var (Printf.sprintf "p%d" i))
+      in
+      Cq.make ~free:vars [ Atom.make s vars ])
+    rels
+
+let probe_budget =
+  {
+    Rewriting.Rewrite.max_disjuncts = 120;
+    max_atoms_per_disjunct = 10;
+    max_steps = 400;
+  }
+
+let bdd_probe ?pool ?guard ?(budget = probe_budget) t =
+  let atomic = Rewriting.Bdd.probe ?guard ~budget t (atomic_queries t) in
+  let certified =
+    rewriter_compatible t
+    && atomic <> []
+    && List.for_all
+         (fun p ->
+           p.Rewriting.Bdd.result.Rewriting.Rewrite.outcome
+           = Rewriting.Rewrite.Complete)
+         atomic
+  in
+  let instances =
+    List.filter
+      (fun d -> not (Fact_set.is_empty d))
+      [
+        Theories.Generators.random_instance_for ~seed:11 t ~nodes:4 ~facts:6;
+        Theories.Generators.random_instance_for ~seed:23 t ~nodes:6 ~facts:10;
+      ]
+  in
+  let uniform_bound =
+    match instances with
+    | [] -> None
+    | _ ->
+        fst
+          (Chase.Termination.uniform_bound_on ?pool ?guard ~max_c:8
+             ~max_atoms:20_000 t instances)
+  in
+  { certified; atomic; uniform_bound }
+
+(* ------------------------------------------------------------------ *)
+(* The combined report                                                *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  classes : Theories.Classes.report;
+  loops : loop_verdict;
+  rewriter_ok : bool;
+  td : td_shape option;
+  probe : probe option;
+  timings : (string * float) list;
+}
+
+let timed name f timings =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+  v
+
+let classify ?pool ?guard ?(probe = false) t =
+  let timings = ref [] in
+  let classes = timed "classes" (fun () -> Theories.Classes.classify t) timings in
+  let loops = timed "loop-restricted" (fun () -> loop_restricted t) timings in
+  let rewriter_ok =
+    timed "rewriter-compat" (fun () -> rewriter_compatible t) timings
+  in
+  let td = timed "td-shape" (fun () -> td_shape t) timings in
+  let probe =
+    if probe then
+      Some (timed "bdd-probe" (fun () -> bdd_probe ?pool ?guard t) timings)
+    else None
+  in
+  { classes; loops; rewriter_ok; td; probe; timings = List.rev !timings }
+
+let pp_report ppf r =
+  Fmt.pf ppf "%a@." Theories.Classes.pp_report r.classes;
+  Fmt.pf ppf "%a@." pp_loop_verdict r.loops;
+  Fmt.pf ppf "piece-rewriter compatible: %b@." r.rewriter_ok;
+  (match r.td with
+  | Some Td -> Fmt.pf ppf "shape: T_d (levels G, R)@."
+  | Some (Tdk k) -> Fmt.pf ppf "shape: T_d^%d (levels I1..I%d)@." k k
+  | None -> Fmt.pf ppf "shape: no marked-process match@.");
+  match r.probe with
+  | None -> ()
+  | Some p ->
+      Fmt.pf ppf
+        "bdd probe: %s (%d/%d atomic queries complete, uniform bound %s)@."
+        (if p.certified then "atomic queries certified" else "inconclusive")
+        (List.length
+           (List.filter
+              (fun pr ->
+                pr.Rewriting.Bdd.result.Rewriting.Rewrite.outcome
+                = Rewriting.Rewrite.Complete)
+              p.atomic))
+        (List.length p.atomic)
+        (match p.uniform_bound with
+        | Some c -> string_of_int c
+        | None -> "none")

@@ -1,0 +1,128 @@
+(** Class checkers beyond {!Theories.Classes}: the routing evidence the
+    portfolio selector ({!Strategy.plan}) weighs.
+
+    Three kinds of evidence are produced here:
+
+    {ul
+    {- {e loop-restricted rules} (Asuncion et al., "Loop restricted
+       existential rules"): a conservative syntactic core — every cycle of
+       the rule-dependency graph must consist solely of linear Datalog
+       rules — under which backward piece-rewriting is size-non-increasing
+       around cycles and strictly descends the condensation otherwise, so
+       the UCQ rewriting of every query is finite (the theory is BDD);}
+    {- a {e BDD probe} reusing the existing machinery: per-relation atomic
+       queries through {!Rewriting.Bdd.probe} (a complete rewriting is a
+       genuine per-query certificate) and
+       {!Chase.Termination.uniform_bound_on} over a small random instance
+       family (a bounded [c_{T,D}] series is BDD-consistent evidence,
+       Observation 27);}
+    {- {e shape detection} for the marked-query process: does the theory
+       coincide, up to renaming of rule variables, with [T_d] or [T_d^K]
+       (Section 10)? The zoo symbols themselves ([R]/[G], [I1..IK]) must
+       be used — the process operates on those levels.}}
+
+    None of these checks is trusted blindly by the selector:
+    {!Strategy.execute} re-validates the chosen engine's answer at run
+    time (a rewriting is used only when [Complete], a chase only when
+    saturated), so an over-eager checker costs a fallback, never a wrong
+    answer. *)
+
+open Logic
+
+(** {1 Loop-restricted rules} *)
+
+type loop_verdict = {
+  loop_restricted : bool;
+  cyclic_rules : string list;
+      (** names of rules lying on some cycle of the rule-dependency
+          graph, in rule order *)
+  offenders : string list;
+      (** cyclic rules that are not linear Datalog — the witnesses that
+          the conservative loop-restriction fails *)
+}
+
+val loop_restricted : Theory.t -> loop_verdict
+(** The rule-dependency graph has an edge [rho -> rho'] when some head
+    relation of [rho] occurs in the body of [rho'], and (conservatively)
+    from every term-inventing rule into every rule with domain variables
+    (invented terms enlarge the active domain those variables range
+    over). The verdict holds when every rule on a cycle is linear Datalog
+    (single body atom, no existential or domain variables): rewriting
+    backward through such a rule replaces one atom by one atom, so
+    disjunct size is bounded along cycles and every rewriting path
+    descends the acyclic condensation after finitely many steps. *)
+
+val pp_loop_verdict : loop_verdict Fmt.t
+
+(** {1 Rewriter compatibility} *)
+
+val rewriter_compatible : Theory.t -> bool
+(** The piece rewriter silently skips rules with empty bodies or domain
+    variables ({!Rewriting.Rewrite.rewrite}), so a [Complete] outcome is a
+    genuine certificate only when no rule is of that shape. The selector
+    never routes to UCQ rewriting without this. *)
+
+(** {1 Marked-process shape} *)
+
+type td_shape =
+  | Td  (** [T_d] itself: levels [G; R] (Definition 45) *)
+  | Tdk of int  (** [T_d^K]: levels [I1 .. IK] *)
+
+val td_shape : Theory.t -> td_shape option
+(** Does the theory equal {!Theories.Zoo.t_d} (resp. [t_dk K], [K] up to
+    {!max_tdk}) up to renaming of rule variables and reordering of rules?
+    Relation symbols are compared by name — the marked process is defined
+    on the zoo's own level symbols. *)
+
+val max_tdk : int
+(** Largest [K] that {!td_shape} tests for. *)
+
+(** {1 BDD probe} *)
+
+type probe = {
+  certified : bool;
+      (** every per-relation atomic query has a [Complete] rewriting (and
+          the theory is {!rewriter_compatible}) — per-query BDD
+          certificates covering the atomic queries *)
+  atomic : Rewriting.Bdd.probe list;
+      (** the per-query rewriting outcomes, in signature order *)
+  uniform_bound : int option;
+      (** max [c_{T,D}] over the probe instance family when every member
+          succeeded within budget ([None]: family empty or some budget
+          tripped) — the Observation 27 series *)
+}
+
+val bdd_probe :
+  ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
+  ?budget:Rewriting.Rewrite.budget ->
+  Theory.t ->
+  probe
+(** Atomic queries [(x1..xn) :- R(x1..xn)] for every signature relation,
+    each rewritten under a small budget; plus {!Chase.Termination.
+    uniform_bound_on} over two seeded random instances of the theory's
+    binary signature. Purely empirical: [certified = false] never refutes
+    BDD, and [certified = true] certifies exactly the atomic queries. *)
+
+(** {1 The combined report} *)
+
+type report = {
+  classes : Theories.Classes.report;
+  loops : loop_verdict;
+  rewriter_ok : bool;
+  td : td_shape option;
+  probe : probe option;  (** [None] unless probing was requested *)
+  timings : (string * float) list;
+      (** wall-clock seconds per checker, in execution order *)
+}
+
+val classify :
+  ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
+  ?probe:bool ->
+  Theory.t ->
+  report
+(** Run every checker ([probe] defaults to [false] — the BDD probe runs
+    chases and rewritings, the rest is linear-time syntax). *)
+
+val pp_report : report Fmt.t

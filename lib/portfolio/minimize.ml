@@ -1,0 +1,90 @@
+open Logic
+
+type triple = { theory : Theory.t; instance : Fact_set.t; query : Cq.t }
+
+let size t =
+  ( List.length (Theory.rules t.theory),
+    Fact_set.cardinal t.instance,
+    Cq.size t.query )
+
+(* One left-to-right pass: try dropping each element, committing drops
+   that keep [test] true. Returns the surviving elements and whether
+   anything was dropped. *)
+let shrink_pass elems test =
+  let changed = ref false in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | x :: rest ->
+        if test (List.rev_append kept rest) then begin
+          changed := true;
+          go kept rest
+        end
+        else go (x :: kept) rest
+  in
+  let survivors = go [] elems in
+  (survivors, !changed)
+
+let minimize ?(max_rounds = 16) ~keep t0 =
+  let ok theory instance query =
+    try keep theory instance query with _ -> false
+  in
+  if not (ok t0.theory t0.instance t0.query) then t0
+  else
+    let current = ref t0 in
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds < max_rounds do
+      changed := false;
+      incr rounds;
+      (* rules *)
+      let rules, c =
+        shrink_pass
+          (Theory.rules !current.theory)
+          (fun rules ->
+            rules <> []
+            &&
+            let theory = Theory.make ~name:(Theory.name !current.theory) rules in
+            ok theory !current.instance !current.query)
+      in
+      if c then begin
+        changed := true;
+        current :=
+          {
+            !current with
+            theory = Theory.make ~name:(Theory.name !current.theory) rules;
+          }
+      end;
+      (* facts *)
+      let facts, c =
+        shrink_pass
+          (Fact_set.atoms !current.instance)
+          (fun atoms ->
+            ok !current.theory (Fact_set.of_list atoms) !current.query)
+      in
+      if c then begin
+        changed := true;
+        current := { !current with instance = Fact_set.of_list facts }
+      end;
+      (* query atoms: a drop that unbinds an answer variable makes
+         [Cq.make] raise inside [ok]'s try — counted as not keeping *)
+      let atoms, c =
+        shrink_pass
+          (Cq.atoms !current.query)
+          (fun atoms ->
+            atoms <> []
+            &&
+            try
+              let query = Cq.make ~free:(Cq.free !current.query) atoms in
+              ok !current.theory !current.instance query
+            with Invalid_argument _ -> false)
+      in
+      if c then begin
+        changed := true;
+        current :=
+          {
+            !current with
+            query = Cq.make ~free:(Cq.free !current.query) atoms;
+          }
+      end
+    done;
+    !current

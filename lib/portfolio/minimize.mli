@@ -1,0 +1,27 @@
+(** Counterexample minimization: greedy delta-debugging of a
+    (theory, instance, query) triple.
+
+    Given a predicate [keep] that holds on the input (e.g. "two exact
+    engines still disagree on this triple"), repeatedly drop rules,
+    facts, and query atoms one at a time, committing every drop that
+    preserves [keep], until a fixpoint: the result is 1-minimal — no
+    single rule, fact, or query atom can be removed without losing the
+    behaviour. [keep] is called on candidate triples only; a candidate
+    that makes it raise counts as not keeping (e.g. a query atom drop
+    that unbinds an answer variable). *)
+
+open Logic
+
+type triple = { theory : Theory.t; instance : Fact_set.t; query : Cq.t }
+
+val minimize :
+  ?max_rounds:int ->
+  keep:(Theory.t -> Fact_set.t -> Cq.t -> bool) ->
+  triple ->
+  triple
+(** [max_rounds] (default 16) bounds the outer fixpoint iterations; each
+    round is one rule pass, one fact pass, and one query-atom pass. The
+    input triple is returned unchanged when [keep] does not hold on it. *)
+
+val size : triple -> int * int * int
+(** (rules, facts, query atoms) — the minimization metric. *)

@@ -1,0 +1,14 @@
+module Checkers = Checkers
+module Strategy = Strategy
+module Minimize = Minimize
+module Repro = Repro
+module Fuzz = Fuzz
+
+type strategy = Strategy.strategy =
+  | Ucq_rewriting
+  | Terminating_chase
+  | Marked_process of int
+  | Budgeted_chase
+
+let plan = Strategy.plan
+let execute = Strategy.execute

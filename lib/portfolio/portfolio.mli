@@ -1,0 +1,50 @@
+(** The frontier portfolio: class checkers, an auto-strategy selector,
+    and a differential fuzzing harness (ROADMAP item 5).
+
+    {ul
+    {- {!Checkers} — loop-restricted rules (Asuncion et al.), a BDD
+       probe over the existing uniform-bound machinery, piece-rewriter
+       compatibility, and [T_d]/[T_d^K] shape detection;}
+    {- {!Strategy} — [plan] routes a theory to terminating chase, UCQ
+       rewriting, or the marked process; [execute] runs the choice with
+       run-time validation and a budgeted-chase fallback;}
+    {- {!Fuzz} — seeded random-theory campaigns running every applicable
+       engine per sample and cross-checking certain answers;}
+    {- {!Minimize} / {!Repro} — delta-debugging of disagreements down to
+       minimized, replayable [.repro] files.}}
+
+    [Portfolio.plan] and [Portfolio.execute] are re-exported at the top
+    level as the library's two-call API. *)
+
+module Checkers = Checkers
+module Strategy = Strategy
+module Minimize = Minimize
+module Repro = Repro
+module Fuzz = Fuzz
+
+type strategy = Strategy.strategy =
+  | Ucq_rewriting
+  | Terminating_chase
+  | Marked_process of int
+  | Budgeted_chase
+
+val plan :
+  ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
+  ?probe:bool ->
+  Logic.Theory.t ->
+  Strategy.plan
+(** {!Strategy.plan}. *)
+
+val execute :
+  ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
+  ?budget:Rewriting.Rewrite.budget ->
+  ?max_depth:int ->
+  ?max_atoms:int ->
+  Strategy.plan ->
+  Logic.Theory.t ->
+  Logic.Fact_set.t ->
+  Logic.Cq.t ->
+  Strategy.answers
+(** {!Strategy.execute}. *)

@@ -1,0 +1,142 @@
+open Logic
+
+type t = {
+  triple : Minimize.triple;
+  meta : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* In rule/query position bare identifiers parse as variables, so
+   constants must be quoted; in instance position they parse as
+   constants and stay bare. *)
+let quoted_term ppf t =
+  match t.Term.view with
+  | Term.Var v -> Fmt.string ppf v
+  | Term.Const c -> Fmt.pf ppf "\"%s\"" c
+  | Term.App _ -> invalid_arg "Repro.render: Skolem term in rule or query"
+
+let ground_term ppf t =
+  match t.Term.view with
+  | Term.Const c -> Fmt.string ppf c
+  | _ -> invalid_arg "Repro.render: non-constant in instance fact"
+
+let atom_with pp_term ppf a =
+  Fmt.pf ppf "%s(%a)"
+    (Symbol.name (Atom.rel a))
+    (Fmt.list ~sep:(Fmt.any ",") pp_term)
+    (Atom.args a)
+
+let rule_line ppf r =
+  let pp_atoms = Fmt.list ~sep:(Fmt.any ", ") (atom_with quoted_term) in
+  Fmt.pf ppf "%s: " (Tgd.name r);
+  (match (Tgd.body r, Tgd.dom_vars r) with
+  | [], [] -> Fmt.string ppf "true"
+  | [], dv -> Fmt.pf ppf "dom(%a)" (Fmt.list ~sep:(Fmt.any ",") Term.pp) dv
+  | body, [] -> pp_atoms ppf body
+  | body, dv ->
+      Fmt.pf ppf "%a, dom(%a)" pp_atoms body
+        (Fmt.list ~sep:(Fmt.any ",") Term.pp)
+        dv);
+  match Tgd.exist_vars r with
+  | [] -> Fmt.pf ppf " -> %a" pp_atoms (Tgd.head r)
+  | ev ->
+      Fmt.pf ppf " -> exists %a. %a"
+        (Fmt.list ~sep:(Fmt.any " ") Term.pp)
+        ev pp_atoms (Tgd.head r)
+
+let query_line ppf q =
+  let pp_atoms = Fmt.list ~sep:(Fmt.any ", ") (atom_with quoted_term) in
+  match Cq.free q with
+  | [] -> Fmt.pf ppf ":- %a" pp_atoms (Cq.atoms q)
+  | free ->
+      Fmt.pf ppf "(%a) :- %a"
+        (Fmt.list ~sep:(Fmt.any ",") Term.pp)
+        free pp_atoms (Cq.atoms q)
+
+let render { triple; meta } =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# frontier fuzz counterexample";
+  List.iter (fun (k, v) -> line "# %s: %s" k v) meta;
+  line "[theory]";
+  List.iter
+    (fun r -> line "%s" (Fmt.str "%a" rule_line r))
+    (Theory.rules triple.Minimize.theory);
+  line "[instance]";
+  (match Fact_set.atoms triple.Minimize.instance with
+  | [] -> ()
+  | facts ->
+      line "%s"
+        (String.concat ". "
+           (List.map (Fmt.str "%a" (atom_with ground_term)) facts)));
+  line "[query]";
+  line "%s" (Fmt.str "%a" query_line triple.Minimize.query);
+  Buffer.contents buf
+
+let write ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse text =
+  let meta = ref [] in
+  let sections = Hashtbl.create 4 in
+  let current = ref None in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         let line = String.trim raw in
+         if line = "" then ()
+         else if String.length line >= 2 && line.[0] = '[' then
+           current := Some (String.sub line 1 (String.length line - 2))
+         else if line.[0] = '#' then begin
+           let body = String.trim (String.sub line 1 (String.length line - 1)) in
+           match String.index_opt body ':' with
+           | Some i ->
+               let k = String.trim (String.sub body 0 i)
+               and v =
+                 String.trim
+                   (String.sub body (i + 1) (String.length body - i - 1))
+               in
+               if k <> "" then meta := (k, v) :: !meta
+           | None -> ()
+         end
+         else
+           match !current with
+           | None -> ()
+           | Some section ->
+               let prev =
+                 Option.value ~default:[] (Hashtbl.find_opt sections section)
+               in
+               Hashtbl.replace sections section (line :: prev));
+  let section name =
+    String.concat "\n"
+      (List.rev (Option.value ~default:[] (Hashtbl.find_opt sections name)))
+  in
+  let theory_src = section "theory" and query_src = section "query" in
+  if theory_src = "" then invalid_arg "Repro.parse: missing [theory] section";
+  if query_src = "" then invalid_arg "Repro.parse: missing [query] section";
+  let theory = Parser.parse_theory ~name:"repro" theory_src in
+  let instance =
+    match section "instance" with
+    | "" -> Fact_set.empty
+    | src -> Parser.parse_instance src
+  in
+  let query = Parser.parse_query query_src in
+  {
+    triple = { Minimize.theory; instance; query };
+    meta = List.rev !meta;
+  }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

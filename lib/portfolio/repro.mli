@@ -1,0 +1,37 @@
+(** Reproducible counterexample files.
+
+    A [.repro] file is a sectioned, line-based rendering of a
+    (theory, instance, query) triple in the concrete syntax of
+    {!Logic.Parser}, plus free-form metadata — everything needed to
+    replay a fuzzing disagreement:
+
+    {v
+    # frontier fuzz counterexample
+    # seed: 42
+    [theory]
+    lin0: L0(x,y) -> exists z. L1(y,z)
+    [instance]
+    L0(n0,n1). L1(n1,n2)
+    [query]
+    (x) :- L0(x,y)
+    v}
+
+    {!render} and {!parse} round-trip: constants are quoted in rules and
+    queries (where bare identifiers read as variables) and bare in
+    instances (where they read as constants), matching the parser's
+    conventions. Skolem terms cannot appear — repro objects are always
+    source-level. *)
+
+type t = {
+  triple : Minimize.triple;
+  meta : (string * string) list;  (** rendered as [# key: value] lines *)
+}
+
+val render : t -> string
+val write : path:string -> t -> unit
+
+val parse : string -> t
+(** Raises [Logic.Parser.Parse_error] on malformed sections and
+    [Invalid_argument] on a missing [theory]/[query] section. *)
+
+val load : string -> t

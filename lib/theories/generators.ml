@@ -46,13 +46,178 @@ let random_datalog_binary ~seed ~rels ~rules =
     ~name:(Printf.sprintf "datalog[%d]" seed)
     (List.init rules rule)
 
+let unary_symbol i = Symbol.make (Printf.sprintf "U%d" i) ~arity:1
+
+let random_guarded ~seed ~rels ~rules =
+  if rels < 1 || rules < 1 then
+    invalid_arg "Generators.random_guarded: need rels, rules >= 1";
+  let state = Random.State.make [| seed + 104_729; rels; rules |] in
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  let brel () = rel_symbol (Random.State.int state rels) in
+  let urel () = unary_symbol (Random.State.int state rels) in
+  let rule i =
+    let guard = Atom.make (brel ()) [ x; y ] in
+    let extra =
+      match Random.State.int state 4 with
+      | 0 -> []
+      | 1 -> [ Atom.make (urel ()) [ x ] ]
+      | 2 -> [ Atom.make (urel ()) [ y ] ]
+      | _ -> [ Atom.make (brel ()) [ y; x ] ]
+    in
+    let head =
+      match Random.State.int state 6 with
+      | 0 -> Atom.make (brel ()) [ y; z ]
+      | 1 -> Atom.make (brel ()) [ x; z ]
+      | 2 -> Atom.make (brel ()) [ x; y ]
+      | 3 -> Atom.make (brel ()) [ y; x ]
+      | 4 -> Atom.make (urel ()) [ x ]
+      | _ -> Atom.make (urel ()) [ y ]
+    in
+    Tgd.make ~name:(Printf.sprintf "g%d" i) ~body:(guard :: extra)
+      ~head:[ head ] ()
+  in
+  Theory.make
+    ~name:(Printf.sprintf "guarded[%d]" seed)
+    (List.init rules rule)
+
+let random_sticky ~seed ~rels ~rules =
+  if rels < 1 || rules < 1 then
+    invalid_arg "Generators.random_sticky: need rels, rules >= 1";
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  let w = Term.var "w" in
+  let candidate attempt =
+    let state = Random.State.make [| seed + 224_737; rels; rules; attempt |] in
+    let rel () = rel_symbol (Random.State.int state rels) in
+    let rule i =
+      let body =
+        match Random.State.int state 3 with
+        | 0 -> [ Atom.make (rel ()) [ x; y ] ]
+        | 1 -> [ Atom.make (rel ()) [ x; y ]; Atom.make (rel ()) [ y; z ] ]
+        | _ -> [ Atom.make (rel ()) [ x; y ]; Atom.make (rel ()) [ x; z ] ]
+      in
+      let head =
+        match Random.State.int state 5 with
+        | 0 -> Atom.make (rel ()) [ x; w ]
+        | 1 -> Atom.make (rel ()) [ y; w ]
+        | 2 -> Atom.make (rel ()) [ x; y ]
+        | 3 -> Atom.make (rel ()) [ y; x ]
+        | _ -> Atom.make (rel ()) [ x; x ]
+      in
+      Tgd.make ~name:(Printf.sprintf "st%d" i) ~body ~head:[ head ] ()
+    in
+    Theory.make
+      ~name:(Printf.sprintf "sticky[%d]" seed)
+      (List.init rules rule)
+  in
+  (* Deterministic rejection sampling: the attempt number is part of the
+     PRNG seed, so the accepted candidate depends only on the arguments. *)
+  let rec search attempt =
+    if attempt >= 64 then
+      (* Fallback: single-body-atom rules never repeat a body variable,
+         so the marking condition holds vacuously. *)
+      let state =
+        Random.State.make [| seed + 224_737; rels; rules; max_int |]
+      in
+      let rel () = rel_symbol (Random.State.int state rels) in
+      let rule i =
+        let head =
+          match Random.State.int state 3 with
+          | 0 -> Atom.make (rel ()) [ y; z ]
+          | 1 -> Atom.make (rel ()) [ y; x ]
+          | _ -> Atom.make (rel ()) [ x; x ]
+        in
+        Tgd.make
+          ~name:(Printf.sprintf "st%d" i)
+          ~body:[ Atom.make (rel ()) [ x; y ] ]
+          ~head:[ head ] ()
+      in
+      Theory.make
+        ~name:(Printf.sprintf "sticky[%d]" seed)
+        (List.init rules rule)
+    else
+      let t = candidate attempt in
+      if Classes.is_sticky t then t else search (attempt + 1)
+  in
+  search 0
+
+let random_loop_restricted ~seed ~rels ~rules =
+  if rels < 1 || rules < 1 then
+    invalid_arg "Generators.random_loop_restricted: need rels, rules >= 1";
+  let state = Random.State.make [| seed + 514_229; rels; rules |] in
+  let x = Term.var "x" and y = Term.var "y" and z = Term.var "z" in
+  let rule i =
+    let level = Random.State.int state rels in
+    let top = level = rels - 1 in
+    if top || Random.State.bool state then
+      (* Same-level linear Datalog: the only rules allowed on cycles. *)
+      let lv = rel_symbol level in
+      let head =
+        match Random.State.int state 3 with
+        | 0 -> Atom.make lv [ y; x ]
+        | 1 -> Atom.make lv [ x; x ]
+        | _ -> Atom.make lv [ y; y ]
+      in
+      Tgd.make
+        ~name:(Printf.sprintf "lr%d" i)
+        ~body:[ Atom.make lv [ x; y ] ]
+        ~head:[ head ] ()
+    else
+      (* Strictly level-increasing: existentials and joins point upward,
+         so they can never close a cycle. *)
+      let lv = rel_symbol level in
+      let up =
+        rel_symbol (level + 1 + Random.State.int state (rels - level - 1))
+      in
+      match Random.State.int state 3 with
+      | 0 ->
+          Tgd.make
+            ~name:(Printf.sprintf "lr%d" i)
+            ~body:[ Atom.make lv [ x; y ] ]
+            ~head:[ Atom.make up [ y; z ] ]
+            ()
+      | 1 ->
+          Tgd.make
+            ~name:(Printf.sprintf "lr%d" i)
+            ~body:[ Atom.make lv [ x; y ]; Atom.make lv [ y; z ] ]
+            ~head:[ Atom.make up [ x; z ] ]
+            ()
+      | _ ->
+          Tgd.make
+            ~name:(Printf.sprintf "lr%d" i)
+            ~body:[ Atom.make lv [ x; y ] ]
+            ~head:[ Atom.make up [ x; y ] ]
+            ()
+  in
+  Theory.make
+    ~name:(Printf.sprintf "loop-restricted[%d]" seed)
+    (List.init rules rule)
+
 let random_instance_for ~seed theory ~nodes ~facts =
-  let rels =
+  let arity_rels k =
     Symbol.Set.elements
       (Symbol.Set.filter
-         (fun s -> Symbol.arity s = 2)
+         (fun s -> Symbol.arity s = k)
          (Theory.signature theory))
   in
-  match rels with
-  | [] -> Fact_set.empty
-  | _ :: _ -> Instances.random_binary ~seed ~rels ~nodes ~facts
+  let binary =
+    match arity_rels 2 with
+    | [] -> Fact_set.empty
+    | rels -> Instances.random_binary ~seed ~rels ~nodes ~facts
+  in
+  (* Unary relations (the guarded generator's side atoms) get their own
+     facts from an offset state, so binary-only theories keep the exact
+     instances they always produced. *)
+  match arity_rels 1 with
+  | [] -> binary
+  | unary ->
+      let state = Random.State.make [| seed + 15_485_863 |] in
+      let node () =
+        Instances.const (Printf.sprintf "n%d" (Random.State.int state nodes))
+      in
+      let rel () =
+        List.nth unary (Random.State.int state (List.length unary))
+      in
+      let count = max 1 (facts / 2) in
+      Fact_set.union binary
+        (Fact_set.of_list
+           (List.init count (fun _ -> Atom.make (rel ()) [ node () ])))

@@ -3,8 +3,17 @@
     Linear theories are always BDD (Section 1), so on any random linear
     theory the saturating rewriter must terminate and agree with the chase
     — a strong end-to-end oracle. Datalog theories always saturate on
-    finite instances, giving a model oracle for the chase engine. Both
-    generators are deterministic in the seed. *)
+    finite instances, giving a model oracle for the chase engine.
+
+    {b Seed-determinism contract} (every generator below): the same
+    arguments produce literally the same theory — same rules, same order,
+    same hash-consed symbols — in every process and at any parallelism
+    level ([-j]/[FRONTIER_JOBS]). Each generator draws exclusively from a
+    local [Random.State] seeded from its own arguments (with a distinct
+    prime offset per generator so their streams never collide), touches
+    no global mutable state, and never iterates a hash order. The
+    portfolio fuzzer's replayability rests on this contract; the golden
+    samples in [test/test_theories.ml] pin it. *)
 
 open Logic
 
@@ -18,7 +27,38 @@ val random_datalog_binary :
   seed:int -> rels:int -> rules:int -> Theory.t
 (** One- or two-atom bodies, Datalog heads over the body variables. *)
 
+val random_guarded :
+  seed:int -> rels:int -> rules:int -> Theory.t
+(** Guarded theories over binary relations [L0 .. L_{rels-1}] and unary
+    [U0 .. U_{rels-1}]: every rule's body is a guard atom [L_i(x,y)]
+    containing all body variables, plus up to one side atom over
+    [{x, y}]; heads are single atoms over the body variables, possibly
+    with one existential. Guarded by construction
+    ([Theory.is_guarded]). *)
+
+val random_sticky :
+  seed:int -> rels:int -> rules:int -> Theory.t
+(** Sticky theories (Cali-Gottlob-Pieris marking): candidates with
+    one- and two-atom join bodies are drawn from a per-attempt state
+    [Random.State.make [|seed + offset; rels; rules; attempt|]] and the
+    first candidate that {!Classes.is_sticky} accepts is returned — the
+    rejection sampling is itself deterministic in [seed]. After 64
+    rejections the generator falls back to a single-body-atom theory,
+    which is vacuously sticky (no body variable ever occurs twice). *)
+
+val random_loop_restricted :
+  seed:int -> rels:int -> rules:int -> Theory.t
+(** Loop-restricted theories, constructively in class: relations
+    [L0 .. L_{rels-1}] are stratified into levels; same-level rules are
+    linear Datalog (single body atom, head over its variables) and may
+    form cycles, while every existential or join rule maps strictly
+    lower levels to a higher one. All cycles of the rule-dependency
+    graph therefore consist of linear Datalog rules — exactly the
+    conservative loop-restriction the portfolio checker tests. *)
+
 val random_instance_for :
   seed:int -> Theory.t -> nodes:int -> facts:int -> Fact_set.t
-(** A random instance over the binary relations of the theory's own
-    signature. *)
+(** A random instance over the binary (and, when present, unary)
+    relations of the theory's own signature. Binary-only theories
+    receive exactly the instances this function always produced; unary
+    facts are drawn from a separate offset state. *)

@@ -271,6 +271,66 @@ let test_observation44_linear_distancing () =
     seeds
 
 (* ------------------------------------------------------------------ *)
+(* The portfolio on the whole zoo: classify everything, never route    *)
+(* to an unsound strategy                                              *)
+(* ------------------------------------------------------------------ *)
+
+let zoo_expectations =
+  (* The expected strategy per zoo theory, from the paper's own class
+     memberships: FUS members rewrite, Datalog/weakly-acyclic members
+     chase to saturation, T_d/T_d^K go to the marked process, and the
+     decidable-but-not-BDD rest stays on the budgeted chase. *)
+  [
+    ("T_a", Theories.Zoo.t_a, Portfolio.Ucq_rewriting);
+    ("T_p", Theories.Zoo.t_p, Portfolio.Ucq_rewriting);
+    ("T_sticky", Theories.Zoo.t_sticky, Portfolio.Ucq_rewriting);
+    ("T_e28[3]", Theories.Zoo.t_e28 3, Portfolio.Ucq_rewriting);
+    ("T_spouse", Theories.Zoo.t_spouse, Portfolio.Ucq_rewriting);
+    (* Example 41 is Datalog: the chase saturates, rewriting diverges. *)
+    ("T_nonbdd", Theories.Zoo.t_nonbdd, Portfolio.Terminating_chase);
+    ("T_d", Theories.Zoo.t_d, Portfolio.Marked_process 2);
+    ("T_d^2", Theories.Zoo.t_dk 2, Portfolio.Marked_process 2);
+    ("T_d^3", Theories.Zoo.t_dk 3, Portfolio.Marked_process 3);
+    ("T_d^4", Theories.Zoo.t_dk 4, Portfolio.Marked_process 4);
+    (* No class evidence: sound answers only under a budget. *)
+    ("T_loopcut", Theories.Zoo.t_loopcut, Portfolio.Budgeted_chase);
+    ("T_c", Theories.Zoo.t_c, Portfolio.Budgeted_chase);
+    ("T_d_noloop", Theories.Zoo.t_d_noloop, Portfolio.Budgeted_chase);
+    ("T_ex66", Theories.Zoo.t_ex66, Portfolio.Budgeted_chase);
+  ]
+
+let test_portfolio_plans_whole_zoo () =
+  List.iter
+    (fun (name, theory, expected) ->
+      let plan = Portfolio.plan theory in
+      Alcotest.(check string)
+        (Printf.sprintf "%s strategy" name)
+        (Portfolio.Strategy.strategy_name expected)
+        (Portfolio.Strategy.strategy_name plan.Portfolio.Strategy.strategy);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has reasons" name)
+        true
+        (plan.Portfolio.Strategy.reasons <> []);
+      (* Soundness: the evidence the plan cites must actually hold. *)
+      let r = plan.Portfolio.Strategy.report in
+      let sound =
+        match plan.Portfolio.Strategy.strategy with
+        | Portfolio.Ucq_rewriting ->
+            r.Portfolio.Checkers.rewriter_ok
+            && (r.Portfolio.Checkers.classes.Theories.Classes.linear
+               || r.Portfolio.Checkers.classes.Theories.Classes.sticky
+               || r.Portfolio.Checkers.loops.Portfolio.Checkers.loop_restricted
+               )
+        | Portfolio.Marked_process _ -> r.Portfolio.Checkers.td <> None
+        | Portfolio.Terminating_chase ->
+            r.Portfolio.Checkers.classes.Theories.Classes.datalog
+            || r.Portfolio.Checkers.classes.Theories.Classes.weakly_acyclic
+        | Portfolio.Budgeted_chase -> true
+      in
+      Alcotest.(check bool) (Printf.sprintf "%s sound" name) true sound)
+    zoo_expectations
+
+(* ------------------------------------------------------------------ *)
 (* Explain on the paper's own theories                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -321,5 +381,7 @@ let () =
           Alcotest.test_case "observation 44" `Quick
             test_observation44_linear_distancing;
           Alcotest.test_case "explain T_d" `Quick test_explain_td;
+          Alcotest.test_case "portfolio plans the whole zoo" `Quick
+            test_portfolio_plans_whole_zoo;
         ] );
     ]

@@ -412,6 +412,75 @@ let prop_zoo_answering_agreement =
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* The portfolio selector vs the engines it routes between             *)
+(* ------------------------------------------------------------------ *)
+
+let portfolio_budget = rewrite_budget
+
+let prop_portfolio_agrees_with_chase =
+  (* Whatever strategy [Portfolio.plan] picks on a random theory, the
+     answers [execute] marks exact must be exactly the chase's certain
+     answers whenever the chase saturates — at -j1 and -j4. *)
+  QCheck.Test.make ~count
+    ~name:"portfolio execute = saturated chase certain answers (j1, j4)"
+    QCheck.(triple theory_arb instance_arb query_arb)
+    (fun (trules, inst, qatoms) ->
+      let theory = decode_theory trules in
+      let d = decode_instance inst in
+      let q = decode_query qatoms in
+      let plan = Portfolio.plan theory in
+      let reference, ref_exact, _ =
+        Portfolio.Strategy.chase_arm ~max_depth:6 ~max_atoms theory d q
+      in
+      List.for_all
+        (fun pool ->
+          let a =
+            Portfolio.execute ?pool ~budget:portfolio_budget ~max_depth:6
+              ~max_atoms plan theory d q
+          in
+          if a.Portfolio.Strategy.exact && ref_exact then
+            Portfolio.Strategy.equal_answers a.Portfolio.Strategy.tuples
+              reference
+          else if ref_exact then
+            (* Inexact answers are still sound: a subset of the certain
+               answers the saturated chase computed. *)
+            List.for_all
+              (fun tuple -> List.exists (( = ) tuple) reference)
+              a.Portfolio.Strategy.tuples
+          else true)
+        [ None; Some pool4 ])
+
+let prop_portfolio_agrees_on_zoo_instances =
+  (* Zoo-seeded: the portfolio routes T_a to rewriting; its answers must
+     match the chase pipeline on random Human courts. *)
+  QCheck.Test.make ~count
+    ~name:"portfolio on T_a = chase pipeline on random instances"
+    QCheck.(list_of_size Gen.(1 -- 6) (int_bound 9))
+    (fun people ->
+      let d =
+        Fact_set.of_list
+          (List.map
+             (fun i ->
+               Atom.make Theories.Zoo.human
+                 [ Term.const (Printf.sprintf "h%d" i) ])
+             people)
+      in
+      let x = Term.var "x" and m = Term.var "m" in
+      let q =
+        Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.mother [ x; m ] ]
+      in
+      let plan = Portfolio.plan Theories.Zoo.t_a in
+      let a = Portfolio.execute plan Theories.Zoo.t_a d q in
+      let via_chase =
+        Portfolio.Strategy.normalize_tuples
+          (Frontier.certain_answers ~max_depth:3 Theories.Zoo.t_a d q)
+      in
+      a.Portfolio.Strategy.exact
+      && a.Portfolio.Strategy.used = Portfolio.Ucq_rewriting
+      && Portfolio.Strategy.equal_answers a.Portfolio.Strategy.tuples
+           via_chase)
+
+(* ------------------------------------------------------------------ *)
 (* The pool primitives themselves                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -595,6 +664,39 @@ let prop_faulty_answering_never_lies =
         (fun tuple -> List.exists (( = ) tuple) full)
         (partial : Term.t list list))
 
+let prop_faulty_portfolio_never_lies =
+  (* Under any injected fault schedule the portfolio still only returns
+     entailed tuples: everything it reports must appear in the
+     fault-free saturated chase's certain answers, and an answer it
+     marks exact under faults must BE the exact answer. *)
+  QCheck.Test.make ~count
+    ~name:"fault-injected portfolio answers are sound, exact claims exact"
+    QCheck.(triple small_nat theory_arb instance_arb)
+    (fun (seed, trules, inst) ->
+      let theory = decode_theory trules and d = decode_instance inst in
+      let x = Term.var "x" and y = Term.var "y" in
+      let q = Cq.make ~free:[ x ] [ Atom.make e [ x; y ] ] in
+      let plan = Portfolio.plan theory in
+      let reference, ref_exact, _ =
+        Portfolio.Strategy.chase_arm ~max_depth:6 ~max_atoms theory d q
+      in
+      QCheck.assume ref_exact;
+      List.for_all
+        (fun pool ->
+          let a =
+            with_faults (1 + seed) (fun () ->
+                let guard = Guard.create () in
+                Portfolio.execute ?pool ~guard ~budget:rewrite_budget
+                  ~max_depth:6 ~max_atoms plan theory d q)
+          in
+          List.for_all
+            (fun tuple -> List.exists (( = ) tuple) reference)
+            a.Portfolio.Strategy.tuples
+          && (not a.Portfolio.Strategy.exact
+             || Portfolio.Strategy.equal_answers a.Portfolio.Strategy.tuples
+                  reference))
+        [ None; Some pool4 ])
+
 let () =
   Alcotest.run "properties"
     [
@@ -610,6 +712,8 @@ let () =
             prop_decomposed_implies_matches_monolithic;
             prop_rewriting_answers_like_chase;
             prop_zoo_answering_agreement;
+            prop_portfolio_agrees_with_chase;
+            prop_portfolio_agrees_on_zoo_instances;
           ] );
       ( "pool",
         [ QCheck_alcotest.to_alcotest prop_pool_primitives ] );
@@ -621,5 +725,6 @@ let () =
             prop_pool_absorbs_injected_faults;
             prop_pool_aggregates_real_errors;
             prop_faulty_answering_never_lies;
+            prop_faulty_portfolio_never_lies;
           ] );
     ]

@@ -210,6 +210,102 @@ let test_example41_nonbdd_behaviour () =
   Alcotest.(check int) "chain 4" 4 (depth_for 4);
   Alcotest.(check bool) "depth grows" true (depth_for 5 > depth_for 3)
 
+(* ------------------------------------------------------------------ *)
+(* Generator golden samples: the seed-determinism contract             *)
+(* ------------------------------------------------------------------ *)
+
+(* These strings pin the contract documented in [Generators]: the same
+   seed yields literally the same theory in every process, at any -j.
+   A diff here means the drawing order changed — which silently breaks
+   fuzz-campaign replay and .repro provenance — so any intentional
+   generator change must update both the golden and the contract note. *)
+
+let golden_guarded =
+  "theory guarded[7]:\n\
+  \  L1(x,y), U1(x) -> L0(x,y)\n\
+  \  L1(x,y) -> L1(y,x)\n\
+  \  L1(x,y), U0(x) -> U0(x)"
+
+let golden_sticky =
+  "theory sticky[7]:\n\
+  \  L0(x,y) -> L0(x,y)\n\
+  \  L0(x,y) -> exists w. L1(y,w)\n\
+  \  L1(x,y) -> exists w. L0(x,w)"
+
+let golden_loop_restricted =
+  "theory loop-restricted[7]:\n\
+  \  L2(x,y) -> L2(y,x)\n\
+  \  L2(x,y) -> L2(y,y)\n\
+  \  L2(x,y) -> L2(y,x)\n\
+  \  L1(x,y) -> L1(y,y)"
+
+let test_generator_goldens () =
+  let render t = Fmt.str "%a" Theory.pp t in
+  Alcotest.(check string) "guarded golden" golden_guarded
+    (render (Theories.Generators.random_guarded ~seed:7 ~rels:2 ~rules:3));
+  Alcotest.(check string) "sticky golden" golden_sticky
+    (render (Theories.Generators.random_sticky ~seed:7 ~rels:2 ~rules:3));
+  Alcotest.(check string) "loop-restricted golden" golden_loop_restricted
+    (render
+       (Theories.Generators.random_loop_restricted ~seed:7 ~rels:3 ~rules:4))
+
+let test_generator_determinism () =
+  (* Two draws with the same arguments are identical — no global
+     Random state leaks between generator calls. *)
+  let render t = Fmt.str "%a" Theory.pp t in
+  List.iter
+    (fun seed ->
+      let pairs =
+        [
+          (fun () ->
+            Theories.Generators.random_guarded ~seed ~rels:3 ~rules:4);
+          (fun () -> Theories.Generators.random_sticky ~seed ~rels:3 ~rules:4);
+          (fun () ->
+            Theories.Generators.random_loop_restricted ~seed ~rels:3 ~rules:4);
+        ]
+      in
+      List.iter
+        (fun gen ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d replays" seed)
+            (render (gen ()))
+            (render (gen ())))
+        pairs)
+    [ 1; 7; 42 ];
+  (* Instances too, including the unary extension. *)
+  let t = Theories.Generators.random_guarded ~seed:7 ~rels:2 ~rules:3 in
+  let draw () =
+    Theories.Generators.random_instance_for ~seed:11 t ~nodes:4 ~facts:6
+  in
+  Alcotest.(check bool) "instance replays" true
+    (Fact_set.equal (draw ()) (draw ()))
+
+let test_generator_class_membership () =
+  (* Each emitter lands in the class it is named after. *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "guarded[%d] is guarded" seed)
+        true
+        (Theory.is_guarded
+           (Theories.Generators.random_guarded ~seed ~rels:3 ~rules:4));
+      Alcotest.(check bool)
+        (Printf.sprintf "sticky[%d] is sticky" seed)
+        true
+        (Theories.Classes.is_sticky
+           (Theories.Generators.random_sticky ~seed ~rels:3 ~rules:4)))
+    [ 1; 2; 3; 7; 42 ]
+
+let test_generator_unary_instances () =
+  (* A guarded theory mentions unary relations: the instance generator
+     must seed them (the binary-only draw is unchanged). *)
+  let t = Theories.Generators.random_guarded ~seed:7 ~rels:2 ~rules:3 in
+  let d = Theories.Generators.random_instance_for ~seed:11 t ~nodes:4 ~facts:6 in
+  let unary =
+    List.filter (fun a -> Symbol.arity (Atom.rel a) = 1) (Fact_set.atoms d)
+  in
+  Alcotest.(check bool) "some unary facts" true (unary <> [])
+
 let test_marked_positions_nonempty () =
   let marked = Theories.Classes.marked_positions Theories.Zoo.t_sticky in
   Alcotest.(check bool) "some marked positions" true (marked <> []);
@@ -238,6 +334,16 @@ let () =
           Alcotest.test_case "instances" `Quick test_instances_shapes;
           Alcotest.test_case "grid instance" `Quick test_grid_instance;
           Alcotest.test_case "query families" `Quick test_query_families;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "golden samples" `Quick test_generator_goldens;
+          Alcotest.test_case "seed determinism" `Quick
+            test_generator_determinism;
+          Alcotest.test_case "class membership" `Quick
+            test_generator_class_membership;
+          Alcotest.test_case "unary instance extension" `Quick
+            test_generator_unary_instances;
         ] );
       ( "paper phenomena",
         [

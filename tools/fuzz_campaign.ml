@@ -1,0 +1,53 @@
+(* Multi-seed differential fuzzing sweep.
+
+   Usage: fuzz_campaign.exe [--count N] [--dir D] [seed ...]
+
+   Runs one {!Portfolio.Fuzz.campaign} per seed (default seeds 1 7 42),
+   prints each outcome, and exits 1 if any campaign produced a failure.
+   With [--dir], minimized .repro counterexamples land there — the CI
+   portfolio job uploads that directory as an artifact. *)
+
+let usage () =
+  prerr_endline "usage: fuzz_campaign [--count N] [--dir D] [seed ...]";
+  exit 2
+
+let () =
+  let seeds = ref [] and count = ref 200 and dir = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--count" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n > 0 -> count := n
+        | _ -> usage ());
+        parse rest
+    | "--dir" :: d :: rest ->
+        dir := Some d;
+        parse rest
+    | s :: rest ->
+        (match int_of_string_opt s with
+        | Some seed -> seeds := seed :: !seeds
+        | None -> usage ());
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let seeds = match List.rev !seeds with [] -> [ 1; 7; 42 ] | s -> s in
+  let failed = ref 0 in
+  List.iter
+    (fun seed ->
+      let outcome =
+        Portfolio.Fuzz.campaign ?dir:!dir ~seed ~count:!count ()
+      in
+      Fmt.pr "%a" Portfolio.Fuzz.pp_outcome outcome;
+      List.iter
+        (fun f ->
+          incr failed;
+          Fmt.pr "  repro: %s@."
+            (Option.value ~default:"(not written)"
+               f.Portfolio.Fuzz.repro_path))
+        outcome.Portfolio.Fuzz.failures)
+    seeds;
+  if !failed > 0 then (
+    Fmt.pr "sweep: %d failure(s) across %d seed(s)@." !failed
+      (List.length seeds);
+    exit 1)
+  else Fmt.pr "sweep: clean across %d seed(s)@." (List.length seeds)
