@@ -1,4 +1,4 @@
-.PHONY: all build test check check-faults check-kernel check-portfolio bench bench-smoke examples doc clean fmt
+.PHONY: all build test check check-faults check-kernel check-portfolio check-shard bench bench-smoke examples doc clean fmt
 
 all: build
 
@@ -60,6 +60,34 @@ check-kernel: build
 	    --tolerance $(DRIFT_TOL) || exit 1; \
 	done
 
+# Sharded-scheduler gate (mirrored by the CI shard job): the pool unit
+# suite (shard slicing, steal paths, dead-worker rescue, the [exists]
+# early exit), the differential property suite (kernel clients vs the
+# naive references at -j1..-j4), a pool-driven smoke of the default-pool
+# plumbing at -j1, -j4 and -j$(NPROC), and finally the shard experiment
+# itself — explicit -j1 vs -j4 pools over every saturation client, which
+# exits nonzero if any workload misses its cross-scheduling contract.
+# Its snapshot is gated against the recorded baseline by the drift
+# checker (at a loose tolerance: the shard smoke totals ~0.2s, so
+# scheduler noise swamps the kernel gate's 5% — correctness is enforced
+# by the experiment's own nonzero exit, drift is a coarse tripwire).
+# The committed BENCH_shard.json is the full-size run; the smoke check
+# writes bench-shard-check.json instead so it never clobbers it.
+NPROC := $(shell nproc 2>/dev/null || echo 2)
+SHARD_DRIFT_TOL ?= 0.25
+check-shard: build
+	dune exec test/test_pool.exe
+	FRONTIER_QCHECK_COUNT=25 dune exec test/test_properties.exe
+	for j in 1 4 $(NPROC); do \
+	  echo "== pool-driven smoke, -j $$j =="; \
+	  FRONTIER_BENCH_SMOKE=1 \
+	    dune exec bench/main.exe -- par -j $$j || exit 1; \
+	done
+	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-shard-check.json \
+	  dune exec bench/main.exe -- shard
+	python3 tools/bench_drift.py bench-smoke-shard.json bench-shard-check.json \
+	  --tolerance $(SHARD_DRIFT_TOL)
+
 # Portfolio gate (mirrored by the CI portfolio job): the checker /
 # selector / minimizer / repro unit suites, the zoo classification
 # cross-check in the paper suite, then a differential fuzz smoke —
@@ -77,13 +105,16 @@ bench:
 
 # Quick A/B passes on reduced workloads; each experiment emits a JSON
 # snapshot (counters + timings) suitable for archiving as a CI artifact:
-#   ix  incremental fact-set indexing + containment memoization
-#   rw  subsumption-indexed UCQ store + decomposed containment solver
+#   ix     incremental fact-set indexing + containment memoization
+#   rw     subsumption-indexed UCQ store + decomposed containment solver
+#   shard  sharded work-stealing pool, -j1 vs -j4 differential
 bench-smoke:
 	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke.json \
 		dune exec bench/main.exe -- ix
 	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke-rw.json \
 		dune exec bench/main.exe -- rw
+	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke-shard.json \
+		dune exec bench/main.exe -- shard
 
 examples:
 	dune exec examples/quickstart.exe

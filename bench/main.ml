@@ -102,7 +102,12 @@ let e2 () =
   List.iter
     (fun n ->
       let _, _, phi = Theories.Zoo.phi_r n in
-      let res, dt = time_it (fun () -> Marked.Process.rewrite_td phi) in
+      let res, dt =
+        time_it (fun () ->
+            Marked.Process.rewrite_td
+              ~pool:(Parallel.Pool.get_default ())
+              phi)
+      in
       let _, _, gq = Theories.Zoo.g_path_query (1 lsl n) in
       let found =
         Ucq.exists
@@ -138,7 +143,11 @@ let e3 () =
       if k < 2 then (List.rev acc, len)
       else
         let _, _, phi = Theories.Zoo.phi_i k len in
-        let res = Marked.Process.rewrite_tdk kk ~max_steps:500_000 phi in
+        let res =
+          Marked.Process.rewrite_tdk
+            ~pool:(Parallel.Pool.get_default ())
+            kk ~max_steps:500_000 phi
+        in
         if not res.Marked.Process.complete then (List.rev acc, -1)
         else
           let expected = 1 lsl len in
@@ -1057,6 +1066,210 @@ let rw () =
       row "  json snapshot written to %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* shard — sharded work-stealing pool: -j1 vs -j4 differential + timing *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole experiment of the sharded-pool PR: drive every
+   saturation client (chase, generic rewriting, the E2/E3 marked
+   processes) through an explicit -j1 pool and an explicit -j4 pool and
+   check that the results and stage counters are identical — the
+   scheduler may only change wall time, never the mathematics. Wall
+   times are min-of-reps; the -j4 arm can only beat -j1 on a
+   multi-core box (per-domain busy seconds are printed so a 1-core run
+   is honest about oversubscription). [containment_checks] is the one
+   counter deliberately *not* compared: the batch memo prepass resolves
+   cached pairs on the coordinator and [Pool.exists] genuinely early-
+   exits, so how many implication checks the -j4 arm pays is schedule-
+   dependent even though the verdicts (and hence results) are not.
+
+   FRONTIER_BENCH_SMOKE=1   shrink the workloads (CI smoke sizing)
+   FRONTIER_BENCH_JSON=path also write the results as a JSON snapshot *)
+
+let shard () =
+  header "shard"
+    "sharded work-stealing pool: -j1 vs -j4 across the saturation clients"
+    "identical results and stage counters at every -j; speedup needs > 1 \
+     core";
+  let smoke = Sys.getenv_opt "FRONTIER_BENCH_SMOKE" <> None in
+  let reps = if smoke then 1 else 2 in
+  let jobs = 4 in
+  let pool1 = Parallel.Pool.create 1 in
+  let pooln = Parallel.Pool.create jobs in
+  row "  comparing -j1 vs -j%d (this machine has %d cores)@." jobs
+    (Domain.recommended_domain_count ());
+  let best f =
+    let t = ref infinity and out = ref None in
+    for _ = 1 to reps do
+      let v, dt = time_it f in
+      if dt < !t then t := dt;
+      out := Some v
+    done;
+    (Option.get !out, !t)
+  in
+  let tally_eq (a : Saturation.Stats.tally) (b : Saturation.Stats.tally) =
+    a.Saturation.Stats.expanded = b.Saturation.Stats.expanded
+    && a.Saturation.Stats.generated = b.Saturation.Stats.generated
+    && a.Saturation.Stats.admitted = b.Saturation.Stats.admitted
+    && a.Saturation.Stats.deduped = b.Saturation.Stats.deduped
+  in
+  let kernel_eq (a : Saturation.Stats.t) (b : Saturation.Stats.t) =
+    a.Saturation.Stats.rounds = b.Saturation.Stats.rounds
+    && tally_eq a.Saturation.Stats.totals b.Saturation.Stats.totals
+  in
+  let ucq_identical u1 u2 =
+    (* Same disjuncts in the same order, compared by canonical id — the
+       hash-consed notion of "bit-identical" ([Ucq.equivalent] would
+       also accept semantically equal but differently-built stores). *)
+    List.equal
+      (fun a b -> Cq.canon_id a = Cq.canon_id b)
+      (Ucq.disjuncts u1) (Ucq.disjuncts u2)
+  in
+  let results = ref [] in
+  let report ?(criterion = "identical") name t1 tn identical detail =
+    row "  %-26s -j1 %8.3fs   -j%d %8.3fs   x%-6.2f %s@." name t1 jobs tn
+      (t1 /. tn)
+      (if identical then criterion else "MISMATCH");
+    if detail <> "" then row "    %s@." detail;
+    results := (name, t1, tn, identical, criterion) :: !results
+  in
+  (* --- chase: T_d on the E1 grid ------------------------------------- *)
+  let grid_len = if smoke then 5 else 8 in
+  let depth = if smoke then 5 else 7 in
+  let _, _, grid = Theories.Instances.path Theories.Zoo.g2 grid_len in
+  let chase pool () =
+    Chase.Engine.run ~pool ~max_depth:depth ~max_atoms:400_000
+      Theories.Zoo.t_d grid
+  in
+  let c1, ct1 = best (chase pool1) in
+  let cn, ctn = best (chase pooln) in
+  let stages_identical =
+    Chase.Engine.depth c1 = Chase.Engine.depth cn
+    && List.for_all
+         (fun i ->
+           Fact_set.equal (Chase.Engine.stage c1 i) (Chase.Engine.stage cn i))
+         (List.init (Chase.Engine.depth c1 + 1) Fun.id)
+    && Array.for_all2
+         (fun (a : Saturation.Stats.round) (b : Saturation.Stats.round) ->
+           a.Saturation.Stats.index = b.Saturation.Stats.index
+           && tally_eq a.Saturation.Stats.tally b.Saturation.Stats.tally)
+         (Chase.Engine.stage_stats c1)
+         (Chase.Engine.stage_stats cn)
+  in
+  report
+    (Printf.sprintf "chase T_d G^%d depth %d" grid_len depth)
+    ct1 ctn stages_identical
+    (Printf.sprintf "%d stages, %d atoms"
+       (Chase.Engine.depth cn + 1)
+       (Fact_set.cardinal (Chase.Engine.result cn)));
+  (* --- generic rewriting saturation (the E11 workload) --------------- *)
+  let x = Term.var "x" and y = Term.var "y" in
+  let q = Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.g2 [ x; y ] ] in
+  let budget =
+    {
+      Rewriting.Rewrite.max_disjuncts = (if smoke then 60 else 200);
+      max_atoms_per_disjunct = (if smoke then 20 else 24);
+      max_steps = (if smoke then 120 else 2_000);
+    }
+  in
+  let rewrite pool () =
+    Containment.reset_memo ();
+    Rewriting.Rewrite.rewrite ~pool ~budget Theories.Zoo.t_d_noloop q
+  in
+  let r1, rt1 = best (rewrite pool1) in
+  let rn, rtn = best (rewrite pooln) in
+  (* The generic saturation's cross-[-j] contract is UCQ *equivalence*,
+     not syntactic identity: a -j>1 run expands whole batches per round
+     (a subsumed frontier entry may still be expanded if it died within
+     its own batch), so steps and round counters legitimately differ.
+     The chase and the marked processes below are bit-identical. *)
+  report ~criterion:"equivalent" "generic T_d\\(loop)" rt1 rtn
+    (Ucq.equivalent r1.Rewriting.Rewrite.ucq rn.Rewriting.Rewrite.ucq)
+    (Printf.sprintf "-j1 %d steps / %d disjuncts, -j%d %d steps / %d \
+                     disjuncts"
+       r1.Rewriting.Rewrite.steps
+       (Ucq.cardinal r1.Rewriting.Rewrite.ucq)
+       jobs rn.Rewriting.Rewrite.steps
+       (Ucq.cardinal rn.Rewriting.Rewrite.ucq));
+  (* --- E2: the marked process on phi_R^n ----------------------------- *)
+  let n2 = if smoke then 3 else 5 in
+  let _, _, phi = Theories.Zoo.phi_r n2 in
+  let td pool () = Marked.Process.rewrite_td ~pool phi in
+  let m1, mt1 = best (td pool1) in
+  let mn, mtn = best (td pooln) in
+  report
+    (Printf.sprintf "E2 phi_R^%d (T_d)" n2)
+    mt1 mtn
+    (m1.Marked.Process.stats = mn.Marked.Process.stats
+    && kernel_eq m1.Marked.Process.kernel_stats mn.Marked.Process.kernel_stats
+    && ucq_identical m1.Marked.Process.rewriting mn.Marked.Process.rewriting)
+    (Printf.sprintf "%d steps, %d disjuncts"
+       mn.Marked.Process.stats.Marked.Process.steps
+       (Ucq.cardinal mn.Marked.Process.rewriting));
+  (* --- E3: one level-descent step of a T_d^K tower ------------------- *)
+  let kk, lvl, n3 = if smoke then (3, 3, 1) else (2, 2, 5) in
+  let _, _, phi_i = Theories.Zoo.phi_i lvl n3 in
+  let tdk pool () =
+    Marked.Process.rewrite_tdk ~pool kk ~max_steps:500_000 phi_i
+  in
+  let k1, kt1 = best (tdk pool1) in
+  let kn, ktn = best (tdk pooln) in
+  report
+    (Printf.sprintf "E3 phi_I%d^%d (T_d^%d)" lvl n3 kk)
+    kt1 ktn
+    (k1.Marked.Process.stats = kn.Marked.Process.stats
+    && kernel_eq k1.Marked.Process.kernel_stats kn.Marked.Process.kernel_stats
+    && ucq_identical k1.Marked.Process.rewriting kn.Marked.Process.rewriting)
+    (Printf.sprintf "%d steps, %d disjuncts"
+       kn.Marked.Process.stats.Marked.Process.steps
+       (Ucq.cardinal kn.Marked.Process.rewriting));
+  row "  -j%d per-domain busy seconds (whole experiment): [%a]@." jobs
+    Fmt.(array ~sep:sp (fmt "%.3f"))
+    (Parallel.Pool.busy_times pooln);
+  let all_identical =
+    List.for_all (fun (_, _, _, ok, _) -> ok) !results
+  in
+  row "  all workloads meet their cross--j contract: %b@." all_identical;
+  (* --- optional JSON snapshot ---------------------------------------- *)
+  (match Sys.getenv_opt "FRONTIER_BENCH_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let entry (name, t1, tn, identical, criterion) =
+        Printf.sprintf
+          {|    {
+      "workload": %S,
+      "j1_s": %.6f,
+      "j%d_s": %.6f,
+      "speedup": %.3f,
+      "criterion": %S,
+      "passed": %b
+    }|}
+          name t1 jobs tn (t1 /. tn) criterion identical
+      in
+      Printf.fprintf oc
+        {|{
+  "bench": "shard",
+  "note": "explicit -j1 vs -j%d pools over the saturation clients; 'identical' covers results and stage counters, 'equivalent' is the generic saturation's batch-semantics contract; speedup is hardware-bound (1.0x is expected on a 1-core box)",
+  "smoke": %b,
+  "reps": %d,
+  "cores": %d,
+  "workloads": [
+%s
+  ]
+}
+|}
+        jobs smoke reps
+        (Domain.recommended_domain_count ())
+        (String.concat ",\n" (List.rev_map entry !results));
+      close_out oc;
+      row "  json snapshot written to %s@." path);
+  Parallel.Pool.shutdown pool1;
+  Parallel.Pool.shutdown pooln;
+  (* check-shard gates on this experiment: a cross-scheduling mismatch
+     is a scheduler bug, not a measurement. *)
+  if not all_identical then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* po — portfolio strategy selection + differential fuzz smoke         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1167,7 +1380,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("par", par); ("ix", ix);
-    ("rw", rw); ("po", po); ("perf", perf);
+    ("rw", rw); ("shard", shard); ("po", po); ("perf", perf);
   ]
 
 let () =

@@ -113,11 +113,11 @@ let finish guard =
       exit exit_exhausted
 
 let with_pool jobs f =
-  if jobs > 1 then (
-    let pool = Frontier.Pool.create jobs in
-    Fun.protect ~finally:(fun () -> Frontier.Pool.shutdown pool) (fun () ->
-        f pool))
-  else f Frontier.Pool.sequential
+  (* Always a private pool — a [create 1] spawns no domains but keeps
+     this run's busy accounting out of the shared [Pool.sequential]. *)
+  let pool = Frontier.Pool.create jobs in
+  Fun.protect ~finally:(fun () -> Frontier.Pool.shutdown pool) (fun () ->
+      f pool)
 
 let parse_theory s = Frontier.Parse.theory (read_source s)
 let parse_instance s = Frontier.Parse.instance (read_source s)

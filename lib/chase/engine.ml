@@ -106,7 +106,7 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
      delta, the step is the parallel semi-naive sweep, and the kernel owns
      the boundary checkpoint, the aborted-sweep discard, and the stats. *)
   let step (ctx : Saturation.ctx) batch =
-    let delta = match batch with [ d ] -> d | _ -> assert false in
+    let delta = match batch with [| d |] -> d | _ -> assert false in
     let discard =
       { Saturation.next = []; tally = Saturation.Stats.zero;
         stop = false; commit = false }

@@ -19,7 +19,7 @@ let uniform_bound_on ?pool ?guard ?max_c ?lookahead ?max_atoms theory instances
      and [all_ok] below turns false). *)
   let acc = ref [] in
   let step (_ : Saturation.ctx) batch =
-    let d = match batch with [ d ] -> d | _ -> assert false in
+    let d = match batch with [| d |] -> d | _ -> assert false in
     (match
        core_terminates_on ?pool ?guard ?max_c ?lookahead ?max_atoms theory d
      with

@@ -208,6 +208,28 @@ let implies_memo q1 q2 =
       end
     end
 
+(* A pure peek: resolve the pair from [implies_memo]'s fast paths (physical
+   equality, free-arity mismatch, equal canonical ids, a live cache entry)
+   or answer [None] — never computes a verdict. This is the coordinator's
+   batch prepass in the rewriting store: pairs decided here skip the pool
+   fan-out entirely. *)
+let memo_probe q1 q2 =
+  if q1 == q2 then Some true
+  else if List.length (Cq.free q1) <> List.length (Cq.free q2) then
+    Some false
+  else if not (Atomic.get memo_on) then None
+  else
+    let k1 = Cq.canon_id q1 and k2 = Cq.canon_id q2 in
+    if k1 = k2 then Some true (* isomorphic, hence mutually containing *)
+    else if (k1 lor k2) lsr 31 <> 0 then None
+    else
+      let entry = Array.unsafe_get memo_table (memo_slot k1 k2) in
+      if entry <> 0 && entry lsr 1 = (k1 lsl 31) lor k2 then begin
+        Atomic.incr m_hits;
+        Some (entry land 1 = 1)
+      end
+      else None
+
 let equivalent q1 q2 = implies q1 q2 && implies q2 q1
 
 (* NB: [isomorphic] stays monolithic even with decomposition on — the

@@ -25,6 +25,15 @@ val implies_memo : Cq.t -> Cq.t -> bool
     cache of packed [(id, id, verdict)] ints: safe and cheap to call from
     parallel rewriting domains. Semantically identical to [implies]. *)
 
+val memo_probe : Cq.t -> Cq.t -> bool option
+(** [memo_probe q1 q2] answers [implies q1 q2] {e only} when it can do so
+    without search: physical equality, free-arity mismatch, equal
+    canonical ids, or a live containment-cache entry. [None] means
+    "unknown — compute it". Never runs the homomorphism solver and never
+    writes the cache, so it is safe (and cheap) to call on every pair of
+    a batch before fanning the residue out to a pool. Counts a cache hit
+    when it answers from the table. *)
+
 val equivalent : Cq.t -> Cq.t -> bool
 
 val isomorphic : Cq.t -> Cq.t -> bool

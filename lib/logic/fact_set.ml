@@ -66,11 +66,16 @@ let set_incremental b = Atomic.set incremental b
 (* Layers                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Buckets cache their length: seed selection in [candidates] compares
-   bucket sizes, which must not cost a list traversal. *)
-type bucket = { n : int; items : Atom.t list }
-
-let bucket_cons a b = { n = b.n + 1; items = a :: b.items }
+(* Buckets are flat int-packed arenas: the facts of one (layer, key)
+   as an [Atom.t array] plus a parallel row-major [int array] of their
+   hash-consed argument-term ids ([ids.(row * arity + pos)]). The join
+   inner loop — reject a candidate fact because some argument does not
+   match — then runs entirely over the contiguous [ids] arena (one int
+   compare per constraint, cache-line friendly) instead of chasing
+   [Atom.t -> Term.t] pointers per position per fact. [n] is cached:
+   seed selection in [candidates] compares bucket sizes, which must not
+   cost anything. *)
+type bucket = { n : int; atoms : Atom.t array; ids : int array }
 
 type layer = {
   lsize : int;  (* atoms in this layer *)
@@ -83,28 +88,62 @@ type layer = {
 (* Frozen after construction: every mutation of [l_rel]/[l_pos] happens
    inside the [layer_of_*] / [merge_layers] builders below. *)
 
-let tbl_cons tbl key atom =
+(* Mutable accumulator used only while a layer is being built; frozen
+   into a packed [bucket] at the end. [pitems] is newest-first — the
+   bucket probe order the rest of the engine depends on. *)
+type proto = { mutable pn : int; mutable pitems : Atom.t list }
+
+let proto_cons tbl key atom =
   match Hashtbl.find_opt tbl key with
-  | None -> Hashtbl.replace tbl key { n = 1; items = [ atom ] }
-  | Some b -> Hashtbl.replace tbl key (bucket_cons atom b)
+  | None -> Hashtbl.replace tbl key { pn = 1; pitems = [ atom ] }
+  | Some p ->
+      p.pn <- p.pn + 1;
+      p.pitems <- atom :: p.pitems
+
+let pack_bucket arity p =
+  let n = p.pn in
+  let atoms = Array.make n (List.hd p.pitems) in
+  let ids = Array.make (n * arity) 0 in
+  List.iteri
+    (fun row (a : Atom.t) ->
+      atoms.(row) <- a;
+      let args = a.Atom.args in
+      for pos = 0 to arity - 1 do
+        ids.((row * arity) + pos) <- args.(pos).Term.id
+      done)
+    p.pitems;
+  { n; atoms; ids }
 
 let layer_of_iter ~size iter =
-  let l_rel = Hashtbl.create ((size / 4) + 8) in
-  let l_pos = Hashtbl.create ((2 * size) + 8) in
+  let p_rel : (int, proto) Hashtbl.t = Hashtbl.create ((size / 4) + 8) in
+  let p_pos : (int * int, proto) Hashtbl.t =
+    Hashtbl.create ((2 * size) + 8)
+  in
+  let arities : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let syms = ref [] in
   iter (fun atom ->
       let rel = Atom.rel atom in
       let sid = Symbol.id rel in
       let arity = Symbol.arity rel in
-      (match Hashtbl.find_opt l_rel sid with
-      | None ->
-          syms := rel :: !syms;
-          Hashtbl.replace l_rel sid { n = 1; items = [ atom ] }
-      | Some b -> Hashtbl.replace l_rel sid (bucket_cons atom b));
+      if not (Hashtbl.mem arities sid) then begin
+        syms := rel :: !syms;
+        Hashtbl.replace arities sid arity
+      end;
+      proto_cons p_rel sid atom;
       List.iteri
         (fun pos (term : Term.t) ->
-          tbl_cons l_pos (sid, (term.Term.id * arity) + pos) atom)
+          proto_cons p_pos (sid, (term.Term.id * arity) + pos) atom)
         (Atom.args atom));
+  let l_rel = Hashtbl.create (Hashtbl.length p_rel + 1) in
+  Hashtbl.iter
+    (fun sid p ->
+      Hashtbl.replace l_rel sid (pack_bucket (Hashtbl.find arities sid) p))
+    p_rel;
+  let l_pos = Hashtbl.create (Hashtbl.length p_pos + 1) in
+  Hashtbl.iter
+    (fun ((sid, _) as key) p ->
+      Hashtbl.replace l_pos key (pack_bucket (Hashtbl.find arities sid) p))
+    p_pos;
   { lsize = size; l_syms = !syms; l_rel; l_pos }
 
 let layer_of_list atoms n = layer_of_iter ~size:n (fun f -> List.iter f atoms)
@@ -126,7 +165,11 @@ let merge_layers newer older =
         | None -> Hashtbl.replace tbl k v
         | Some old ->
             Hashtbl.replace tbl k
-              { n = v.n + old.n; items = v.items @ old.items })
+              {
+                n = v.n + old.n;
+                atoms = Array.append v.atoms old.atoms;
+                ids = Array.append v.ids old.ids;
+              })
       a;
     tbl
   in
@@ -223,22 +266,36 @@ let buckets_total bs = List.fold_left (fun acc b -> acc + b.n) 0 bs
 
 let buckets_items = function
   | [] -> []
-  | [ b ] -> b.items (* single segment: no copy *)
-  | bs -> List.concat_map (fun b -> b.items) bs
+  | bs ->
+      List.concat_map (fun (b : bucket) -> Array.to_list b.atoms) bs
+
+(* Does row [row] of [b] hold exactly [atom]'s arguments? All atoms of a
+   bucket share [atom]'s relation (the key includes the symbol id), so
+   full id-row equality certifies [Atom.equal] — a contiguous int scan,
+   no pointer chasing. *)
+let row_is arity (b : bucket) row (atom : Atom.t) =
+  let args = atom.Atom.args in
+  let base = row * arity in
+  let rec go pos =
+    pos >= arity
+    || (b.ids.(base + pos) = args.(pos).Term.id && go (pos + 1))
+  in
+  go 0
 
 let layer_mem l atom =
   let rel = Atom.rel atom in
   let sid = Symbol.id rel in
   let arity = Symbol.arity rel in
-  let bucket =
-    if arity = 0 then Hashtbl.find_opt l.l_rel sid
-    else
-      let a0 = (Atom.arg atom 0 : Term.t) in
-      Hashtbl.find_opt l.l_pos (sid, a0.Term.id * arity)
-  in
-  match bucket with
-  | None -> false
-  | Some b -> List.exists (Atom.equal atom) b.items
+  if arity = 0 then Hashtbl.mem l.l_rel sid
+  else
+    let a0 = (Atom.arg atom 0 : Term.t) in
+    match Hashtbl.find_opt l.l_pos (sid, a0.Term.id * arity) with
+    | None -> false
+    | Some b ->
+        let rec probe row =
+          row < b.n && (row_is arity b row atom || probe (row + 1))
+        in
+        probe 0
 
 (* Does [term] occur (in any position of any fact) under these layers?
    Cold path, used only to maintain [domain] across removals. *)
@@ -410,11 +467,11 @@ let diff a b =
                 let kept =
                   Hashtbl.fold
                     (fun _ (b : bucket) acc ->
-                      List.fold_left
+                      Array.fold_left
                         (fun acc atom ->
                           if Atom.Set.mem atom removed then acc
                           else atom :: acc)
-                        acc b.items)
+                        acc b.atoms)
                     l.l_rel []
                 in
                 match kept with
@@ -480,12 +537,21 @@ let candidates t rel ~bound =
       in
       if seed_n = 0 then []
       else
-        let matches a =
+        (* Constraint rejection runs on the flat id arena. *)
+        let matches (b : bucket) row =
           List.for_all
-            (fun (pos, term) -> Term.equal (Atom.arg a pos) term)
+            (fun (pos, (term : Term.t)) ->
+              b.ids.((row * arity) + pos) = term.Term.id)
             bound
         in
-        List.concat_map (fun (b : bucket) -> List.filter matches b.items) seed
+        List.concat_map
+          (fun (b : bucket) ->
+            let out = ref [] in
+            for row = b.n - 1 downto 0 do
+              if matches b row then out := b.atoms.(row) :: !out
+            done;
+            !out)
+          seed
 
 (* Allocation-free variant of [candidates] for the join inner loop: the
    segments are iterated in place instead of being concatenated into a
@@ -499,7 +565,7 @@ let iter_candidates t rel ~bound f =
     pos_buckets idx (sid, (term.Term.id * arity) + pos)
   in
   let iter_segs segs =
-    List.iter (fun (b : bucket) -> List.iter f b.items) segs
+    List.iter (fun (b : bucket) -> Array.iter f b.atoms) segs
   in
   match bound with
   | [] -> iter_segs (rel_buckets idx sid)
@@ -516,15 +582,56 @@ let iter_candidates t rel ~bound f =
           rest
       in
       if seed_n > 0 then
-        let matches a =
+        let matches (b : bucket) row =
           List.for_all
-            (fun (pos, term) -> Term.equal (Atom.arg a pos) term)
+            (fun (pos, (term : Term.t)) ->
+              b.ids.((row * arity) + pos) = term.Term.id)
             bound
         in
         List.iter
           (fun (b : bucket) ->
-            List.iter (fun a -> if matches a then f a) b.items)
+            for row = 0 to b.n - 1 do
+              if matches b row then f b.atoms.(row)
+            done)
           seed
+
+(* The raw-arena variant for the homomorphism engine: enumerate the rows
+   of the most selective seed segments {e without} applying the [bound]
+   filter — the caller's compiled slot plan re-checks every position on
+   the [ids] arena anyway, so filtering here would test each constraint
+   twice. The rows visited are a superset of [candidates t rel ~bound]
+   (exactly the candidate set when [bound] has at most one constraint),
+   in the same segment order. *)
+let iter_candidate_rows t rel ~bound f =
+  let idx = index t in
+  let sid = Symbol.id rel in
+  let arity = Symbol.arity rel in
+  let segs_of (pos, (term : Term.t)) =
+    pos_buckets idx (sid, (term.Term.id * arity) + pos)
+  in
+  let iter_segs segs =
+    List.iter
+      (fun (b : bucket) ->
+        for row = 0 to b.n - 1 do
+          f b.atoms b.ids row
+        done)
+      segs
+  in
+  match bound with
+  | [] -> iter_segs (rel_buckets idx sid)
+  | [ c ] -> iter_segs (segs_of c)
+  | c0 :: rest ->
+      let seed0 = segs_of c0 in
+      let seed, seed_n =
+        List.fold_left
+          (fun ((_, best_n) as best) c ->
+            let segs = segs_of c in
+            let n = buckets_total segs in
+            if n < best_n then (segs, n) else best)
+          (seed0, buckets_total seed0)
+          rest
+      in
+      if seed_n > 0 then iter_segs seed
 
 (* Every atom with [term] in some argument position, in [Atom.Set]
    order (the order a filter over [atoms] would produce). One bucket
@@ -543,7 +650,7 @@ let atoms_with_term t (term : Term.t) =
             match Hashtbl.find_opt l.l_pos (sid, (term.Term.id * arity) + pos) with
             | None -> ()
             | Some b ->
-                List.iter (fun a -> acc := Atom.Set.add a !acc) b.items
+                Array.iter (fun a -> acc := Atom.Set.add a !acc) b.atoms
           done)
         l.l_syms)
     idx.layers;

@@ -62,6 +62,22 @@ val iter_candidates :
     [candidates t rel ~bound] would return, in the same order, without
     materializing the list — the homomorphism join's inner loop. *)
 
+val iter_candidate_rows :
+  t ->
+  Symbol.t ->
+  bound:(int * Term.t) list ->
+  (Atom.t array -> int array -> int -> unit) ->
+  unit
+(** The flat-arena view of {!iter_candidates} for callers that filter on
+    term ids themselves: [f atoms ids row] is called for every row of
+    the most selective index segments, {e without} the [bound] filter
+    applied (the visited rows are a superset of the candidates; exactly
+    the candidates when [bound] has at most one constraint). [atoms] is
+    the segment's fact array and [ids] its row-major argument-id arena —
+    [ids.(row * arity + pos)] is the hash-consed id of argument [pos] of
+    [atoms.(row)]. The arrays are the index's own frozen storage: do not
+    mutate them. Visit order extends the {!iter_candidates} order. *)
+
 val atoms_with_term : t -> Term.t -> Atom.t list
 (** Every atom with the given term in some argument position, in the
     same order a [List.filter] over [atoms] would produce. Answered from

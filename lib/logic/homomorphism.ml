@@ -155,10 +155,42 @@ let iter_multi ?(init = Term.Map.empty) ?(image_ok = fun _ _ -> true)
         in
         (match prefer with
         | None ->
-            (* Hot path: iterate the index buckets in place, no candidate
-               list allocation. *)
-            Fact_set.iter_candidates best_target (Atom.rel best_atom) ~bound
-              try_fact
+            (* Hot path: enumerate raw index rows and reject on the flat
+               argument-id arena before touching any [Atom.t]. The plan
+               compiles to one int per position — a rigid slot's term id,
+               [-1] for a free slot, [-2 - p] for a duplicate of position
+               [p] — so the dominant no-match case is a short scan over
+               two contiguous int arrays with no pointer chasing.
+               Survivors go through [match_plan] unchanged (it re-checks
+               rigid/dup cheaply and performs the actual binding), so
+               accepted facts, enumeration order, and verdicts are
+               identical to the unfiltered path. *)
+            let arity = Array.length plan in
+            let iplan =
+              Array.map
+                (function
+                  | Slot.Rigid (t : Term.t) -> t.Term.id
+                  | Slot.Free _ -> -1
+                  | Slot.Dup p -> -2 - p)
+                plan
+            in
+            let row_matches (ids : int array) base =
+              let rec go pos =
+                pos >= arity
+                ||
+                let c = Array.unsafe_get iplan pos in
+                (if c = -1 then true
+                 else if c >= 0 then Array.unsafe_get ids (base + pos) = c
+                 else
+                   Array.unsafe_get ids (base + pos)
+                   = Array.unsafe_get ids (base + (-2 - c)))
+                && go (pos + 1)
+              in
+              go 0
+            in
+            Fact_set.iter_candidate_rows best_target (Atom.rel best_atom)
+              ~bound (fun atoms ids row ->
+                if row_matches ids (row * arity) then try_fact atoms.(row))
         | Some rank ->
             (* Candidate preference steers which homomorphism is found
                first (e.g. the core search prefers folding onto original

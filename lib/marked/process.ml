@@ -51,19 +51,35 @@ module Store = struct
     | None -> "<trivial>"
 
   (* Membership test and insertion in one probe: the key computation
-     and the bucket lookup are paid once per classified query. *)
-  let add_if_absent (store : t) q =
-    let k = key q in
+     and the bucket lookup are paid once per classified query. [?key]
+     lets a parallel pre-pass hand in the key it already computed. *)
+  let add_if_absent ?key:key_opt (store : t) q =
+    let k = match key_opt with Some k -> k | None -> key q in
     let bucket = Option.value ~default:[] (Hashtbl.find_opt store k) in
     if List.exists (Marked_query.equal_upto_iso q) bucket then false
     else begin
       Hashtbl.replace store k (q :: bucket);
       true
     end
+
+  (* The per-query work a pool worker can do ahead of the coordinator's
+     sequential store pass: the fingerprint key (an uncached string
+     render) plus the canonical id the bucket's iso probes start from.
+     Pure apart from per-query caches — distinct queries share no
+     mutable state, so workers never race. *)
+  let warm q =
+    let k = key q in
+    (match Marked_query.tagged_cq q with
+    | Some cq -> ignore (Cq.canon_id cq)
+    | None -> ());
+    k
 end
 
-let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
-    q =
+let run ?pool ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step
+    ~levels q =
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.create 1
+  in
   let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   if Cq.free q = [] then
     invalid_arg
@@ -90,12 +106,12 @@ let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
      mirror queue shadows the kernel's worklist (same pops, same pushes)
      so each snapshot can enumerate the currently-live queries. *)
   let mirror = Queue.create () in
-  let classify_new mq =
+  let classify_new ?key mq =
     if not (Marked_query.is_properly_marked mq) then begin
       stats := { !stats with dropped_improper = !stats.dropped_improper + 1 };
       None
     end
-    else if Store.add_if_absent seen mq then begin
+    else if Store.add_if_absent ?key seen mq then begin
       if Marked_query.is_trivial mq then begin
         trivial := mq :: !trivial;
         None
@@ -111,9 +127,22 @@ let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
     end
     else None
   in
-  let initial_live =
-    List.filter_map classify_new (Marked_query.all_markings ~levels q)
+  (* Batch classification: at pool size 1 this is exactly the
+     sequential [filter_map classify_new]; with workers, the uncached
+     fingerprint keys and canonical ids (the dominant per-result cost)
+     are computed in parallel first and the store pass consumes them in
+     the original order — same store contents, same enqueue order, so
+     the rewriting is bit-identical at any [-j]. *)
+  let classify_many mqs =
+    let plural = match mqs with _ :: _ :: _ -> true | _ -> false in
+    if Parallel.Pool.size pool = 1 || not plural then
+      List.filter_map classify_new mqs
+    else
+      let keys = Parallel.Pool.map_list pool Store.warm mqs in
+      List.filter_map Fun.id
+        (List.map2 (fun mq k -> classify_new ~key:k mq) mqs keys)
   in
+  let initial_live = classify_many (Marked_query.all_markings ~levels q) in
   let rank_trace = ref [] in
   let snapshot () =
     if record_ranks then begin
@@ -131,7 +160,7 @@ let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
      queries collected so far form a sound partial rewriting (each came
      from finitely many rank-descending operations on a proper marking). *)
   let step (_ : Saturation.ctx) batch =
-    let current = match batch with [ mq ] -> mq | _ -> assert false in
+    let current = match batch with [| mq |] -> mq | _ -> assert false in
     (* One checkpoint and one fuel unit per process step. *)
     match Guard.spend guard 1 with
     | Some _ ->
@@ -175,7 +204,7 @@ let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
             (match on_step with
             | Some f -> f ~before:current ~classification ~results
             | None -> ());
-            let new_live = List.filter_map classify_new results in
+            let new_live = classify_many results in
             snapshot ();
             {
               Saturation.next = new_live;
@@ -222,15 +251,15 @@ let run ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step ~levels
 
 let td_levels = [| Symbol.make "G" ~arity:2; Symbol.make "R" ~arity:2 |]
 
-let rewrite_td ?guard ?max_steps ?on_step q =
-  run ?guard ?max_steps ?on_step ~levels:td_levels q
+let rewrite_td ?pool ?guard ?max_steps ?on_step q =
+  run ?pool ?guard ?max_steps ?on_step ~levels:td_levels q
 
-let rewrite_tdk ?guard ?max_steps ?on_step kk q =
+let rewrite_tdk ?pool ?guard ?max_steps ?on_step kk q =
   if kk < 2 then invalid_arg "Process.rewrite_tdk: K must be at least 2";
   let levels =
     Array.init kk (fun i -> Symbol.make (Printf.sprintf "I%d" (i + 1)) ~arity:2)
   in
-  run ?guard ?max_steps ?on_step ~levels q
+  run ?pool ?guard ?max_steps ?on_step ~levels q
 
 let boolean_always_true () = ()
 

@@ -42,6 +42,7 @@ type result = {
 }
 
 val run :
+  ?pool:Parallel.Pool.t ->
   ?guard:Guard.t ->
   ?max_steps:int -> ?record_ranks:bool ->
   ?on_step:
@@ -56,9 +57,18 @@ val run :
     {!boolean_always_true}). Defaults: [max_steps = 200_000],
     [record_ranks = false]. The guard is checkpointed (one fuel unit) per
     process step; a trip abandons the live queue and reports the cause in
-    [interrupted]. *)
+    [interrupted].
+
+    The process itself is a strict one-pop-per-round worklist, but the
+    per-result classification cost (isomorphism fingerprints and
+    canonical ids) is farmed out to [pool] when it has workers: keys are
+    computed in parallel, then consumed by a sequential store pass in
+    the original order, so the result is bit-identical at any pool size.
+    Defaults to a private sequential pool so independent runs do not
+    share busy-time accounting. *)
 
 val rewrite_td :
+  ?pool:Parallel.Pool.t ->
   ?guard:Guard.t ->
   ?max_steps:int ->
   ?on_step:
@@ -70,6 +80,7 @@ val rewrite_td :
 (** The process for [T_d] itself: levels [G; R]. *)
 
 val rewrite_tdk :
+  ?pool:Parallel.Pool.t ->
   ?guard:Guard.t ->
   ?max_steps:int ->
   ?on_step:

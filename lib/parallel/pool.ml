@@ -1,19 +1,27 @@
-(* A persistent pool of worker domains fed through a single shared job
-   cell. A job is an array of tasks; workers (and the coordinator) claim
-   indices with [Atomic.fetch_and_add], so load balancing is automatic:
-   a domain that finishes its task immediately steals the next undone
-   index. Results live in per-index slots, which fixes the merge order
-   once and for all — the caller's task order — independently of
-   scheduling.
+(* A persistent pool of worker domains fed through sharded per-worker
+   claim ranges with work stealing. A job is an array of tasks, sliced
+   into one contiguous shard per worker; each worker drains its own
+   shard through a private atomic cursor and only touches other shards
+   when its own runs dry, stealing round-robin from the next live
+   victim. The hot claim path is therefore an uncontended
+   [Atomic.fetch_and_add] on a per-shard cursor — the single shared
+   counter every domain used to hammer is gone — while the steal path
+   preserves the old guarantee that no index is ever left behind: a
+   shard's cursor only moves forward, so "all shards dry" is a stable
+   exit condition, and a dead worker's unclaimed range is simply stolen
+   like any other. Results live in per-index slots, which fixes the
+   merge order once and for all — the caller's task order —
+   independently of scheduling.
 
    Degraded-mode hardening: per-index slots hold [Ok]/[Error] results, a
    task exception never poisons the batch (all failures are aggregated
    into [Task_errors] with their backtraces after one inline retry), a
    worker that dies mid-job (fault injection's [`Die] fate) leaves its
-   claimed index to the coordinator's rescue pass, and guard
-   cancellation stops workers from claiming further tasks — the
-   coordinator alone finishes the job, with guard-aware task bodies
-   early-exiting at their own checkpoints. *)
+   single claimed index to the coordinator's rescue pass — the rest of
+   its shard is drained by thieves — and guard cancellation stops
+   workers from claiming further tasks: the coordinator alone finishes
+   the job, with guard-aware task bodies early-exiting at their own
+   checkpoints. *)
 
 exception
   Task_errors of (int * exn * Printexc.raw_backtrace) list
@@ -33,12 +41,24 @@ let () =
                    errors)))
     | _ -> None)
 
+(* One worker's contiguous slice [lo, hi) of the task indices, drained
+   through [next]. The cursor only increases, and claims past [hi] are
+   harmless (the claimer just sees an empty shard), so no synchronization
+   beyond the single fetch-and-add is needed. *)
+type shard = { hi : int; next : int Atomic.t }
+
 type job = {
   run : int -> fate:[ `Run | `Raise of int ] -> unit;
       (* execute task [i] (or record its injected failure); never raises *)
   n : int;
-  next : int Atomic.t;
+  shards : shard array;
   cancelled : unit -> bool;  (* workers stop claiming once true *)
+  early_stop : unit -> bool;
+      (* the job's answer is already decided (e.g. [exists] found a
+         witness); remaining claims become no-ops via [skip] *)
+  skip : (int -> unit) option;
+      (* fill index [i]'s slot without running the task; present iff the
+         caller opted into early-stop semantics *)
   mutable completed : int;  (* tasks finished; protected by the pool mutex *)
   mutable orphans : int list;
       (* indices claimed and then abandoned by a dying worker, awaiting
@@ -54,30 +74,76 @@ type t = {
   mutable generation : int;  (* bumped per job; workers join each job once *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
-  busy : float array;  (* cumulative busy seconds per worker *)
+  busy : float array;
+      (* cumulative busy seconds per worker; protected by the mutex *)
 }
 
 let now () = Unix.gettimeofday ()
 
-(* Claim and run tasks until the job is drained, the guard is cancelled
+(* Balanced contiguous slices of [0, n): the first [n mod size] shards
+   get one extra index. Pure, so the steal-path unit tests can pin the
+   slicing directly. *)
+let shard_bounds ~n ~size =
+  let base = n / size and rem = n mod size in
+  Array.init size (fun k ->
+      let lo = (k * base) + min k rem in
+      let hi = lo + base + if k < rem then 1 else 0 in
+      (lo, hi))
+
+let make_shards ~n ~size =
+  Array.map
+    (fun (lo, hi) -> { hi; next = Atomic.make lo })
+    (shard_bounds ~n ~size)
+
+(* The order in which [worker] visits shards: its own first, then
+   round-robin over the victims — each shard exactly once, never itself
+   twice. Pure, for the same reason as [shard_bounds]. *)
+let probe_order ~worker ~shards =
+  List.init shards (fun k -> (worker + k) mod shards)
+
+let claim shard =
+  if Atomic.get shard.next >= shard.hi then None
+  else
+    let i = Atomic.fetch_and_add shard.next 1 in
+    if i < shard.hi then Some i else None
+
+(* Claim and run tasks until every shard is dry, the guard is cancelled
    (workers only — the coordinator must keep going so the job always
    completes), or the fault schedule kills this worker. The completion
    count (not a per-worker barrier) is what the coordinator waits on, so
    it never matters which workers ever woke up for a given job; a dying
-   worker hands its claimed index over as an orphan. *)
+   worker hands its claimed index over as an orphan and thieves drain
+   the rest of its shard. *)
 let drain pool job worker =
   let t0 = now () in
+  let nshards = Array.length job.shards in
+  (* Own shard first (k = 0), then steal round-robin; a full fruitless
+     scan means every shard is dry, which is stable (cursors only move
+     forward), so exiting is safe. *)
+  let rec find k =
+    if k >= nshards then None
+    else
+      match claim job.shards.((worker + k) mod nshards) with
+      | Some i -> Some i
+      | None -> find (k + 1)
+  in
   let rec loop done_count =
     if worker > 0 && job.cancelled () then (done_count, None)
     else
-      let i = Atomic.fetch_and_add job.next 1 in
-      if i >= job.n then (done_count, None)
-      else
-        match Guard.Faults.claim_fate ~worker with
-        | `Die -> (done_count, Some i)
-        | (`Run | `Raise _) as fate ->
-            job.run i ~fate;
+      match find 0 with
+      | None -> (done_count, None)
+      | Some i ->
+          if job.early_stop () && job.skip <> None then begin
+            (Option.get job.skip) i;
             loop (done_count + 1)
+          end
+          else begin
+            match Guard.Faults.claim_fate ~worker with
+            | `Die -> (done_count, Some i)
+            | (`Run | `Raise _) as fate ->
+                job.run i ~fate;
+                loop (done_count + 1)
+          end
   in
   let did, orphan = loop 0 in
   let dt = now () -. t0 in
@@ -169,14 +235,21 @@ let exec_into (type a b) (f : a -> b) (tasks : a array)
 
 (* The degraded-mode core: run every task, rescue orphans inline, retry
    failed slots once (transient/injected failures recover; deterministic
-   ones stay [Error]). Always returns a fully populated slot per index. *)
-let run_all (type a b) ?guard pool (f : a -> b) (tasks : a array) :
-    (b, exn * Printexc.raw_backtrace) result array =
+   ones stay [Error]). Always returns a fully populated slot per index.
+   [stop]/[skip] implement cooperative early exit ([exists]): once [stop]
+   flips true, workers stop claiming and every remaining claim is
+   resolved through [skip] without touching the task. *)
+let run_all (type a b) ?guard ?stop ?skip pool (f : a -> b)
+    (tasks : a array) : (b, exn * Printexc.raw_backtrace) result array =
   let n = Array.length tasks in
   let slots : (b, exn * Printexc.raw_backtrace) result option array =
     Array.make n None
   in
   let exec = exec_into f tasks slots in
+  let early_stop = match stop with Some s -> s | None -> fun () -> false in
+  let skip_into =
+    Option.map (fun sk i -> slots.(i) <- Some (Ok (sk ()))) skip
+  in
   if pool.size = 1 || n = 1 then begin
     (* Inline sequential execution: the coordinator is the only worker,
        so injected worker death degrades to a no-op and cancellation is
@@ -184,14 +257,19 @@ let run_all (type a b) ?guard pool (f : a -> b) (tasks : a array) :
     ignore guard;
     let t0 = now () in
     for i = 0 to n - 1 do
-      match Guard.Faults.claim_fate ~worker:0 with
-      | (`Run | `Raise _) as fate -> exec i ~fate
-      | `Die -> exec i ~fate:`Run (* the coordinator never dies *)
+      if early_stop () && skip_into <> None then (Option.get skip_into) i
+      else
+        match Guard.Faults.claim_fate ~worker:0 with
+        | (`Run | `Raise _) as fate -> exec i ~fate
+        | `Die -> exec i ~fate:`Run (* the coordinator never dies *)
     done;
-    pool.busy.(0) <- pool.busy.(0) +. (now () -. t0)
+    let dt = now () -. t0 in
+    Mutex.lock pool.mutex;
+    pool.busy.(0) <- pool.busy.(0) +. dt;
+    Mutex.unlock pool.mutex
   end
   else begin
-    let cancelled =
+    let guard_cancelled =
       match guard with
       | Some g -> fun () -> Guard.cancelled g
       | None -> fun () -> false
@@ -200,8 +278,10 @@ let run_all (type a b) ?guard pool (f : a -> b) (tasks : a array) :
       {
         run = exec;
         n;
-        next = Atomic.make 0;
-        cancelled;
+        shards = make_shards ~n ~size:pool.size;
+        cancelled = (fun () -> guard_cancelled () || early_stop ());
+        early_stop;
+        skip = skip_into;
         completed = 0;
         orphans = [];
       }
@@ -217,16 +297,19 @@ let run_all (type a b) ?guard pool (f : a -> b) (tasks : a array) :
     let rec wait () =
       if job.completed >= job.n then ()
       else if job.orphans <> [] then begin
-        (* Redistribute a dead worker's abandoned indices: run them
-           inline in the coordinator (fault-free by construction — the
-           rescue path does not consult the fault schedule). *)
+        (* Rescue a dead worker's abandoned claims: run them inline in
+           the coordinator (fault-free by construction — the rescue path
+           does not consult the fault schedule). Only the index the dead
+           worker had already claimed lands here; the rest of its shard
+           was stolen by the surviving workers. *)
         let orphans = job.orphans in
         job.orphans <- [];
         Mutex.unlock pool.mutex;
         let t0 = now () in
         List.iter (fun i -> exec i ~fate:`Run) orphans;
-        pool.busy.(0) <- pool.busy.(0) +. (now () -. t0);
+        let dt = now () -. t0 in
         Mutex.lock pool.mutex;
+        pool.busy.(0) <- pool.busy.(0) +. dt;
         job.completed <- job.completed + List.length orphans;
         wait ()
       end
@@ -247,22 +330,23 @@ let run_all (type a b) ?guard pool (f : a -> b) (tasks : a array) :
       match slot with
       | Some (Error _) -> exec i ~fate:`Run
       | Some (Ok _) -> ()
-      | None -> assert false (* every index was run or rescued *))
+      | None -> assert false (* every index was run, skipped, or rescued *))
     slots;
   Array.map (function Some r -> r | None -> assert false) slots
 
 let map_array_result ?guard pool f tasks =
   if Array.length tasks = 0 then [||] else run_all ?guard pool f tasks
 
+let errors_of_slots slots =
+  Array.to_list slots
+  |> List.mapi (fun i slot -> (i, slot))
+  |> List.filter_map (function
+       | i, Error (e, bt) -> Some (i, e, bt)
+       | _, Ok _ -> None)
+
 let map_array ?guard pool f tasks =
   let slots = map_array_result ?guard pool f tasks in
-  let errors =
-    Array.to_list slots
-    |> List.mapi (fun i slot -> (i, slot))
-    |> List.filter_map (function
-         | i, Error (e, bt) -> Some (i, e, bt)
-         | _, Ok _ -> None)
-  in
+  let errors = errors_of_slots slots in
   if errors <> [] then raise (Task_errors errors);
   Array.map (function Ok r -> r | Error _ -> assert false) slots
 
@@ -273,11 +357,16 @@ let exists ?guard pool pred tasks =
   if pool.size = 1 || Array.length tasks < 2 then Array.exists pred tasks
   else begin
     let found = Atomic.make false in
-    ignore
-      (map_array ?guard pool
-         (fun x ->
-           if (not (Atomic.get found)) && pred x then Atomic.set found true)
-         tasks);
+    let slots =
+      run_all ?guard pool
+        ~stop:(fun () -> Atomic.get found)
+        ~skip:(fun () -> ())
+        (fun x ->
+          if (not (Atomic.get found)) && pred x then Atomic.set found true)
+        tasks
+    in
+    let errors = errors_of_slots slots in
+    if errors <> [] then raise (Task_errors errors);
     Atomic.get found
   end
 
@@ -313,7 +402,16 @@ let jobs_from_env () =
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> n
-      | Some _ | None -> 1)
+      | Some n ->
+          Printf.eprintf
+            "frontier: warning: FRONTIER_JOBS=%d is not positive; using 1\n%!"
+            n;
+          1
+      | None ->
+          Printf.eprintf
+            "frontier: warning: FRONTIER_JOBS=%S is not an integer; using 1\n%!"
+            s;
+          1)
 
 let default_size = ref None
 let default_pool = ref None
@@ -339,3 +437,12 @@ let get_default () =
       let p = create (default_jobs ()) in
       default_pool := Some p;
       p
+
+(* ------------------------------------------------------------------ *)
+(* Test hooks                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Internal = struct
+  let shard_bounds = shard_bounds
+  let probe_order = probe_order
+end

@@ -1,14 +1,19 @@
-(** A work-sharing pool of OCaml 5 domains, hardened for degraded-mode
+(** A work-stealing pool of OCaml 5 domains, hardened for degraded-mode
     operation.
 
-    The pool executes arrays of independent tasks: workers claim task
-    indices from a shared atomic counter (a degenerate work-stealing deque —
-    every idle worker steals the next undone index), and results are written
-    into per-index slots, so the merged output is in task order regardless
-    of which domain ran what. This is what makes the parallel chase and
+    The pool executes arrays of independent tasks. A job slices the index
+    range into one contiguous shard per worker; each worker drains its own
+    shard through a private atomic cursor (the hot path is an uncontended
+    fetch-and-add) and steals round-robin from the other shards only when
+    its own runs dry. Because a shard cursor only moves forward, "every
+    shard is dry" is a stable condition, so no index can be lost to a
+    scheduling race — including the shard of a worker that died mid-job,
+    which the survivors steal like any other. Results are written into
+    per-index slots, so the merged output is in task order regardless of
+    which domain ran what. This is what makes the parallel chase and
     rewriting saturation deterministic: callers fix a task order, and the
-    pool guarantees the merged result is as if the tasks ran sequentially in
-    that order (provided tasks are independent).
+    pool guarantees the merged result is as if the tasks ran sequentially
+    in that order (provided tasks are independent).
 
     A pool of size 1 never spawns domains and runs everything inline in the
     caller, so [~pool:(Pool.create 1)] is observationally the sequential
@@ -20,10 +25,11 @@
     inline (recovering transient and injected faults), and only then are
     the surviving failures aggregated into a single {!Task_errors}. A
     worker "killed" by the fault-injection schedule ({!Guard.Faults})
-    abandons its claimed index, which the coordinator rescues inline —
-    automatic redistribution of a dead worker's work, degenerating to
-    plain sequential execution at pool size 1. Because failed or orphaned
-    tasks may be re-executed, tasks must be effect-free or idempotent.
+    abandons only the index it had already claimed — rescued inline by the
+    coordinator — while the unclaimed remainder of its shard is stolen by
+    the surviving workers; at pool size 1 all of this degenerates to plain
+    sequential execution. Because failed or orphaned tasks may be
+    re-executed, tasks must be effect-free or idempotent.
 
     Tasks must not themselves call into the same pool (no nesting), and the
     shared structures they read must be published before [map_array] is
@@ -39,12 +45,16 @@ exception Task_errors of (int * exn * Printexc.raw_backtrace) list
 type t
 
 val sequential : t
-(** The shared size-1 pool: inline execution, no domains, no locking. *)
+(** The shared size-1 pool: inline execution, no domains. Note that its
+    {!busy_times} accumulate across every caller in the process; library
+    entry points that want per-run accounting should default to a private
+    [create 1] instead. *)
 
 val create : int -> t
 (** [create n] spawns [n - 1] worker domains (the caller participates as
     worker 0 during [map_array]). [n] is clamped below at 1. Pools are
-    long-lived; create one per process or per [-j] setting, not per call. *)
+    long-lived; create one per process or per [-j] setting, not per call.
+    [create 1] spawns nothing and is cheap enough to make per run. *)
 
 val size : t -> int
 
@@ -74,9 +84,12 @@ val map_array_result :
 val map_list : ?guard:Guard.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 
 val exists : ?guard:Guard.t -> t -> ('a -> bool) -> 'a array -> bool
-(** Parallel existential check. Early-exits cooperatively: once a witness
-    is found, not-yet-started tasks are skipped. The boolean result is
-    deterministic (it does not depend on scheduling). *)
+(** Parallel existential check with a genuine early exit: once a witness
+    is found, workers stop claiming tasks and every remaining index is
+    resolved as a no-op without invoking the predicate. The boolean
+    result is deterministic (it does not depend on scheduling); the set
+    of predicate invocations is not, but is bounded by the tasks claimed
+    before the witness was published. *)
 
 val filter_list : ?guard:Guard.t -> t -> ('a -> bool) -> 'a list -> 'a list
 (** Parallel filter preserving list order. *)
@@ -94,8 +107,9 @@ val reset_busy : t -> unit
     environment variable. *)
 
 val jobs_from_env : unit -> int
-(** [FRONTIER_JOBS] parsed as a positive integer; 1 when unset or
-    malformed. *)
+(** [FRONTIER_JOBS] parsed as a positive integer; 1 when unset. A
+    malformed or non-positive value also maps to 1, but with a warning
+    on stderr rather than silently. *)
 
 val set_default_jobs : int -> unit
 (** Override the default job count (e.g. from a [-j] flag); shuts down the
@@ -105,3 +119,17 @@ val default_jobs : unit -> int
 
 val get_default : unit -> t
 (** The process-wide pool, lazily created with [default_jobs ()] workers. *)
+
+(** {1 Scheduler internals, exposed for the steal-path unit tests}
+
+    Pure functions — no pool required. Not part of the stable API. *)
+module Internal : sig
+  val shard_bounds : n:int -> size:int -> (int * int) array
+  (** The balanced contiguous [(lo, hi)] slices of [0, n) assigned to the
+      [size] workers; slices concatenate to exactly [0, n). *)
+
+  val probe_order : worker:int -> shards:int -> int list
+  (** The order in which [worker] visits shards when claiming: its own
+      shard first, then the victims round-robin — each shard exactly
+      once (no self-steal). *)
+end

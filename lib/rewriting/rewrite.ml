@@ -114,22 +114,66 @@ type store = {
   is_live : Cq.t -> bool;
 }
 
-let make_store ~pool ~implies =
+(* Resolve [implies q' d] over a candidate list in two phases: a
+   coordinator prepass answers every pair the containment memo (or a
+   trivial fast path) already decides — [`Subsumed] short-circuits
+   without waking the pool — and only the unresolved residue fans out.
+   On warm stores most pairs are memo-resolved, so a typical insertion
+   costs zero pool dispatches. *)
+let subsumed_by ~pool ~probe ~implies q' candidates =
+  let known = ref false in
+  let unknown =
+    List.filter
+      (fun d ->
+        (not !known)
+        &&
+        match probe q' d with
+        | Some true ->
+            known := true;
+            false
+        | Some false -> false
+        | None -> true)
+      candidates
+  in
+  !known
+  || Parallel.Pool.exists pool
+       (fun d -> implies q' d)
+       (Array.of_list unknown)
+
+(* The victim direction: per-candidate verdicts [implies d q'], memo
+   prepass first, pool only for the unresolved pairs (their verdicts are
+   scattered back into candidate order, so the result is exactly
+   [List.map (fun d -> implies d q') candidates]). *)
+let verdicts_against ~pool ~probe ~implies q' candidates =
+  let cands = Array.of_list candidates in
+  let pre = Array.map (fun d -> probe d q') cands in
+  let unresolved = ref [] in
+  Array.iteri
+    (fun i v -> if v = None then unresolved := i :: !unresolved)
+    pre;
+  let unresolved = Array.of_list (List.rev !unresolved) in
+  let computed =
+    Parallel.Pool.map_array pool
+      (fun i -> implies cands.(i) q')
+      unresolved
+  in
+  Array.iteri (fun k i -> pre.(i) <- Some computed.(k)) unresolved;
+  Array.to_list
+    (Array.map (function Some v -> v | None -> assert false) pre)
+
+let make_store ~pool ~probe ~implies =
   let live : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let is_live q = Hashtbl.mem live (Cq.canon_id q) in
   if Ucq_index.indexing_enabled () then begin
     let idx = Ucq_index.create () in
     let insert q' =
       let subsumers = Ucq_index.subsumer_candidates idx q' in
-      if
-        Parallel.Pool.exists pool
-          (fun d -> implies q' d)
-          (Array.of_list subsumers)
-      then `Subsumed
+      if subsumed_by ~pool ~probe ~implies q' subsumers then `Subsumed
       else begin
         let victims = Ucq_index.victim_candidates idx q' in
         let verdicts =
-          Parallel.Pool.map_list pool (fun (_, d) -> implies d q') victims
+          verdicts_against ~pool ~probe ~implies q'
+            (List.map snd victims)
         in
         List.iter2
           (fun (slot, d) dropped ->
@@ -154,14 +198,10 @@ let make_store ~pool ~implies =
   else begin
     let disjuncts = ref [] in
     let insert q' =
-      if
-        Parallel.Pool.exists pool
-          (fun d -> implies q' d)
-          (Array.of_list !disjuncts)
-      then `Subsumed
+      if subsumed_by ~pool ~probe ~implies q' !disjuncts then `Subsumed
       else begin
         let verdicts =
-          Parallel.Pool.map_list pool (fun d -> implies d q') !disjuncts
+          verdicts_against ~pool ~probe ~implies q' !disjuncts
         in
         let kept =
           List.fold_right2
@@ -215,7 +255,17 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
       ignore (Guard.check guard);
     Containment.implies_memo a b
   in
-  let store = make_store ~pool ~implies in
+  (* The coordinator's memo prepass: a probe that answers counts as a
+     containment check (it replaced one), so the reported check totals
+     stay comparable with the pre-batching engine. *)
+  let probe a b =
+    match Containment.memo_probe a b with
+    | Some _ as v ->
+        ignore (Atomic.fetch_and_add checks 1);
+        v
+    | None -> None
+  in
+  let store = make_store ~pool ~probe ~implies in
   let q0 = Containment.core_of_query q in
   let seen_before = make_dedup () in
   let dedup_hits = ref 0 in
@@ -226,7 +276,7 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
   let exception Budget_hit in
   let step (ctx : Saturation.ctx) batch =
     (* Disjuncts subsumed since they were enqueued need not expand. *)
-    let live = List.filter store.is_live batch in
+    let live = List.filter store.is_live (Array.to_list batch) in
     if live = [] then
       {
         Saturation.next = [];

@@ -84,20 +84,62 @@ let split_batch n l =
   in
   go n [] l
 
-(* First [k] items of the deque [front @ List.rev back], plus the
-   remainder in the same representation. Tail-recursive. *)
-let take k front back =
-  let rec go k acc front back =
-    if k <= 0 then (List.rev acc, front, back)
-    else
-      match front with
-      | x :: rest -> go (k - 1) (x :: acc) rest back
-      | [] -> if back = [] then (List.rev acc, [], []) else go k acc (List.rev back) []
-  in
-  go k [] front back
+(* The worklist: a flat array-backed FIFO. Items live in
+   [buf.(head .. tail - 1)]; a round's batch is one [Array.sub] off the
+   head (which the pool then shards contiguously), productions append at
+   the tail, and growth compacts the live region to the front. Frontier
+   size is O(1) — the old front/back list deque paid an O(n) double
+   reversal per [All] round plus an O(n) [List.length] for the stats. *)
+type 'w queue = {
+  mutable buf : 'w array;
+  mutable head : int;
+  mutable tail : int;
+}
 
-let run ?(pool = Parallel.Pool.sequential) ?guard ?(drain = All)
-    ?(max_rounds = max_int) ?(record_rounds = true) ~init ~step () =
+let queue_of_list init =
+  let buf = Array.of_list init in
+  { buf; head = 0; tail = Array.length buf }
+
+let queue_length q = q.tail - q.head
+
+(* Make room for [extra] more items, using [witness] to seed fresh
+   storage. Doubling growth amortizes to O(1) per pushed item. *)
+let queue_reserve q extra witness =
+  if q.tail + extra > Array.length q.buf then begin
+    let len = queue_length q in
+    let cap = max 16 (max (2 * Array.length q.buf) (len + extra)) in
+    let buf = Array.make cap witness in
+    Array.blit q.buf q.head buf 0 len;
+    q.buf <- buf;
+    q.head <- 0;
+    q.tail <- len
+  end
+
+let queue_push_list q items =
+  match items with
+  | [] -> ()
+  | witness :: _ ->
+      queue_reserve q (List.length items) witness;
+      List.iter
+        (fun x ->
+          q.buf.(q.tail) <- x;
+          q.tail <- q.tail + 1)
+        items
+
+let queue_take q k =
+  let m = min k (queue_length q) in
+  let batch = Array.sub q.buf q.head m in
+  q.head <- q.head + m;
+  batch
+
+let run ?pool ?guard ?(drain = All) ?(max_rounds = max_int)
+    ?(record_rounds = true) ~init ~step () =
+  (* A private size-1 pool by default (not the shared [Pool.sequential]):
+     independent runs must not cross-contaminate each other's busy
+     accounting. *)
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.create 1
+  in
   let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   let rounds = ref 0 in
   let totals = ref Stats.zero in
@@ -112,76 +154,63 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(drain = All)
         per_round = Array.of_list (List.rev !per_round);
       } )
   in
-  (* The worklist is a front/back deque: rounds consume from [front],
-     their productions are pushed (reversed) onto [back], and the back is
-     reversed in when the front drains — overall FIFO, with every
-     operation tail-recursive and constant-stack. *)
-  let rec loop front back =
-    match (front, back) with
-    | [], [] -> finish Saturated
-    | [], back -> loop (List.rev back) []
-    | front, back -> (
-        if !rounds >= max_rounds then finish Stopped
-        else
-          match Guard.check guard with
-          | Some cause ->
-              (* A boundary trip costs nothing: the round never ran. *)
-              finish (Tripped cause)
-          | None -> (
-              let want =
-                match drain with All -> -1 | At_most f -> f ()
-              in
-              if (match drain with All -> false | At_most _ -> want <= 0)
-              then finish Stopped
-              else
-                let batch, front, back =
-                  match drain with
-                  | All ->
-                      (List.rev_append (List.rev front) (List.rev back), [], [])
-                  | At_most _ -> take want front back
-                in
-                let ctx = { pool; guard; round = !rounds + 1 } in
-                let busy0 =
-                  if record_rounds then Parallel.Pool.busy_times pool
-                  else [||]
-                in
-                let t0 = if record_rounds then Unix.gettimeofday () else 0. in
-                let res = step ctx batch in
-                if not res.commit then
-                  (* Aborted mid-round: the partial products are unsound,
-                     so the round is discarded wholesale — the
-                     accumulated state stays an exact prefix. *)
-                  match Guard.status guard with
-                  | Some cause -> finish (Tripped cause)
-                  | None -> finish Stopped
-                else begin
-                  incr rounds;
-                  totals := Stats.add !totals res.tally;
-                  if record_rounds then begin
-                    let busy1 = Parallel.Pool.busy_times pool in
-                    per_round :=
-                      {
-                        Stats.index = !rounds;
-                        frontier = List.length batch;
-                        tally = res.tally;
-                        wall_s = Unix.gettimeofday () -. t0;
-                        domain_busy_s =
-                          Array.init (Array.length busy1) (fun i ->
-                              busy1.(i) -. busy0.(i));
-                      }
-                      :: !per_round
-                  end;
-                  let back = List.rev_append res.next back in
-                  (* A trip raised inside the committed round (typically
-                     by the step's own [Guard.spend]) stops the run with
-                     the round kept. *)
-                  match Guard.status guard with
-                  | Some cause -> finish (Tripped cause)
-                  | None ->
-                      if res.stop then finish Stopped else loop front back
-                end))
+  let q = queue_of_list init in
+  let rec loop () =
+    if queue_length q = 0 then finish Saturated
+    else if !rounds >= max_rounds then finish Stopped
+    else
+      match Guard.check guard with
+      | Some cause ->
+          (* A boundary trip costs nothing: the round never ran. *)
+          finish (Tripped cause)
+      | None -> (
+          let want =
+            match drain with All -> queue_length q | At_most f -> f ()
+          in
+          if (match drain with All -> false | At_most _ -> want <= 0) then
+            finish Stopped
+          else
+            let batch = queue_take q want in
+            let ctx = { pool; guard; round = !rounds + 1 } in
+            let busy0 =
+              if record_rounds then Parallel.Pool.busy_times pool else [||]
+            in
+            let t0 = if record_rounds then Unix.gettimeofday () else 0. in
+            let res = step ctx batch in
+            if not res.commit then
+              (* Aborted mid-round: the partial products are unsound,
+                 so the round is discarded wholesale — the
+                 accumulated state stays an exact prefix. *)
+              match Guard.status guard with
+              | Some cause -> finish (Tripped cause)
+              | None -> finish Stopped
+            else begin
+              incr rounds;
+              totals := Stats.add !totals res.tally;
+              if record_rounds then begin
+                let busy1 = Parallel.Pool.busy_times pool in
+                per_round :=
+                  {
+                    Stats.index = !rounds;
+                    frontier = Array.length batch;
+                    tally = res.tally;
+                    wall_s = Unix.gettimeofday () -. t0;
+                    domain_busy_s =
+                      Array.init (Array.length busy1) (fun i ->
+                          busy1.(i) -. busy0.(i));
+                  }
+                  :: !per_round
+              end;
+              queue_push_list q res.next;
+              (* A trip raised inside the committed round (typically
+                 by the step's own [Guard.spend]) stops the run with
+                 the round kept. *)
+              match Guard.status guard with
+              | Some cause -> finish (Tripped cause)
+              | None -> if res.stop then finish Stopped else loop ()
+            end)
   in
-  loop init []
+  loop ()
 
 let outcome verdict ~guard ~complete ~partial ~stopped_cause =
   match verdict with

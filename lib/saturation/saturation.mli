@@ -25,7 +25,10 @@
        more, so a trip raised by [Guard.spend] inside the step stops the
        saturation with the committed round kept.}}
 
-    All worklist plumbing is tail-recursive / constant-stack, so
+    The worklist is a flat array-backed FIFO: a round's batch is one
+    contiguous [Array.sub] off the head (which the pool then shards
+    contiguously across workers), productions append at the tail, and
+    the frontier size is O(1). All plumbing is constant-stack, so
     frontiers of millions of items are safe (verified on a 1M-item
     frontier by the test suite). *)
 
@@ -128,13 +131,18 @@ val run :
   ?max_rounds:int ->
   ?record_rounds:bool ->
   init:'w list ->
-  step:(ctx -> 'w list -> 'w step_result) ->
+  step:(ctx -> 'w array -> 'w step_result) ->
   unit ->
   verdict * Stats.t
-(** Defaults: [pool] sequential, [guard] unlimited, [drain = All],
-    [max_rounds = max_int], [record_rounds = true] (pass [false] on
-    one-item-per-round drains over huge frontiers — recording a round
-    per item would allocate proportionally).
+(** Defaults: [pool] a {e private} size-1 pool (so independent runs never
+    share busy accounting; pass [Parallel.Pool.sequential] explicitly if
+    the old shared-pool behavior is wanted), [guard] unlimited,
+    [drain = All], [max_rounds = max_int], [record_rounds = true] (pass
+    [false] on one-item-per-round drains over huge frontiers — recording
+    a round per item would allocate proportionally).
+
+    The step receives its batch as an array — a contiguous slice of the
+    frontier in FIFO order; it must not mutate it.
 
     Round protocol, in order: (1) empty frontier — [Saturated]; (2)
     [max_rounds] committed rounds reached — [Stopped]; (3) guard

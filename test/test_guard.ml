@@ -127,11 +127,15 @@ let test_kernel_saturates () =
   (* Count down from 5: six committed rounds (5..0), then a drained
      worklist. *)
   let step (_ : Saturation.ctx) batch =
-    let next = List.concat_map (fun n -> if n = 0 then [] else [ n - 1 ]) batch in
+    let next =
+      List.concat_map
+        (fun n -> if n = 0 then [] else [ n - 1 ])
+        (Array.to_list batch)
+    in
     {
       Saturation.next;
       tally =
-        tally ~expanded:(List.length batch) ~generated:(List.length next)
+        tally ~expanded:(Array.length batch) ~generated:(List.length next)
           ~admitted:(List.length next) ();
       stop = false;
       commit = true;
@@ -163,8 +167,8 @@ let test_kernel_saturates () =
 let test_kernel_stops () =
   let forever (_ : Saturation.ctx) batch =
     {
-      Saturation.next = batch;
-      tally = tally ~expanded:(List.length batch) ();
+      Saturation.next = Array.to_list batch;
+      tally = tally ~expanded:(Array.length batch) ();
       stop = false;
       commit = true;
     }
@@ -193,8 +197,8 @@ let test_kernel_stops () =
 let test_kernel_trips () =
   let forever (_ : Saturation.ctx) batch =
     {
-      Saturation.next = batch;
-      tally = tally ~expanded:(List.length batch) ();
+      Saturation.next = Array.to_list batch;
+      tally = tally ~expanded:(Array.length batch) ();
       stop = false;
       commit = true;
     }
@@ -269,7 +273,7 @@ let test_kernel_fifo () =
      rewriting and the marked process used to hand-roll. *)
   let order = ref [] in
   let step (_ : Saturation.ctx) batch =
-    let n = match batch with [ n ] -> n | _ -> Alcotest.fail "batch size" in
+    let n = match batch with [| n |] -> n | _ -> Alcotest.fail "batch size" in
     order := n :: !order;
     {
       Saturation.next = (if n < 10 then [ n + 10 ] else []);
@@ -296,7 +300,7 @@ let test_kernel_million_item_frontier () =
   let consume (_ : Saturation.ctx) batch =
     {
       Saturation.next = [];
-      tally = tally ~expanded:(List.length batch) ();
+      tally = tally ~expanded:(Array.length batch) ();
       stop = false;
       commit = true;
     }
