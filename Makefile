@@ -1,6 +1,15 @@
-.PHONY: all build test check check-faults check-kernel check-portfolio check-shard bench bench-smoke examples doc clean fmt
+.PHONY: all build test check check-faults check-kernel check-portfolio check-shard check-arena bench bench-smoke examples doc clean fmt
+
+# Every generated bench snapshot — recorded smoke baselines and the
+# transient *-check.json the drift gates produce — lives here, out of
+# the repo root. The committed BENCH_*.json full-size runs stay at the
+# top level; they are reference data, not build products.
+SNAPSHOTS := bench/snapshots
 
 all: build
+
+$(SNAPSHOTS):
+	mkdir -p $(SNAPSHOTS)
 
 build:
 	dune build @all
@@ -43,20 +52,22 @@ check-faults: build
 # fails. A first run on a fresh checkout seeds the snapshots; run `make
 # bench-smoke` on the baseline commit to compare across commits.
 DRIFT_TOL ?= 0.05
-check-kernel: build
+check-kernel: build | $(SNAPSHOTS)
 	dune exec test/test_guard.exe
 	FRONTIER_QCHECK_COUNT=50 dune exec test/test_properties.exe
 	for j in 1 4; do \
 	  echo "== bench drift gate, -j $$j =="; \
 	  FRONTIER_JOBS=$$j FRONTIER_BENCH_SMOKE=1 \
-	    FRONTIER_BENCH_JSON=bench-kernel-ix.json \
+	    FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-kernel-ix.json \
 	    dune exec bench/main.exe -- ix || exit 1; \
 	  FRONTIER_JOBS=$$j FRONTIER_BENCH_SMOKE=1 \
-	    FRONTIER_BENCH_JSON=bench-kernel-rw.json \
+	    FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-kernel-rw.json \
 	    dune exec bench/main.exe -- rw || exit 1; \
-	  python3 tools/bench_drift.py bench-smoke.json bench-kernel-ix.json \
+	  python3 tools/bench_drift.py $(SNAPSHOTS)/bench-smoke.json \
+	    $(SNAPSHOTS)/bench-kernel-ix.json \
 	    --tolerance $(DRIFT_TOL) || exit 1; \
-	  python3 tools/bench_drift.py bench-smoke-rw.json bench-kernel-rw.json \
+	  python3 tools/bench_drift.py $(SNAPSHOTS)/bench-smoke-rw.json \
+	    $(SNAPSHOTS)/bench-kernel-rw.json \
 	    --tolerance $(DRIFT_TOL) || exit 1; \
 	done
 
@@ -75,7 +86,7 @@ check-kernel: build
 # writes bench-shard-check.json instead so it never clobbers it.
 NPROC := $(shell nproc 2>/dev/null || echo 2)
 SHARD_DRIFT_TOL ?= 0.25
-check-shard: build
+check-shard: build | $(SNAPSHOTS)
 	dune exec test/test_pool.exe
 	FRONTIER_QCHECK_COUNT=25 dune exec test/test_properties.exe
 	for j in 1 4 $(NPROC); do \
@@ -83,10 +94,30 @@ check-shard: build
 	  FRONTIER_BENCH_SMOKE=1 \
 	    dune exec bench/main.exe -- par -j $$j || exit 1; \
 	done
-	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-shard-check.json \
+	FRONTIER_BENCH_SMOKE=1 \
+	  FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-shard-check.json \
 	  dune exec bench/main.exe -- shard
-	python3 tools/bench_drift.py bench-smoke-shard.json bench-shard-check.json \
+	python3 tools/bench_drift.py $(SNAPSHOTS)/bench-smoke-shard.json \
+	  $(SNAPSHOTS)/bench-shard-check.json \
 	  --tolerance $(SHARD_DRIFT_TOL)
+
+# Flat-arena gate (mirrored by the CI arena job): the arena unit suite
+# (interning, span decoding, posting intersections), the arena-vs-boxed
+# differential properties, then the arena A/B experiment in smoke sizing
+# — which itself exits nonzero if any boxed/arena stage comparison or
+# cost-gate criterion fails — drift-gated against the recorded smoke
+# snapshot. The committed BENCH_arena.json is the full-size run; the
+# smoke check writes bench-arena-check.json so it never clobbers it.
+ARENA_DRIFT_TOL ?= 0.25
+check-arena: build | $(SNAPSHOTS)
+	dune exec test/test_arena.exe
+	FRONTIER_QCHECK_COUNT=25 dune exec test/test_properties.exe
+	FRONTIER_BENCH_SMOKE=1 \
+	  FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-arena-check.json \
+	  dune exec bench/main.exe -- arena
+	python3 tools/bench_drift.py $(SNAPSHOTS)/bench-smoke-arena.json \
+	  $(SNAPSHOTS)/bench-arena-check.json \
+	  --tolerance $(ARENA_DRIFT_TOL)
 
 # Portfolio gate (mirrored by the CI portfolio job): the checker /
 # selector / minimizer / repro unit suites, the zoo classification
@@ -108,13 +139,20 @@ bench:
 #   ix     incremental fact-set indexing + containment memoization
 #   rw     subsumption-indexed UCQ store + decomposed containment solver
 #   shard  sharded work-stealing pool, -j1 vs -j4 differential
-bench-smoke:
-	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke.json \
+#   arena  flat-arena + compiled joins vs boxed, cost-gated -j4
+bench-smoke: | $(SNAPSHOTS)
+	FRONTIER_BENCH_SMOKE=1 \
+		FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-smoke.json \
 		dune exec bench/main.exe -- ix
-	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke-rw.json \
+	FRONTIER_BENCH_SMOKE=1 \
+		FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-smoke-rw.json \
 		dune exec bench/main.exe -- rw
-	FRONTIER_BENCH_SMOKE=1 FRONTIER_BENCH_JSON=bench-smoke-shard.json \
+	FRONTIER_BENCH_SMOKE=1 \
+		FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-smoke-shard.json \
 		dune exec bench/main.exe -- shard
+	FRONTIER_BENCH_SMOKE=1 \
+		FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-smoke-arena.json \
+		dune exec bench/main.exe -- arena
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1270,6 +1270,233 @@ let shard () =
   if not all_identical then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* arena — flat-arena engine: boxed vs arena A/B + cost-gated -j4      *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole experiment of the flat-arena PR: run every saturation
+   client once with the boxed layer layout + map-based engine
+   ([Fact_set.set_arena false]) and once with the arena layout +
+   compiled register machine (the default), both at -j1, and check the
+   results are identical — the representation may only change wall
+   time, never the mathematics. A third arm repeats the arena run at
+   -j4 through the cost-gated pool: on a 1-core box the gate routes
+   everything inline, so the -j4 column measures the gate itself (it
+   must stay within a whisker of -j1, where the pre-gate scheduler
+   collapsed to 0.02-0.14x on the fan-out-happy workloads).
+
+   FRONTIER_BENCH_SMOKE=1   shrink the workloads (CI smoke sizing)
+   FRONTIER_BENCH_JSON=path also write the results as a JSON snapshot *)
+
+let arena () =
+  header "arena"
+    "flat-arena engine: boxed vs arena layouts at -j1 + cost-gated -j4"
+    "identical results across layouts; arena beats boxed; -j4 never \
+     collapses";
+  let smoke = Sys.getenv_opt "FRONTIER_BENCH_SMOKE" <> None in
+  let reps = if smoke then 1 else 2 in
+  let jobs = 4 in
+  let pool1 = Parallel.Pool.create 1 in
+  let pooln = Parallel.Pool.create jobs in
+  row "  comparing boxed -j1 / arena -j1 / arena -j%d (this machine has %d \
+       cores)@."
+    jobs
+    (Domain.recommended_domain_count ());
+  Homomorphism.reset_counters ();
+  Fact_set.reset_counters ();
+  (* [arena_on]: layer layout AND engine for the timed run; the memo is
+     cold at every rep so no arm inherits the previous arm's work. *)
+  let best ~arena_on f =
+    let t = ref infinity and out = ref None in
+    for _ = 1 to reps do
+      Fact_set.set_arena arena_on;
+      Containment.reset_memo ();
+      (* Each arm measures its own cost: compacting first stops the
+         previous arms' garbage (dead chase results, containment memos,
+         rewriting stores) from inflating this arm's major-GC marking
+         time — without it the later workloads read ~2x slower here
+         than the same call in a fresh process. *)
+      Gc.compact ();
+      let v, dt = time_it f in
+      if dt < !t then t := dt;
+      out := Some v
+    done;
+    Fact_set.set_arena true;
+    (Option.get !out, !t)
+  in
+  let tally_eq (a : Saturation.Stats.tally) (b : Saturation.Stats.tally) =
+    a.Saturation.Stats.expanded = b.Saturation.Stats.expanded
+    && a.Saturation.Stats.generated = b.Saturation.Stats.generated
+    && a.Saturation.Stats.admitted = b.Saturation.Stats.admitted
+    && a.Saturation.Stats.deduped = b.Saturation.Stats.deduped
+  in
+  let kernel_eq (a : Saturation.Stats.t) (b : Saturation.Stats.t) =
+    a.Saturation.Stats.rounds = b.Saturation.Stats.rounds
+    && tally_eq a.Saturation.Stats.totals b.Saturation.Stats.totals
+  in
+  let ucq_identical u1 u2 =
+    List.equal
+      (fun a b -> Cq.canon_id a = Cq.canon_id b)
+      (Ucq.disjuncts u1) (Ucq.disjuncts u2)
+  in
+  let results = ref [] in
+  let report ?(criterion = "identical") name tb ta tn identical detail =
+    row "  %-26s boxed %8.3fs   arena %8.3fs   x%-6.2f -j%d %8.3fs   %s@."
+      name tb ta (tb /. ta) jobs tn
+      (if identical then criterion else "MISMATCH");
+    if detail <> "" then row "    %s@." detail;
+    results := (name, tb, ta, tn, identical, criterion) :: !results
+  in
+  (* --- chase: T_d on the E1 grid ------------------------------------- *)
+  let grid_len = if smoke then 5 else 8 in
+  let depth = if smoke then 5 else 7 in
+  let _, _, grid = Theories.Instances.path Theories.Zoo.g2 grid_len in
+  let chase pool () =
+    Chase.Engine.run ~pool ~max_depth:depth ~max_atoms:400_000
+      Theories.Zoo.t_d grid
+  in
+  let cb, cbt = best ~arena_on:false (chase pool1) in
+  let ca, cat_ = best ~arena_on:true (chase pool1) in
+  let cn, cnt = best ~arena_on:true (chase pooln) in
+  let stages_identical c1 c2 =
+    Chase.Engine.depth c1 = Chase.Engine.depth c2
+    && List.for_all
+         (fun i ->
+           Fact_set.equal (Chase.Engine.stage c1 i) (Chase.Engine.stage c2 i))
+         (List.init (Chase.Engine.depth c1 + 1) Fun.id)
+    && Array.for_all2
+         (fun (a : Saturation.Stats.round) (b : Saturation.Stats.round) ->
+           a.Saturation.Stats.index = b.Saturation.Stats.index
+           && tally_eq a.Saturation.Stats.tally b.Saturation.Stats.tally)
+         (Chase.Engine.stage_stats c1)
+         (Chase.Engine.stage_stats c2)
+  in
+  report
+    (Printf.sprintf "chase T_d G^%d depth %d" grid_len depth)
+    cbt cat_ cnt
+    (stages_identical cb ca && stages_identical ca cn)
+    (Printf.sprintf "%d stages, %d atoms"
+       (Chase.Engine.depth ca + 1)
+       (Fact_set.cardinal (Chase.Engine.result ca)));
+  (* --- generic rewriting saturation (the E11 workload) --------------- *)
+  let x = Term.var "x" and y = Term.var "y" in
+  let q = Cq.make ~free:[ x ] [ Atom.make Theories.Zoo.g2 [ x; y ] ] in
+  let budget =
+    {
+      Rewriting.Rewrite.max_disjuncts = (if smoke then 60 else 200);
+      max_atoms_per_disjunct = (if smoke then 20 else 24);
+      max_steps = (if smoke then 120 else 2_000);
+    }
+  in
+  let rewrite pool () =
+    Rewriting.Rewrite.rewrite ~pool ~budget Theories.Zoo.t_d_noloop q
+  in
+  let rb, rbt = best ~arena_on:false (rewrite pool1) in
+  let ra, rat = best ~arena_on:true (rewrite pool1) in
+  let rn, rnt = best ~arena_on:true (rewrite pooln) in
+  report ~criterion:"equivalent" "generic T_d\\(loop)" rbt rat rnt
+    (Ucq.equivalent rb.Rewriting.Rewrite.ucq ra.Rewriting.Rewrite.ucq
+    && Ucq.equivalent ra.Rewriting.Rewrite.ucq rn.Rewriting.Rewrite.ucq)
+    (Printf.sprintf "boxed %d steps / %d disjuncts, arena %d steps / %d \
+                     disjuncts"
+       rb.Rewriting.Rewrite.steps
+       (Ucq.cardinal rb.Rewriting.Rewrite.ucq)
+       ra.Rewriting.Rewrite.steps
+       (Ucq.cardinal ra.Rewriting.Rewrite.ucq));
+  (* --- E2: the marked process on phi_R^n ----------------------------- *)
+  let n2 = if smoke then 3 else 5 in
+  let _, _, phi = Theories.Zoo.phi_r n2 in
+  let td pool () = Marked.Process.rewrite_td ~pool phi in
+  let mb, mbt = best ~arena_on:false (td pool1) in
+  let ma, mat_ = best ~arena_on:true (td pool1) in
+  let mn, mnt = best ~arena_on:true (td pooln) in
+  let marked_eq (a : Marked.Process.result) (b : Marked.Process.result) =
+    a.Marked.Process.stats = b.Marked.Process.stats
+    && kernel_eq a.Marked.Process.kernel_stats b.Marked.Process.kernel_stats
+    && ucq_identical a.Marked.Process.rewriting b.Marked.Process.rewriting
+  in
+  report
+    (Printf.sprintf "E2 phi_R^%d (T_d)" n2)
+    mbt mat_ mnt
+    (marked_eq mb ma && marked_eq ma mn)
+    (Printf.sprintf "%d steps, %d disjuncts"
+       ma.Marked.Process.stats.Marked.Process.steps
+       (Ucq.cardinal ma.Marked.Process.rewriting));
+  (* --- E3: one level-descent step of a T_d^K tower ------------------- *)
+  let kk, lvl, n3 = if smoke then (3, 3, 1) else (2, 2, 5) in
+  let _, _, phi_i = Theories.Zoo.phi_i lvl n3 in
+  let tdk pool () =
+    Marked.Process.rewrite_tdk ~pool kk ~max_steps:500_000 phi_i
+  in
+  let kb, kbt = best ~arena_on:false (tdk pool1) in
+  let ka, kat = best ~arena_on:true (tdk pool1) in
+  let kn, knt = best ~arena_on:true (tdk pooln) in
+  report
+    (Printf.sprintf "E3 phi_I%d^%d (T_d^%d)" lvl n3 kk)
+    kbt kat knt
+    (marked_eq kb ka && marked_eq ka kn)
+    (Printf.sprintf "%d steps, %d disjuncts"
+       ka.Marked.Process.stats.Marked.Process.steps
+       (Ucq.cardinal ka.Marked.Process.rewriting));
+  (* --- engine / store / gate telemetry ------------------------------- *)
+  let astats = Arena.stats Arena.global in
+  let hc = Homomorphism.counters () in
+  let fc = Fact_set.counters () in
+  row "  arena store: %d spans / %d ints / %.1f MiB@." astats.Arena.spans
+    astats.Arena.ints
+    (float_of_int astats.Arena.bytes /. 1024. /. 1024.);
+  row "  compiled engine: %d searches / %d nodes / %d reg ops / %d \
+       solutions@."
+    hc.Homomorphism.searches hc.Homomorphism.nodes hc.Homomorphism.reg_ops
+    hc.Homomorphism.solutions;
+  row "  join index: %d posting probes / %d intersections@."
+    fc.Fact_set.posting_probes fc.Fact_set.posting_intersections;
+  let all_identical =
+    List.for_all (fun (_, _, _, _, ok, _) -> ok) !results
+  in
+  row "  all workloads meet their cross-layout contract: %b@." all_identical;
+  (* --- optional JSON snapshot ---------------------------------------- *)
+  (match Sys.getenv_opt "FRONTIER_BENCH_JSON" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let entry (name, tb, ta, tn, identical, criterion) =
+        Printf.sprintf
+          {|    {
+      "workload": %S,
+      "boxed_j1_s": %.6f,
+      "arena_j1_s": %.6f,
+      "speedup": %.3f,
+      "arena_j%d_s": %.6f,
+      "j%d_vs_j1": %.3f,
+      "criterion": %S,
+      "passed": %b
+    }|}
+          name tb ta (tb /. ta) jobs tn jobs (ta /. tn) criterion identical
+      in
+      Printf.fprintf oc
+        {|{
+  "bench": "arena",
+  "note": "boxed layout + map engine vs arena layout + compiled register machine, both -j1; the -j%d arm runs the arena build through the cost-gated pool (inline on a 1-core box). speedup = boxed_j1_s / arena_j1_s; j%d_vs_j1 = arena_j1_s / arena_j%d_s (>= 0.9 required).",
+  "smoke": %b,
+  "reps": %d,
+  "cores": %d,
+  "workloads": [
+%s
+  ]
+}
+|}
+        jobs jobs jobs smoke reps
+        (Domain.recommended_domain_count ())
+        (String.concat ",\n" (List.rev_map entry !results));
+      close_out oc;
+      row "  json snapshot written to %s@." path);
+  Parallel.Pool.shutdown pool1;
+  Parallel.Pool.shutdown pooln;
+  (* check-arena gates on this experiment: a cross-layout mismatch is an
+     engine bug, not a measurement. *)
+  if not all_identical then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* po — portfolio strategy selection + differential fuzz smoke         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1380,7 +1607,8 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("par", par); ("ix", ix);
-    ("rw", rw); ("shard", shard); ("po", po); ("perf", perf);
+    ("rw", rw); ("shard", shard); ("arena", arena); ("po", po);
+    ("perf", perf);
   ]
 
 let () =

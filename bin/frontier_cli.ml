@@ -123,6 +123,39 @@ let parse_theory s = Frontier.Parse.theory (read_source s)
 let parse_instance s = Frontier.Parse.instance (read_source s)
 let parse_query s = Frontier.Parse.query (read_source s)
 
+(* Flat-arena layer telemetry for [--stats], shared by chase and
+   rewrite: the process-wide tallies are sampled before the run and
+   printed as deltas, plus the arena's absolute size (the store is
+   append-only and process-wide, so a delta would undersell it). *)
+let engine_stats_before () =
+  ( Frontier.Homomorphism.counters (),
+    Frontier.Fact_set.counters (),
+    Frontier.Pool.gate_counters () )
+
+let print_engine_stats (h0, f0, g0) =
+  let a = Frontier.Arena.stats Frontier.Arena.global in
+  let h1 = Frontier.Homomorphism.counters () in
+  let f1 = Frontier.Fact_set.counters () in
+  let g1 = Frontier.Pool.gate_counters () in
+  Fmt.pr "arena: %d spans / %d ints / %.2f MiB@." a.Frontier.Arena.spans
+    a.Frontier.Arena.ints
+    (float_of_int a.Frontier.Arena.bytes /. 1024. /. 1024.);
+  Fmt.pr "compiled joins: %d searches / %d nodes / %d register ops / %d \
+          solutions@."
+    (h1.Frontier.Homomorphism.searches - h0.Frontier.Homomorphism.searches)
+    (h1.Frontier.Homomorphism.nodes - h0.Frontier.Homomorphism.nodes)
+    (h1.Frontier.Homomorphism.reg_ops - h0.Frontier.Homomorphism.reg_ops)
+    (h1.Frontier.Homomorphism.solutions
+    - h0.Frontier.Homomorphism.solutions);
+  Fmt.pr "join index: %d posting probes / %d intersections@."
+    (f1.Frontier.Fact_set.posting_probes
+    - f0.Frontier.Fact_set.posting_probes)
+    (f1.Frontier.Fact_set.posting_intersections
+    - f0.Frontier.Fact_set.posting_intersections);
+  Fmt.pr "fan-out gate: %d batches inline / %d fanned out@."
+    (g1.Frontier.Pool.inline_batches - g0.Frontier.Pool.inline_batches)
+    (g1.Frontier.Pool.fanout_batches - g0.Frontier.Pool.fanout_batches)
+
 let handle f =
   try f () with
   | Frontier.Parse.Error msg ->
@@ -146,6 +179,7 @@ let chase_cmd =
           match variant with
           | "semi-oblivious" ->
               let ix0 = Frontier.Fact_set.counters () in
+              let es0 = engine_stats_before () in
               let run =
                 Frontier.Chase_engine.run ~pool ~guard ~max_depth:depth
                   ~max_atoms t d
@@ -172,7 +206,8 @@ let chase_cmd =
                   (ix1.Frontier.Fact_set.delta_atoms
                   - ix0.Frontier.Fact_set.delta_atoms)
                   (ix1.Frontier.Fact_set.built_atoms
-                  - ix0.Frontier.Fact_set.built_atoms)
+                  - ix0.Frontier.Fact_set.built_atoms);
+                print_engine_stats es0
               end;
               Frontier.Chase_engine.result run
           | "oblivious" ->
@@ -237,7 +272,10 @@ let chase_cmd =
       & info [ "stats" ]
           ~doc:
             "Print per-stage work counters (triggers, derived atoms, wall \
-             time, per-domain busy time).")
+             time, per-domain busy time) plus the flat-arena engine \
+             telemetry: arena size, compiled-join searches and register \
+             ops, posting-list probes, and the parallel cost gate's \
+             inline/fan-out batch split.")
   in
   Cmd.v
     (Cmd.info "chase" ~doc:"Run the chase (semi-oblivious by default)")
@@ -259,6 +297,7 @@ let rewrite_cmd =
             max_disjuncts = disjuncts;
           }
         in
+        let es0 = engine_stats_before () in
         let r = Frontier.rewrite ~pool ~guard ~budget t q in
         (match r.Frontier.Rewrite.outcome with
         | Frontier.Rewrite.Complete -> Fmt.pr "rewriting complete:@."
@@ -286,7 +325,8 @@ let rewrite_cmd =
             "solver: %d candidate pairs pruned by the subsumption index, \
              %d containment searches split into components@."
             r.Frontier.Rewrite.index_pruned
-            r.Frontier.Rewrite.component_splits
+            r.Frontier.Rewrite.component_splits;
+          print_engine_stats es0
         end;
         finish guard;
         (* Exhausted legacy budgets (no guard trip) also mean the printed
@@ -306,9 +346,12 @@ let rewrite_cmd =
       & info [ "stats" ]
           ~doc:
             "Print the saturation kernel's counters (rounds, frontier \
-             expansions, admissions, dedups) and the solver counters: \
-             pairs pruned by the UCQ subsumption index and containment \
-             searches decomposed into Gaifman components.")
+             expansions, admissions, dedups), the solver counters (pairs \
+             pruned by the UCQ subsumption index, containment searches \
+             decomposed into Gaifman components), and the flat-arena \
+             engine telemetry: arena size, compiled-join searches and \
+             register ops, posting-list probes, and the parallel cost \
+             gate's inline/fan-out batch split.")
   in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Compute the UCQ rewriting of a query")

@@ -102,6 +102,13 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
   (* A client-level stop that is not a guard trip: the historical
      [max_atoms] atom cap, expressed as the unified fuel cause. *)
   let capped = ref None in
+  (* Cost hint for the dispatch gate: consecutive semi-naive sweeps have
+     strongly correlated costs, so the previous sweep's wall time is an
+     honest estimate for the next one (0. = no history, let the gate
+     probe). An inline sweep measures the sequential cost exactly; a
+     fanned-out one underestimates it, which only reinforces the
+     (correct) fan-out decision. *)
+  let last_sweep_s = ref 0. in
   (* One kernel round per chase stage: the worklist item is the stage's
      delta, the step is the parallel semi-naive sweep, and the kernel owns
      the boundary checkpoint, the aborted-sweep discard, and the stats. *)
@@ -135,8 +142,12 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
                (rule_parts rule ~old_is_empty))
            (Theory.rules theory))
     in
+    let t_sweep = Unix.gettimeofday () in
+    let est_s = !last_sweep_s in
     let locals =
-      Parallel.Pool.map_array ~guard ctx.Saturation.pool
+      Parallel.Pool.map_array ~guard
+        ?est_s:(if est_s > 0. then Some est_s else None)
+        ctx.Saturation.pool
         (fun (rule, part) ->
           let local = ref [] in
           let triggers = ref 0 in
@@ -159,6 +170,7 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
           (!local, !triggers))
         tasks
     in
+    last_sweep_s := Unix.gettimeofday () -. t_sweep;
     let triggers =
       Array.fold_left (fun acc (_, t) -> acc + t) 0 locals
     in

@@ -9,6 +9,7 @@ module Containment = Logic.Containment
 module Tgd = Logic.Tgd
 module Theory = Logic.Theory
 module Homomorphism = Logic.Homomorphism
+module Arena = Logic.Arena
 module Render = Logic.Render
 
 module Chase_engine = Chase.Engine

@@ -500,23 +500,31 @@ let refresh_exist ?(prefix = "e") q =
 let iso_key q =
   (* Invariant under renaming of bound variables: free variables are
      identified by their position in the free list, bound variables by their
-     total occurrence count in the body. *)
+     total occurrence count in the body (counted in one pass over the
+     body, not per variable — the per-variable scan made this quadratic
+     in the body size). *)
   let free_index = List.mapi (fun i v -> (v, i)) q.free in
-  let occurrences v =
-    List.fold_left
-      (fun acc a ->
-        acc
-        + List.length (List.filter (Term.equal v) (Atom.args a)))
-      0 q.atoms
-  in
-  let term_tag t =
+  let occ : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (t : Term.t) ->
+          if Term.is_var t then
+            Hashtbl.replace occ t.Term.id
+              (1 + Option.value ~default:0 (Hashtbl.find_opt occ t.Term.id)))
+        (Atom.args a))
+    q.atoms;
+  let term_tag (t : Term.t) =
     match t.Term.view with
     | Term.Const name -> "c:" ^ name
     | Term.App _ -> Fmt.str "t:%a" Term.pp t
     | Term.Var _ -> (
         match List.assoc_opt t free_index with
         | Some i -> "f" ^ string_of_int i
-        | None -> "b" ^ string_of_int (occurrences t))
+        | None ->
+            "b"
+            ^ string_of_int
+                (Option.value ~default:0 (Hashtbl.find_opt occ t.Term.id)))
   in
   let atom_key a =
     Symbol.name (Atom.rel a)

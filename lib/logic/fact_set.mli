@@ -13,7 +13,16 @@
     atoms, so a chase whose [full] set grows stage by stage pays
     O(|delta|) indexing per stage. Operations that churn most of the set
     (filter, inter, large diffs) return an unindexed set whose index is
-    lazily rebuilt on first use. *)
+    lazily rebuilt on first use.
+
+    Index layers come in two interchangeable representations (selected by
+    {!set_arena} when a layer is built; stacks may mix them): the default
+    {e arena} layout stores each fact once per relation — interned into
+    the process-wide {!Arena} — with sorted row {e postings} per
+    (position, term), while the {e boxed} layout duplicates facts into
+    one bucket per (position, term). Candidate enumeration order is
+    identical in both, so flipping the toggle never changes chase
+    results, stage shapes, or rewriting outputs. *)
 
 type t
 
@@ -78,6 +87,25 @@ val iter_candidate_rows :
     [atoms.(row)]. The arrays are the index's own frozen storage: do not
     mutate them. Visit order extends the {!iter_candidates} order. *)
 
+val iter_join_candidates :
+  t ->
+  Symbol.t ->
+  bound_pos:int array ->
+  bound_ids:int array ->
+  nb:int ->
+  (Atom.t array -> int array -> int -> unit) ->
+  unit
+(** The compiled join engine's candidate enumeration: like
+    {!iter_candidate_rows} with [nb] constraints
+    [(bound_pos.(i), bound_ids.(i))] for [i < nb] given as bare
+    (position, term id) pairs in caller-owned scratch arrays — no
+    per-probe allocation. Rows are visited without the bound filter
+    (callers re-check every position on the [ids] slab), in exactly the
+    order {!iter_candidate_rows} produces for the same constraints. On
+    arena-mode layers with two or more constraints and a large enough
+    seed, the two smallest sorted postings are merge-intersected before
+    rows reach the callback. *)
+
 val atoms_with_term : t -> Term.t -> Atom.t list
 (** Every atom with the given term in some argument position, in the
     same order a [List.filter] over [atoms] would produce. Answered from
@@ -108,6 +136,9 @@ type counters = {
   delta_atoms : int;  (** atoms added to an existing index *)
   shrinks : int;  (** incremental index removals *)
   removed_atoms : int;  (** atoms removed from an existing index *)
+  posting_probes : int;  (** join-index lookups (per layer, per constraint) *)
+  posting_intersections : int;
+      (** sorted-posting merge-intersections in {!iter_join_candidates} *)
 }
 
 val counters : unit -> counters
@@ -117,3 +148,12 @@ val set_incremental : bool -> unit
 (** A/B switch for benchmarking: [set_incremental false] makes every
     operation return an unindexed set, restoring the pre-incremental
     rebuild-on-demand cost model. Defaults to [true]. *)
+
+val set_arena : bool -> unit
+(** A/B switch between the arena layer layout (default, [true]) and the
+    boxed pre-arena layout. Takes effect for layers built after the
+    call; existing layers keep their representation (readers handle
+    mixed stacks). Candidate order — and therefore every chase and
+    rewriting result — is unaffected. *)
+
+val arena_enabled : unit -> bool

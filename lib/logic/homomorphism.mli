@@ -69,3 +69,24 @@ val iter_multi :
 val apply : mapping -> flexible:Term.Set.t -> Atom.t -> Atom.t
 (** Apply a mapping to an atom, positionally and atomically: each argument
     that is flexible is replaced by its (required) image. *)
+
+(** {1 Engine instrumentation}
+
+    With {!Fact_set.arena_enabled} (the default) and no [prefer], the
+    search runs on a compiled register machine: flexible terms become
+    int registers, pattern atoms compile to int slot arrays, candidates
+    stream off the fact set's packed id slabs, and backtracking pops a
+    trail — no allocation per search node, terms rematerialized only for
+    complete homomorphisms. It enumerates mappings in exactly the boxed
+    engine's order (pinned by the QCheck differentials). These process-
+    wide counters measure that engine; thread-safe. *)
+
+type counters = {
+  searches : int;  (** compiled-engine invocations *)
+  nodes : int;  (** search nodes (seed selections) *)
+  reg_ops : int;  (** register-machine slot checks *)
+  solutions : int;  (** homomorphisms enumerated by the compiled engine *)
+}
+
+val counters : unit -> counters
+val reset_counters : unit -> unit

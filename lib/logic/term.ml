@@ -17,6 +17,16 @@ let table : (key, t) Hashtbl.t = Hashtbl.create 4096
 let counter = ref 0
 let table_lock = Mutex.create ()
 
+(* Reverse map: id -> term, a growable array indexed directly by the
+   dense interning counter. The flat-arena join engine works on bare
+   term ids and only rematerializes a [Term.t] when a binding survives
+   to a solution, so the lookup must be O(1) and allocation-free. Reads
+   are lock-free: slot [id] is written (under [table_lock]) before the
+   term's id ever escapes the intern call, and the array reference is
+   republished on growth, so a reader holding a valid id always finds
+   its term in whichever array it loads. *)
+let by_id : t option array ref = ref (Array.make 4096 None)
+
 let intern key view =
   Mutex.protect table_lock (fun () ->
       match Hashtbl.find_opt table key with
@@ -25,7 +35,25 @@ let intern key view =
           incr counter;
           let t = { id = !counter; view } in
           Hashtbl.add table key t;
+          let arr = !by_id in
+          let n = Array.length arr in
+          if t.id >= n then begin
+            let arr' = Array.make (2 * max n t.id) None in
+            Array.blit arr 0 arr' 0 n;
+            arr'.(t.id) <- Some t;
+            by_id := arr'
+          end
+          else arr.(t.id) <- Some t;
           t)
+
+let of_id id =
+  let arr = !by_id in
+  if id < 1 || id >= Array.length arr then
+    invalid_arg "Term.of_id: unknown term id"
+  else
+    match Array.unsafe_get arr id with
+    | Some t -> t
+    | None -> invalid_arg "Term.of_id: unknown term id"
 
 let const name = intern (KConst name) (Const name)
 let var name = intern (KVar name) (Var name)

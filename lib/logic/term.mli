@@ -32,6 +32,13 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int
 
+val of_id : int -> t
+(** The term whose hash-consing id is [id] — the inverse of [hash] /
+    [t.id], in O(1). The flat-arena join engine carries bare term ids
+    through its registers and only rematerializes terms for surviving
+    solutions. Raises [Invalid_argument] on an id no term was ever
+    interned with. *)
+
 val is_var : t -> bool
 val is_const : t -> bool
 val is_functional : t -> bool

@@ -34,21 +34,23 @@ let dedup_terms l =
    fingerprint key is complete for isomorphism (isomorphic queries share
    it), so only the bucket needs the expensive pairwise test — and that
    test short-circuits on equal canonical ids inside
-   [Marked_query.equal_upto_iso]. The 1-WL hash rides along in the key:
-   [iso_key] alone lumps together all markings with the same atom
-   multiset, so at depth the buckets fill with same-shape queries whose
-   marks sit on different symmetric branches, and every probe pays a
-   full (always-refuting) isomorphism search against each of them. The
-   WL colors separate those, keeping buckets near-singleton. *)
+   [Marked_query.equal_upto_iso]. The key is the 1-WL hash mixed with
+   the atom count: the WL colors separate same-shape queries whose
+   marks sit on different symmetric branches — the dominant population
+   at depth — keeping buckets near-singleton, and unlike the string
+   [Cq.iso_key] render the hash is one int per classified query (the
+   render was the single largest cost of the E2/E3 process runs). A
+   hash collision between non-isomorphic queries only costs the bucket
+   probe an extra refuting isomorphism test, never a wrong answer. *)
 module Store = struct
-  type t = (string, Marked_query.t list) Hashtbl.t
+  type t = (int, Marked_query.t list) Hashtbl.t
 
   let create () : t = Hashtbl.create 64
 
   let key q =
     match Marked_query.tagged_cq q with
-    | Some cq -> Printf.sprintf "%s#%d" (Cq.iso_key cq) (Cq.wl_hash cq)
-    | None -> "<trivial>"
+    | Some cq -> (Cq.wl_hash cq * 131) lxor Cq.size cq
+    | None -> min_int
 
   (* Membership test and insertion in one probe: the key computation
      and the bucket lookup are paid once per classified query. [?key]
@@ -135,7 +137,7 @@ let run ?pool ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step
      the rewriting is bit-identical at any [-j]. *)
   let classify_many mqs =
     let plural = match mqs with _ :: _ :: _ -> true | _ -> false in
-    if Parallel.Pool.size pool = 1 || not plural then
+    if Parallel.Pool.effective_size pool <= 1 || not plural then
       List.filter_map classify_new mqs
     else
       let keys = Parallel.Pool.map_list pool Store.warm mqs in

@@ -67,6 +67,11 @@ type job = {
 
 type t = {
   size : int;
+  eff : int;
+      (* effective parallelism: [min size (recommended_domain_count ())].
+         A pool oversubscribing a small machine can still *run* wide jobs
+         correctly, but fanning out cannot make them faster — the cost
+         gate treats [eff = 1] as "never fan out". *)
   mutex : Mutex.t;
   work : Condition.t;  (* workers: a new job was posted *)
   finished : Condition.t;  (* coordinator: progress on the job *)
@@ -76,6 +81,9 @@ type t = {
   mutable domains : unit Domain.t list;
   busy : float array;
       (* cumulative busy seconds per worker; protected by the mutex *)
+  mutable dispatch_overhead_s : float;
+      (* measured fixed cost of one fan-out (post + wake + handshake);
+         the cost gate's unit of account *)
 }
 
 let now () = Unix.gettimeofday ()
@@ -181,9 +189,45 @@ let worker_loop pool worker =
     end
   done
 
+(* A conservative stand-in until (and unless) the dispatch
+   microbenchmark runs: about what a cross-domain dispatch costs on a
+   mainstream machine. Used as-is when measurement is skipped (size-1
+   pools; fault-injection runs, where the measurement's task claims
+   would shift the deterministic fault schedule). *)
+let default_overhead_s = 1e-4
+
+(* The dispatch-overhead microbenchmark, installed after [run_all] is
+   defined (it fans a calibration batch out through it). *)
+let calibrator : (t -> float) ref = ref (fun _ -> default_overhead_s)
+
+(* Workers are spawned on the first batch that actually fans out, not
+   at pool creation: a pool whose cost gate keeps every batch inline —
+   notably any pool on a single-core container, where [eff = 1] — then
+   never spawns a domain at all, so the program never pays the
+   stop-the-world minor-GC rendezvous that even sleeping domains add to
+   every collection (measured at ~10% wall clock on allocation-heavy
+   workloads). The overhead calibration moves with the spawn: it is
+   meaningless until there are workers to dispatch to, and the gate
+   decision that triggered this fan-out has already been taken on the
+   conservative default. Double-checked under the pool mutex so
+   concurrent first fan-outs spawn exactly once. *)
+let ensure_workers pool =
+  if pool.size > 1 && pool.domains = [] then begin
+    Mutex.lock pool.mutex;
+    let spawn = pool.domains = [] && not pool.stop in
+    if spawn then
+      pool.domains <-
+        List.init (pool.size - 1) (fun k ->
+            Domain.spawn (fun () -> worker_loop pool (k + 1)));
+    Mutex.unlock pool.mutex;
+    if spawn && not (Guard.Faults.active ()) then
+      pool.dispatch_overhead_s <- !calibrator pool
+  end
+
 let make_pool size =
   {
     size;
+    eff = min size (Domain.recommended_domain_count ());
     mutex = Mutex.create ();
     work = Condition.create ();
     finished = Condition.create ();
@@ -192,17 +236,10 @@ let make_pool size =
     stop = false;
     domains = [];
     busy = Array.make size 0.;
+    dispatch_overhead_s = default_overhead_s;
   }
 
 let sequential = make_pool 1
-
-let create requested =
-  let size = max 1 requested in
-  let pool = make_pool size in
-  pool.domains <-
-    List.init (size - 1) (fun k ->
-        Domain.spawn (fun () -> worker_loop pool (k + 1)));
-  pool
 
 let size pool = pool.size
 
@@ -233,14 +270,79 @@ let exec_into (type a b) (f : a -> b) (tasks : a array)
       | exception e ->
           slots.(i) <- Some (Error (e, Printexc.get_raw_backtrace ())))
 
+(* ------------------------------------------------------------------ *)
+(* Cost gate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fanning a batch out costs a fixed dispatch overhead (posting the job,
+   waking the workers, the completion handshake) regardless of how much
+   work the batch holds. The saturation clients routinely dispatch
+   batches worth a few microseconds — per-step reclassification lists,
+   per-insertion subsumption rounds — where that overhead dominates by
+   orders of magnitude: the pre-gate scheduler ran the E2/E3 marked
+   processes at 0.14x/0.02x of sequential under -j4 on one core. The
+   gate routes such batches inline and reserves fan-out for batches
+   whose measured (or caller-estimated) work clears a multiple of the
+   pool's own dispatch overhead:
+
+   - effective parallelism 1 (size-1 pool, or any pool on a one-core
+     box): always inline — fan-out cannot win;
+   - caller passed [~est_s]: compare the estimate against the gate
+     threshold directly;
+   - otherwise, *probe*: run tasks inline until the gate threshold of
+     wall time has been spent, then fan out the remainder iff its
+     extrapolated cost clears the threshold too.
+
+   The gate changes scheduling only, never results: every client
+   already requires cross-[-j] determinism, and inline execution is the
+   size-1 code path those contracts are stated against. [set_cost_gate
+   false] restores unconditional fan-out (the scheduler tests exercise
+   the steal/death paths on one core and need it). *)
+
+let cost_gate = Atomic.make true
+let set_cost_gate b = Atomic.set cost_gate b
+
+(* Threshold, as a multiple of the measured dispatch overhead: a batch
+   has to be worth several dispatches before the pool pays for one. *)
+let gate_factor = 5.
+
+type gate_counters = { inline_batches : int; fanout_batches : int }
+
+let g_inline = Atomic.make 0
+let g_fanout = Atomic.make 0
+
+let gate_counters () =
+  {
+    inline_batches = Atomic.get g_inline;
+    fanout_batches = Atomic.get g_fanout;
+  }
+
+let reset_gate_counters () =
+  Atomic.set g_inline 0;
+  Atomic.set g_fanout 0
+
+let dispatch_overhead_s pool = pool.dispatch_overhead_s
+
+(* How many tasks can actually run at once. Saturation clients size
+   their round batches off this (a 4-domain pool on a 1-core box should
+   drain one item per round, like -j1, not whole frontiers); with the
+   gate off it falls back to the nominal size, restoring unconditional
+   pre-gate behavior. *)
+let effective_size pool =
+  if Atomic.get cost_gate then pool.eff else pool.size
+
 (* The degraded-mode core: run every task, rescue orphans inline, retry
    failed slots once (transient/injected failures recover; deterministic
    ones stay [Error]). Always returns a fully populated slot per index.
    [stop]/[skip] implement cooperative early exit ([exists]): once [stop]
    flips true, workers stop claiming and every remaining claim is
-   resolved through [skip] without touching the task. *)
-let run_all (type a b) ?guard ?stop ?skip pool (f : a -> b)
-    (tasks : a array) : (b, exn * Printexc.raw_backtrace) result array =
+   resolved through [skip] without touching the task. [est_s] is the
+   caller's estimate of the whole batch's sequential cost, consumed by
+   the cost gate; [force_fanout] bypasses the gate (the creation-time
+   overhead measurement must go through the real dispatch path). *)
+let run_all (type a b) ?guard ?stop ?skip ?est_s ?(force_fanout = false)
+    pool (f : a -> b) (tasks : a array) :
+    (b, exn * Printexc.raw_backtrace) result array =
   let n = Array.length tasks in
   let slots : (b, exn * Printexc.raw_backtrace) result option array =
     Array.make n None
@@ -250,38 +352,45 @@ let run_all (type a b) ?guard ?stop ?skip pool (f : a -> b)
   let skip_into =
     Option.map (fun sk i -> slots.(i) <- Some (Ok (sk ()))) skip
   in
-  if pool.size = 1 || n = 1 then begin
-    (* Inline sequential execution: the coordinator is the only worker,
-       so injected worker death degrades to a no-op and cancellation is
-       handled inside the (guard-aware) task bodies. *)
-    ignore guard;
+  (* Inline execution of one index: the coordinator is the only worker,
+     so injected worker death degrades to a no-op and cancellation is
+     handled inside the (guard-aware) task bodies. *)
+  let run_one i =
+    if early_stop () && skip_into <> None then (Option.get skip_into) i
+    else
+      match Guard.Faults.claim_fate ~worker:0 with
+      | (`Run | `Raise _) as fate -> exec i ~fate
+      | `Die -> exec i ~fate:`Run (* the coordinator never dies *)
+  in
+  let run_inline lo =
     let t0 = now () in
-    for i = 0 to n - 1 do
-      if early_stop () && skip_into <> None then (Option.get skip_into) i
-      else
-        match Guard.Faults.claim_fate ~worker:0 with
-        | (`Run | `Raise _) as fate -> exec i ~fate
-        | `Die -> exec i ~fate:`Run (* the coordinator never dies *)
+    for i = lo to n - 1 do
+      run_one i
     done;
     let dt = now () -. t0 in
     Mutex.lock pool.mutex;
     pool.busy.(0) <- pool.busy.(0) +. dt;
     Mutex.unlock pool.mutex
-  end
-  else begin
+  in
+  (* Fan indices [lo, n) out to the workers (the coordinator drains as
+     worker 0). The job speaks batch-relative indices so the sharding
+     and steal machinery is untouched. *)
+  let fan_out lo =
+    ensure_workers pool;
     let guard_cancelled =
       match guard with
       | Some g -> fun () -> Guard.cancelled g
       | None -> fun () -> false
     in
+    let m = n - lo in
     let job =
       {
-        run = exec;
-        n;
-        shards = make_shards ~n ~size:pool.size;
+        run = (fun i ~fate -> exec (lo + i) ~fate);
+        n = m;
+        shards = make_shards ~n:m ~size:pool.size;
         cancelled = (fun () -> guard_cancelled () || early_stop ());
         early_stop;
-        skip = skip_into;
+        skip = Option.map (fun si i -> si (lo + i)) skip_into;
         completed = 0;
         orphans = [];
       }
@@ -291,7 +400,6 @@ let run_all (type a b) ?guard ?stop ?skip pool (f : a -> b)
     pool.generation <- pool.generation + 1;
     Condition.broadcast pool.work;
     Mutex.unlock pool.mutex;
-    (* The coordinator is worker 0: it drains alongside the domains. *)
     drain pool job 0;
     Mutex.lock pool.mutex;
     let rec wait () =
@@ -306,7 +414,7 @@ let run_all (type a b) ?guard ?stop ?skip pool (f : a -> b)
         job.orphans <- [];
         Mutex.unlock pool.mutex;
         let t0 = now () in
-        List.iter (fun i -> exec i ~fate:`Run) orphans;
+        List.iter (fun i -> job.run i ~fate:`Run) orphans;
         let dt = now () -. t0 in
         Mutex.lock pool.mutex;
         pool.busy.(0) <- pool.busy.(0) +. dt;
@@ -321,6 +429,52 @@ let run_all (type a b) ?guard ?stop ?skip pool (f : a -> b)
     wait ();
     pool.job <- None;
     Mutex.unlock pool.mutex
+  in
+  if pool.size = 1 || n <= 1 then run_inline 0
+  else if force_fanout || not (Atomic.get cost_gate) then fan_out 0
+  else begin
+    let gate = gate_factor *. pool.dispatch_overhead_s in
+    if pool.eff <= 1 then begin
+      (* Fan-out can only add overhead when there is one core. *)
+      Atomic.incr g_inline;
+      run_inline 0
+    end
+    else
+      match est_s with
+      | Some e when e <= gate ->
+          Atomic.incr g_inline;
+          run_inline 0
+      | Some _ ->
+          Atomic.incr g_fanout;
+          fan_out 0
+      | None ->
+          (* Probe: spend up to one gate's worth of wall time inline,
+             then extrapolate the remainder from the measured per-task
+             cost. Small batches never leave the coordinator; a big
+             batch pays at most [gate] before going wide. *)
+          let t0 = now () in
+          let i = ref 0 in
+          while !i < n && now () -. t0 < gate do
+            run_one !i;
+            incr i
+          done;
+          let dt = now () -. t0 in
+          Mutex.lock pool.mutex;
+          pool.busy.(0) <- pool.busy.(0) +. dt;
+          Mutex.unlock pool.mutex;
+          if !i >= n then Atomic.incr g_inline
+          else begin
+            let per_task = dt /. float_of_int !i in
+            let rest = n - !i in
+            if rest >= 2 && float_of_int rest *. per_task > gate then begin
+              Atomic.incr g_fanout;
+              fan_out !i
+            end
+            else begin
+              Atomic.incr g_inline;
+              run_inline !i
+            end
+          end
   end;
   (* Inline retry of failed tasks: an injected or otherwise transient
      exception recovers here; a deterministic one fails again and is
@@ -334,8 +488,32 @@ let run_all (type a b) ?guard ?stop ?skip pool (f : a -> b)
     slots;
   Array.map (function Some r -> r | None -> assert false) slots
 
-let map_array_result ?guard pool f tasks =
-  if Array.length tasks = 0 then [||] else run_all ?guard pool f tasks
+(* One fan-out of trivial tasks measures the pool's fixed dispatch cost;
+   the minimum over a handful of runs discards scheduler noise (and the
+   first run's domain-startup latency). Skipped under an active fault
+   schedule — the measurement's task claims would shift the
+   deterministic injection points of the actual workload. *)
+let measure_dispatch_overhead pool =
+  let tasks = Array.make (4 * pool.size) () in
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = now () in
+    ignore
+      (run_all ~force_fanout:true pool (fun () -> ()) tasks
+        : (unit, exn * Printexc.raw_backtrace) result array);
+    let dt = now () -. t0 in
+    if dt < !best then best := dt
+  done;
+  max !best 1e-5
+
+let () = calibrator := measure_dispatch_overhead
+
+let create requested =
+  let size = max 1 requested in
+  make_pool size
+
+let map_array_result ?guard ?est_s pool f tasks =
+  if Array.length tasks = 0 then [||] else run_all ?guard ?est_s pool f tasks
 
 let errors_of_slots slots =
   Array.to_list slots
@@ -344,21 +522,27 @@ let errors_of_slots slots =
        | i, Error (e, bt) -> Some (i, e, bt)
        | _, Ok _ -> None)
 
-let map_array ?guard pool f tasks =
-  let slots = map_array_result ?guard pool f tasks in
+let map_array ?guard ?est_s pool f tasks =
+  let slots = map_array_result ?guard ?est_s pool f tasks in
   let errors = errors_of_slots slots in
   if errors <> [] then raise (Task_errors errors);
   Array.map (function Ok r -> r | Error _ -> assert false) slots
 
-let map_list ?guard pool f l =
-  Array.to_list (map_array ?guard pool f (Array.of_list l))
+let map_list ?guard ?est_s pool f l =
+  Array.to_list (map_array ?guard ?est_s pool f (Array.of_list l))
 
-let exists ?guard pool pred tasks =
-  if pool.size = 1 || Array.length tasks < 2 then Array.exists pred tasks
+let exists ?guard ?est_s pool pred tasks =
+  if
+    pool.size = 1
+    || Array.length tasks < 2
+    || (Atomic.get cost_gate && pool.eff <= 1)
+    (* On one core the sequential scan strictly dominates: same verdict,
+       true early exit, no dispatch. *)
+  then Array.exists pred tasks
   else begin
     let found = Atomic.make false in
     let slots =
-      run_all ?guard pool
+      run_all ?guard ?est_s pool
         ~stop:(fun () -> Atomic.get found)
         ~skip:(fun () -> ())
         (fun x ->
@@ -370,11 +554,11 @@ let exists ?guard pool pred tasks =
     Atomic.get found
   end
 
-let filter_list ?guard pool pred l =
+let filter_list ?guard ?est_s pool pred l =
   if pool.size = 1 then List.filter pred l
   else
     let arr = Array.of_list l in
-    let keep = map_array ?guard pool pred arr in
+    let keep = map_array ?guard ?est_s pool pred arr in
     let out = ref [] in
     for i = Array.length arr - 1 downto 0 do
       if keep.(i) then out := arr.(i) :: !out

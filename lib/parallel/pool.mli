@@ -51,10 +51,14 @@ val sequential : t
     [create 1] instead. *)
 
 val create : int -> t
-(** [create n] spawns [n - 1] worker domains (the caller participates as
-    worker 0 during [map_array]). [n] is clamped below at 1. Pools are
-    long-lived; create one per process or per [-j] setting, not per call.
-    [create 1] spawns nothing and is cheap enough to make per run. *)
+(** [create n] makes a pool of [n - 1] worker domains (the caller
+    participates as worker 0 during [map_array]). [n] is clamped below
+    at 1. The domains themselves are spawned lazily, on the first batch
+    the cost gate actually fans out — a pool that stays inline (always
+    the case at effective parallelism 1) never spawns any, so idle
+    workers never tax the runtime's stop-the-world collections. Pools
+    are long-lived; create one per process or per [-j] setting, not per
+    call. [create 1] never spawns and is cheap enough to make per run. *)
 
 val size : t -> int
 
@@ -62,7 +66,8 @@ val shutdown : t -> unit
 (** Terminate and join the worker domains. The pool must not be used
     afterwards. Idempotent. *)
 
-val map_array : ?guard:Guard.t -> t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?guard:Guard.t -> ?est_s:float -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with deterministic output order. If tasks raise,
     the remaining tasks still run, failed indices are retried inline, and
     the surviving failures are re-raised together as {!Task_errors} after
@@ -70,10 +75,16 @@ val map_array : ?guard:Guard.t -> t -> ('a -> 'b) -> 'a array -> 'b array
     guard is cancelled; the coordinator finishes the remaining tasks
     inline (guard-aware task bodies early-exit at their own checkpoints),
     so the call always returns. Must be called from the thread that
-    created the pool (the coordinator), never from inside a task. *)
+    created the pool (the coordinator), never from inside a task.
+
+    [?est_s] is the caller's estimate of the batch's whole sequential
+    cost in seconds, consumed by the cost gate (see {!set_cost_gate}):
+    an estimate below the gate threshold skips both the fan-out and the
+    gate's own probe phase; a large one fans out immediately. *)
 
 val map_array_result :
   ?guard:Guard.t ->
+  ?est_s:float ->
   t ->
   ('a -> 'b) ->
   'a array ->
@@ -81,18 +92,73 @@ val map_array_result :
 (** Degraded-mode variant of {!map_array}: never raises {!Task_errors};
     each persistent per-task failure stays in its slot as [Error]. *)
 
-val map_list : ?guard:Guard.t -> t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?guard:Guard.t -> ?est_s:float -> t -> ('a -> 'b) -> 'a list -> 'b list
 
-val exists : ?guard:Guard.t -> t -> ('a -> bool) -> 'a array -> bool
+val exists :
+  ?guard:Guard.t -> ?est_s:float -> t -> ('a -> bool) -> 'a array -> bool
 (** Parallel existential check with a genuine early exit: once a witness
     is found, workers stop claiming tasks and every remaining index is
     resolved as a no-op without invoking the predicate. The boolean
     result is deterministic (it does not depend on scheduling); the set
     of predicate invocations is not, but is bounded by the tasks claimed
-    before the witness was published. *)
+    before the witness was published. At effective parallelism 1 (with
+    the cost gate on) this is a plain sequential [Array.exists]. *)
 
-val filter_list : ?guard:Guard.t -> t -> ('a -> bool) -> 'a list -> 'a list
+val filter_list :
+  ?guard:Guard.t -> ?est_s:float -> t -> ('a -> bool) -> 'a list -> 'a list
 (** Parallel filter preserving list order. *)
+
+(** {1 Cost-gated fan-out}
+
+    Dispatching a job to the workers costs a fixed overhead — posting,
+    wake-ups, the completion handshake — measured per pool by a one-shot
+    microbenchmark when its workers first spawn
+    ({!dispatch_overhead_s}). The cost gate
+    compares each batch against a small multiple of that overhead and
+    runs cheap batches inline on the coordinator: with no [?est_s] hint
+    it {e probes} (runs tasks inline for up to one threshold's worth of
+    wall time, then fans out the remainder iff its extrapolated cost
+    also clears the threshold). On a machine whose core count makes the
+    pool's parallelism nominal ([min size cores = 1]) nothing is ever
+    fanned out. The gate changes scheduling only — every client's
+    cross-[-j] determinism contract is unaffected, because inline
+    execution is exactly the size-1 code path. *)
+
+val set_cost_gate : bool -> unit
+(** Process-wide A/B switch, default [true]. [set_cost_gate false]
+    restores unconditional fan-out — the scheduler's steal/death-path
+    tests rely on it, and it is the honest baseline arm when
+    benchmarking the gate itself. *)
+
+val dispatch_overhead_s : t -> float
+(** The measured fixed cost of one fan-out through this pool, in
+    seconds. Size-1 pools, pools that have never fanned a batch out, and
+    pools whose workers first spawned under an active fault-injection
+    schedule (where the microbenchmark would shift the deterministic
+    claim numbering) report a conservative default. *)
+
+val effective_size : t -> int
+(** [min size cores] while the cost gate is on — how many tasks can
+    actually run at once. Saturation clients that widen their round
+    batches with the pool should widen with this, not {!size}: a
+    4-domain pool on a 1-core box gains nothing from coarser rounds and
+    should keep the [-j1] schedule. Falls back to {!size} when the gate
+    is off. *)
+
+type gate_counters = {
+  inline_batches : int;
+      (** batches the gate kept on the coordinator (including probes
+          that exhausted the batch) *)
+  fanout_batches : int;  (** batches the gate sent to the workers *)
+}
+
+val gate_counters : unit -> gate_counters
+(** Process-wide tallies of gate decisions — only batches where fan-out
+    was possible (pool size > 1, at least 2 tasks, gate enabled) are
+    counted. Thread-safe. *)
+
+val reset_gate_counters : unit -> unit
 
 val busy_times : t -> float array
 (** Cumulative per-worker busy seconds (index 0 is the coordinator),

@@ -33,6 +33,17 @@ let one_step q rule0 =
     || Tgd.body rule0 = []
   then []
   else begin
+    (* Prefilter on the head relation before [Tgd.refresh]: refreshing
+       allocates a fresh variable per rule variable, and in a theory
+       sweep most rules' heads name a relation the query never mentions.
+       Refresh only renames variables, so the relation symbol is the
+       same before and after. *)
+    let head_rel = Atom.rel (List.hd (Tgd.head rule0)) in
+    let candidates =
+      List.filter (fun a -> Symbol.equal (Atom.rel a) head_rel) (Cq.atoms q)
+    in
+    if candidates = [] then []
+    else begin
     let rule = Tgd.refresh rule0 in
     let head = List.hd (Tgd.head rule) in
     let answer_vars = Term.Set.of_list (Cq.free q) in
@@ -44,9 +55,6 @@ let one_step q rule0 =
       else if Term.Set.mem t exist_vars then Exist_var
       else if Term.Set.mem t frontier_vars then Frontier_var
       else Query_var
-    in
-    let candidates =
-      List.filter (fun a -> Symbol.equal (Atom.rel a) (Atom.rel head)) (Cq.atoms q)
     in
     let m = List.length candidates in
     (* Enumerate non-empty subsets A of the candidate atoms. Query sizes in
@@ -155,6 +163,7 @@ let one_step q rule0 =
       end
     in
     List.filter_map try_subset subsets
+    end
   end
 
 let one_step_theory q theory =

@@ -273,6 +273,11 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
   ignore (store.insert q0);
   let steps = ref 0 in
   let outcome = ref Complete in
+  (* Per-disjunct expansion cost from the previous round, feeding the
+     dispatch gate's [?est_s] hint: rewriting rounds expand queries of
+     slowly-drifting size, so the running per-item average is a solid
+     predictor (0. = no history yet, the gate probes). *)
+  let expand_item_s = ref 0. in
   let exception Budget_hit in
   let step (ctx : Saturation.ctx) batch =
     (* Disjuncts subsumed since they were enqueued need not expand. *)
@@ -298,12 +303,19 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
             commit = false;
           }
       | None -> (
+          let n_live = List.length live in
+          let t_expand = Unix.gettimeofday () in
+          let est = !expand_item_s *. float_of_int n_live in
           let expansions =
-            Parallel.Pool.map_list ~guard ctx.Saturation.pool
+            Parallel.Pool.map_list ~guard
+              ?est_s:(if est > 0. then Some est else None)
+              ctx.Saturation.pool
               (fun q' -> Piece_unifier.one_step_theory q' compiled)
               live
           in
-          let expanded = List.length live in
+          expand_item_s :=
+            (Unix.gettimeofday () -. t_expand) /. float_of_int n_live;
+          let expanded = n_live in
           steps := !steps + expanded;
           match Guard.status guard with
           | Some cause ->
@@ -365,11 +377,16 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
       ~drain:
         (Saturation.At_most
            (fun () ->
-             (* The remaining step budget bounds the batch; a size-1 pool
-                expands one disjunct per round — exactly the sequential
-                worklist-pop semantics. *)
+             (* The remaining step budget bounds the batch; at effective
+                parallelism 1 (a size-1 pool, or any pool whose workers
+                the machine cannot actually run in parallel) expand one
+                disjunct per round — exactly the sequential worklist-pop
+                semantics, avoiding the coarser batch-synchronous
+                schedule's extra containment work when it cannot pay. *)
              let r = budget.max_steps - !steps in
-             if jobs = 1 then min 1 r else r))
+             if jobs = 1 || Parallel.Pool.effective_size pool <= 1 then
+               min 1 r
+             else r))
       ~record_rounds:(jobs > 1) ~init:[ q0 ] ~step ()
   in
   let outcome =

@@ -7,6 +7,11 @@
 
 open Parallel
 
+(* These tests pin the fan-out mechanisms themselves (stealing, dead
+   workers, busy accounting), so the cost gate — which would route these
+   deliberately tiny batches inline, especially on a one-core CI box —
+   is disabled for the whole suite. *)
+let () = Pool.set_cost_gate false
 let pool4 = Pool.create 4
 
 let contains_sub hay needle =

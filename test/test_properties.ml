@@ -217,6 +217,145 @@ let prop_parallel_rewriting_equivalent =
       | _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Arena vs boxed: the flat-store/compiled-join differentials          *)
+(* ------------------------------------------------------------------ *)
+
+(* [Fact_set.set_arena] is the process-wide A/B switch between the boxed
+   layers + backtracking homomorphism engine and the flat-arena layers +
+   compiled register-machine join. The two must be observationally
+   identical: bit-identical chase stages and provenance, equal
+   homomorphism verdicts, UCQ-equivalent rewritings — at every [-j] and
+   under fault injection. *)
+let with_arena on f =
+  let prev = Fact_set.arena_enabled () in
+  Fact_set.set_arena on;
+  Fun.protect ~finally:(fun () -> Fact_set.set_arena prev) f
+
+let prop_arena_chase_matches_boxed =
+  QCheck.Test.make ~count
+    ~name:"arena chase = boxed chase (stages, flags, provenance; j1, j4)"
+    QCheck.(pair theory_arb instance_arb)
+    (fun (trules, inst) ->
+      let theory = decode_theory trules in
+      let d = decode_instance inst in
+      let boxed =
+        with_arena false (fun () ->
+            Chase.Engine.run ~max_depth ~max_atoms theory d)
+      in
+      List.for_all
+        (fun pool ->
+          let ar =
+            with_arena true (fun () ->
+                Chase.Engine.run ?pool ~max_depth ~max_atoms theory d)
+          in
+          Chase.Engine.depth ar = Chase.Engine.depth boxed
+          && Chase.Engine.saturated ar = Chase.Engine.saturated boxed
+          && Chase.Engine.hit_atom_budget ar
+             = Chase.Engine.hit_atom_budget boxed
+          && List.for_all
+               (fun i ->
+                 Fact_set.equal (Chase.Engine.stage ar i)
+                   (Chase.Engine.stage boxed i))
+               (List.init (Chase.Engine.depth boxed + 1) Fun.id)
+          && List.for_all (same_derivations boxed ar)
+               (Fact_set.atoms (Chase.Engine.result boxed)))
+        [ None; Some pool4 ])
+
+let prop_arena_hom_matches_boxed =
+  QCheck.Test.make ~count
+    ~name:"Cq.boolean_holds: compiled join = boxed backtracking engine"
+    QCheck.(pair query_arb instance_arb)
+    (fun (qatoms, inst) ->
+      let q = decode_query qatoms in
+      let d = decode_instance inst in
+      Bool.equal
+        (with_arena true (fun () -> Cq.boolean_holds q d))
+        (with_arena false (fun () -> Cq.boolean_holds q d)))
+
+let prop_arena_rewriting_equivalent =
+  QCheck.Test.make ~count
+    ~name:"arena rewriting = boxed rewriting (UCQ-equivalent; j1, j4)"
+    QCheck.(pair theory_arb query_arb)
+    (fun (trules, qatoms) ->
+      let theory = decode_theory trules in
+      let q = decode_query qatoms in
+      let boxed =
+        with_arena false (fun () ->
+            Rewriting.Rewrite.rewrite ~budget:rewrite_budget theory q)
+      in
+      List.for_all
+        (fun pool ->
+          let ar =
+            with_arena true (fun () ->
+                Rewriting.Rewrite.rewrite ?pool ~budget:rewrite_budget
+                  theory q)
+          in
+          match
+            (boxed.Rewriting.Rewrite.outcome, ar.Rewriting.Rewrite.outcome)
+          with
+          | Rewriting.Rewrite.Complete, Rewriting.Rewrite.Complete ->
+              Ucq.equivalent boxed.Rewriting.Rewrite.ucq
+                ar.Rewriting.Rewrite.ucq
+          | _ -> true)
+        [ None; Some pool4 ])
+
+(* Zoo-seeded: every closed zoo theory chased on random instances drawn
+   from its own signature, arena against boxed, sequential and -j4. *)
+let zoo_theories =
+  Theories.Zoo.
+    [
+      t_a; t_p; t_loopcut; t_sticky; t_nonbdd; t_c; t_d; t_d_noloop;
+      t_spouse; t_ex66;
+    ]
+
+let theory_signature theory =
+  List.sort_uniq Symbol.compare
+    (List.concat_map
+       (fun r -> List.map Atom.rel (Tgd.body r @ Tgd.head r))
+       (Theory.rules theory))
+
+let decode_zoo_instance theory triples =
+  let sig_ = Array.of_list (theory_signature theory) in
+  Fact_set.of_list
+    (List.map
+       (fun (s, a, b) ->
+         let rel = sig_.(s mod Array.length sig_) in
+         let args =
+           List.init (Symbol.arity rel) (fun i ->
+               const ((if i = 0 then a else b) mod 5))
+         in
+         Atom.make rel args)
+       triples)
+
+let prop_arena_zoo_chase_matches_boxed =
+  QCheck.Test.make ~count
+    ~name:"zoo theories: arena chase = boxed chase on random instances"
+    QCheck.(
+      pair (int_bound 1000)
+        (list_of_size Gen.(1 -- 6)
+           (triple (int_bound 20) (int_bound 4) (int_bound 4))))
+    (fun (pick, triples) ->
+      let theory = List.nth zoo_theories (pick mod List.length zoo_theories) in
+      let d = decode_zoo_instance theory triples in
+      let boxed =
+        with_arena false (fun () ->
+            Chase.Engine.run ~max_depth ~max_atoms theory d)
+      in
+      List.for_all
+        (fun pool ->
+          let ar =
+            with_arena true (fun () ->
+                Chase.Engine.run ?pool ~max_depth ~max_atoms theory d)
+          in
+          Chase.Engine.depth ar = Chase.Engine.depth boxed
+          && List.for_all
+               (fun i ->
+                 Fact_set.equal (Chase.Engine.stage ar i)
+                   (Chase.Engine.stage boxed i))
+               (List.init (Chase.Engine.depth boxed + 1) Fun.id))
+        [ None; Some pool4 ])
+
+(* ------------------------------------------------------------------ *)
 (* The naive reference rewriting: a direct reading of Theorem 1        *)
 (* ------------------------------------------------------------------ *)
 
@@ -584,6 +723,38 @@ let prop_faulty_rewriting_is_sound =
             [ Parallel.Pool.sequential; pool3; pool4 ]
       | _ -> true)
 
+let prop_arena_faulty_chase_is_prefix =
+  (* The cross-mode fault differential: a fault-injected arena-mode
+     chase must be a stage-exact prefix of the fault-free *boxed* chase
+     — the two engines stay interchangeable even while the schedule is
+     killing workers and tripping guards. *)
+  QCheck.Test.make ~count
+    ~name:"fault-injected arena chase = prefix of fault-free boxed chase"
+    QCheck.(triple small_nat theory_arb instance_arb)
+    (fun (seed, trules, inst) ->
+      let theory = decode_theory trules and d = decode_instance inst in
+      let reference =
+        with_arena false (fun () ->
+            Chase.Engine.run ~max_depth ~max_atoms theory d)
+      in
+      List.for_all
+        (fun pool ->
+          let run =
+            with_faults (1 + seed) (fun () ->
+                with_arena true (fun () ->
+                    let guard = Guard.create () in
+                    Chase.Engine.run ~pool ~guard ~max_depth ~max_atoms
+                      theory d))
+          in
+          let dr = Chase.Engine.depth run in
+          dr <= Chase.Engine.depth reference
+          && List.for_all
+               (fun i ->
+                 Fact_set.equal (Chase.Engine.stage run i)
+                   (Chase.Engine.stage reference i))
+               (List.init (dr + 1) Fun.id))
+        [ Parallel.Pool.sequential; pool2; pool4 ])
+
 let prop_pool_absorbs_injected_faults =
   (* Injected task exceptions recover through the coordinator's retry
      pass; worker deaths recover through orphan redistribution. Under any
@@ -715,12 +886,21 @@ let () =
             prop_portfolio_agrees_with_chase;
             prop_portfolio_agrees_on_zoo_instances;
           ] );
+      ( "arena",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_arena_chase_matches_boxed;
+            prop_arena_hom_matches_boxed;
+            prop_arena_rewriting_equivalent;
+            prop_arena_zoo_chase_matches_boxed;
+          ] );
       ( "pool",
         [ QCheck_alcotest.to_alcotest prop_pool_primitives ] );
       ( "faults",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_faulty_chase_is_prefix;
+            prop_arena_faulty_chase_is_prefix;
             prop_faulty_rewriting_is_sound;
             prop_pool_absorbs_injected_faults;
             prop_pool_aggregates_real_errors;
