@@ -1,4 +1,4 @@
-.PHONY: all build test check check-faults check-kernel check-portfolio check-shard check-arena bench bench-smoke examples doc clean fmt
+.PHONY: all build test check check-faults check-kernel check-portfolio check-shard check-arena check-resume bench bench-smoke examples doc clean fmt
 
 # Every generated bench snapshot — recorded smoke baselines and the
 # transient *-check.json the drift gates produce — lives here, out of
@@ -130,6 +130,22 @@ check-portfolio: build
 	dune exec test/test_paper.exe
 	dune exec tools/fuzz_campaign.exe -- --count 200 --dir _fuzz 1 7 42
 	dune exec tools/fuzz_campaign.exe -- --count 500 --dir _fuzz 42
+
+# Durability gate (mirrored by the CI resume job): the checkpoint unit
+# and in-process resume-differential suite, then real SIGKILL
+# crash/resume trials — each trial forks a child running with
+# checkpointing on, kills it at a seeded saturation round, resumes
+# through the supervisor in the parent, and compares against an
+# uninterrupted reference (chase: bit-identical stages; rewriting
+# engines: UCQ-equivalent). Chase and rewrite trials are cheap; the
+# marked trials replay phi_R^5 end to end, so their count stays small.
+# Passing trials clean up after themselves; failing trials leave their
+# snapshot directories under _crash/ for post-mortem (CI uploads them).
+check-resume: build
+	dune exec test/test_checkpoint.exe
+	dune exec tools/crash_harness.exe -- --dir _crash --workload chase --trials 5 1 7 42
+	dune exec tools/crash_harness.exe -- --dir _crash --workload rewrite --trials 5 1 7 42
+	dune exec tools/crash_harness.exe -- --dir _crash --workload marked --trials 1 1 7 42
 
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt

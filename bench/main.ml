@@ -846,9 +846,9 @@ let ix () =
   match Sys.getenv_opt "FRONTIER_BENCH_JSON" with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
-      Printf.fprintf oc
-        {|{
+      Checkpoint.Atomic_io.write_file path
+      @@ Printf.sprintf
+           {|{
   "bench": "ix",
   "note": "speedup fields compare in-process A/B toggles of this build; the >= 2x acceptance numbers vs the pre-PR build are in EXPERIMENTS.md",
   "smoke": %b,
@@ -886,7 +886,6 @@ let ix () =
         (rw_off /. rw_warm)
         r_on.Rewriting.Rewrite.containment_checks
         r_on.Rewriting.Rewrite.cache_hits r_on.Rewriting.Rewrite.cache_misses;
-      close_out oc;
       row "  json snapshot written to %s@." path
 
 (* ------------------------------------------------------------------ *)
@@ -1029,7 +1028,6 @@ let rw () =
   match Sys.getenv_opt "FRONTIER_BENCH_JSON" with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
       let entry (name, steps, disjuncts, t_off, t_on, equiv, ix, sv) =
         Printf.sprintf
           {|    {
@@ -1049,8 +1047,9 @@ let rw () =
           ix.Ucq_index.pairs ix.Ucq_index.pruned sv.Containment.splits
           sv.Containment.prescreened
       in
-      Printf.fprintf oc
-        {|{
+      Checkpoint.Atomic_io.write_file path
+      @@ Printf.sprintf
+           {|{
   "bench": "rw",
   "note": "interleaved A/B of Ucq_index.set_indexing + Containment.set_decomposition; both off = the PR 2 engines",
   "smoke": %b,
@@ -1062,7 +1061,6 @@ let rw () =
 |}
         smoke reps
         (String.concat ",\n" (List.rev_map entry !results));
-      close_out oc;
       row "  json snapshot written to %s@." path
 
 (* ------------------------------------------------------------------ *)
@@ -1233,7 +1231,6 @@ let shard () =
   (match Sys.getenv_opt "FRONTIER_BENCH_JSON" with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
       let entry (name, t1, tn, identical, criterion) =
         Printf.sprintf
           {|    {
@@ -1246,8 +1243,9 @@ let shard () =
     }|}
           name t1 jobs tn (t1 /. tn) criterion identical
       in
-      Printf.fprintf oc
-        {|{
+      Checkpoint.Atomic_io.write_file path
+      @@ Printf.sprintf
+           {|{
   "bench": "shard",
   "note": "explicit -j1 vs -j%d pools over the saturation clients; 'identical' covers results and stage counters, 'equivalent' is the generic saturation's batch-semantics contract; speedup is hardware-bound (1.0x is expected on a 1-core box)",
   "smoke": %b,
@@ -1261,7 +1259,6 @@ let shard () =
         jobs smoke reps
         (Domain.recommended_domain_count ())
         (String.concat ",\n" (List.rev_map entry !results));
-      close_out oc;
       row "  json snapshot written to %s@." path);
   Parallel.Pool.shutdown pool1;
   Parallel.Pool.shutdown pooln;
@@ -1458,7 +1455,6 @@ let arena () =
   (match Sys.getenv_opt "FRONTIER_BENCH_JSON" with
   | None -> ()
   | Some path ->
-      let oc = open_out path in
       let entry (name, tb, ta, tn, identical, criterion) =
         Printf.sprintf
           {|    {
@@ -1473,8 +1469,9 @@ let arena () =
     }|}
           name tb ta (tb /. ta) jobs tn jobs (ta /. tn) criterion identical
       in
-      Printf.fprintf oc
-        {|{
+      Checkpoint.Atomic_io.write_file path
+      @@ Printf.sprintf
+           {|{
   "bench": "arena",
   "note": "boxed layout + map engine vs arena layout + compiled register machine, both -j1; the -j%d arm runs the arena build through the cost-gated pool (inline on a 1-core box). speedup = boxed_j1_s / arena_j1_s; j%d_vs_j1 = arena_j1_s / arena_j%d_s (>= 0.9 required).",
   "smoke": %b,
@@ -1488,7 +1485,6 @@ let arena () =
         jobs jobs jobs smoke reps
         (Domain.recommended_domain_count ())
         (String.concat ",\n" (List.rev_map entry !results));
-      close_out oc;
       row "  json snapshot written to %s@." path);
   Parallel.Pool.shutdown pool1;
   Parallel.Pool.shutdown pooln;

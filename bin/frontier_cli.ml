@@ -77,8 +77,11 @@ let memory_arg =
 let words_of_mb mb = mb * 1024 * 1024 / (Sys.word_size / 8)
 
 (* One guard per invocation: deadline/memory flags plus a cancellation
-   token flipped by Ctrl-C, so an interrupted run still prints its
-   partial result (and --stats) on the way out. *)
+   token flipped by Ctrl-C or SIGTERM, so an interrupted run still prints
+   its partial result (and --stats) on the way out — and, when a
+   checkpoint sink is active, the kernel's final save runs before exit,
+   so a supervised orchestrator that SIGTERMs a pod gets a resumable
+   snapshot. Both signals share the partial-output exit code 2. *)
 let with_guard ~timeout ~max_memory_mb f =
   let cancel = Atomic.make false in
   let guard =
@@ -86,12 +89,13 @@ let with_guard ~timeout ~max_memory_mb f =
       ?max_heap_words:(Option.map words_of_mb max_memory_mb)
       ~cancel ()
   in
-  let previous =
-    Sys.signal Sys.sigint
-      (Sys.Signal_handle (fun _ -> Atomic.set cancel true))
-  in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set cancel true) in
+  let previous_int = Sys.signal Sys.sigint handler in
+  let previous_term = Sys.signal Sys.sigterm handler in
   Fun.protect
-    ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint previous_int;
+      Sys.set_signal Sys.sigterm previous_term)
     (fun () -> f guard)
 
 (* Report the guard verdict and translate it into the exit code. *)
@@ -165,16 +169,57 @@ let handle f =
       Fmt.epr "error: %s@." msg;
       exit exit_internal
 
+(* Durability flags, shared by chase / rewrite / marked-rewrite. *)
+let checkpoint_dir_arg =
+  let doc =
+    "Write crash-safe snapshots of the saturation state into this \
+     directory (created if missing). An interrupted run — crash, OOM \
+     kill, SIGINT/SIGTERM, tripped guard — can then be continued with \
+     'frontier resume'."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Snapshot at every N-th committed saturation round (subject to a \
+     0.5s wall-clock throttle between writes)."
+  in
+  Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~doc)
+
+let make_sink dir every =
+  Option.map (fun d -> Frontier.Checkpoint.sink ~every d) dir
+
+let print_checkpoint_stats () =
+  let c = Frontier.Checkpoint.counters () in
+  if
+    c.Frontier.Checkpoint.writes + c.Frontier.Checkpoint.write_failures
+    + c.Frontier.Checkpoint.rejected_reads
+    > 0
+  then
+    Fmt.pr
+      "checkpoints: %d written (%d payload bytes), %d write failures, %d \
+       rejected on read@."
+      c.Frontier.Checkpoint.writes c.Frontier.Checkpoint.bytes_written
+      c.Frontier.Checkpoint.write_failures
+      c.Frontier.Checkpoint.rejected_reads
+
 (* ------------------------------------------------------------------ *)
 
 let chase_cmd =
   let run theory instance depth max_atoms verbose variant dot_file jobs stats
-      timeout max_memory_mb =
+      timeout max_memory_mb checkpoint_dir checkpoint_every =
     handle (fun () ->
         with_pool jobs (fun pool ->
         with_guard ~timeout ~max_memory_mb (fun guard ->
         let t = parse_theory theory in
         let d = parse_instance instance in
+        let checkpoint = make_sink checkpoint_dir checkpoint_every in
+        (match (checkpoint, variant) with
+        | Some _, ("oblivious" | "restricted") ->
+            Fmt.epr
+              "note: --checkpoint-dir only applies to the semi-oblivious \
+               variant; ignoring@."
+        | _ -> ());
         let result_facts =
           match variant with
           | "semi-oblivious" ->
@@ -182,7 +227,7 @@ let chase_cmd =
               let es0 = engine_stats_before () in
               let run =
                 Frontier.Chase_engine.run ~pool ~guard ~max_depth:depth
-                  ~max_atoms t d
+                  ~max_atoms ?checkpoint t d
               in
               Fmt.pr "chase: %d stages%s%s@."
                 (Frontier.Chase_engine.depth run)
@@ -207,7 +252,8 @@ let chase_cmd =
                   - ix0.Frontier.Fact_set.delta_atoms)
                   (ix1.Frontier.Fact_set.built_atoms
                   - ix0.Frontier.Fact_set.built_atoms);
-                print_engine_stats es0
+                print_engine_stats es0;
+                print_checkpoint_stats ()
               end;
               Frontier.Chase_engine.result run
           | "oblivious" ->
@@ -281,10 +327,12 @@ let chase_cmd =
     (Cmd.info "chase" ~doc:"Run the chase (semi-oblivious by default)")
     Term.(
       const run $ theory_arg $ instance_arg $ depth_arg $ atoms_arg $ verbose
-      $ variant $ dot_file $ jobs_arg $ stats $ timeout_arg $ memory_arg)
+      $ variant $ dot_file $ jobs_arg $ stats $ timeout_arg $ memory_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg)
 
 let rewrite_cmd =
-  let run theory query steps disjuncts jobs stats timeout max_memory_mb =
+  let run theory query steps disjuncts jobs stats timeout max_memory_mb
+      checkpoint_dir checkpoint_every =
     handle (fun () ->
         with_pool jobs (fun pool ->
         with_guard ~timeout ~max_memory_mb (fun guard ->
@@ -297,8 +345,9 @@ let rewrite_cmd =
             max_disjuncts = disjuncts;
           }
         in
+        let checkpoint = make_sink checkpoint_dir checkpoint_every in
         let es0 = engine_stats_before () in
-        let r = Frontier.rewrite ~pool ~guard ~budget t q in
+        let r = Frontier.Rewrite.rewrite ~pool ~guard ~budget ?checkpoint t q in
         (match r.Frontier.Rewrite.outcome with
         | Frontier.Rewrite.Complete -> Fmt.pr "rewriting complete:@."
         | Frontier.Rewrite.Step_budget -> Fmt.pr "step budget exhausted; partial:@."
@@ -326,7 +375,8 @@ let rewrite_cmd =
              %d containment searches split into components@."
             r.Frontier.Rewrite.index_pruned
             r.Frontier.Rewrite.component_splits;
-          print_engine_stats es0
+          print_engine_stats es0;
+          print_checkpoint_stats ()
         end;
         finish guard;
         (* Exhausted legacy budgets (no guard trip) also mean the printed
@@ -357,7 +407,8 @@ let rewrite_cmd =
     (Cmd.info "rewrite" ~doc:"Compute the UCQ rewriting of a query")
     Term.(
       const run $ theory_arg $ query_arg $ steps $ disjuncts $ jobs_arg
-      $ stats $ timeout_arg $ memory_arg)
+      $ stats $ timeout_arg $ memory_arg $ checkpoint_dir_arg
+      $ checkpoint_every_arg)
 
 let answer_cmd =
   let run theory instance query depth max_atoms jobs timeout max_memory_mb =
@@ -435,16 +486,19 @@ let explain_cmd =
       $ atoms_arg)
 
 let marked_rewrite_cmd =
-  let run query levels steps stats timeout max_memory_mb =
+  let run query levels steps stats timeout max_memory_mb checkpoint_dir
+      checkpoint_every =
     handle (fun () ->
         with_guard ~timeout ~max_memory_mb (fun guard ->
         let q = parse_query (read_source query) in
+        let checkpoint = make_sink checkpoint_dir checkpoint_every in
         let res =
           if levels = 2 then
-            Frontier.Marked_process.rewrite_td ~guard ~max_steps:steps q
+            Frontier.Marked_process.rewrite_td ~guard ~max_steps:steps
+              ?checkpoint q
           else
-            Frontier.Marked_process.rewrite_tdk ~guard ~max_steps:steps levels
-              q
+            Frontier.Marked_process.rewrite_tdk ~guard ~max_steps:steps
+              ?checkpoint levels q
         in
         Fmt.pr "%s after %d process steps (%d cut, %d fuse, %d reduce):@."
           (if res.Frontier.Marked_process.complete then "complete"
@@ -457,9 +511,11 @@ let marked_rewrite_cmd =
           res.Frontier.Marked_process.stats.Frontier.Marked_process.cut_steps
           res.Frontier.Marked_process.stats.Frontier.Marked_process.fuse_steps
           res.Frontier.Marked_process.stats.Frontier.Marked_process.reduce_steps;
-        if stats then
+        if stats then begin
           Fmt.pr "%a@." Frontier.Saturation.Stats.pp
             res.Frontier.Marked_process.kernel_stats;
+          print_checkpoint_stats ()
+        end;
         Fmt.pr "%a@." Frontier.Ucq.pp res.Frontier.Marked_process.rewriting;
         Fmt.pr "disjuncts: %d, max size: %d, trivial: %d, aliased: %d@."
           (Frontier.Ucq.cardinal res.Frontier.Marked_process.rewriting)
@@ -495,7 +551,177 @@ let marked_rewrite_cmd =
          "Rewrite a query under T_d (or T_d^K) with the marked-query           process of Sections 10-12")
     Term.(
       const run $ query_arg $ levels $ steps $ stats $ timeout_arg
-      $ memory_arg)
+      $ memory_arg $ checkpoint_dir_arg $ checkpoint_every_arg)
+
+let resume_cmd =
+  let run dir jobs stats timeout max_memory_mb max_attempts checkpoint_every
+      =
+    handle (fun () ->
+        with_pool jobs (fun pool ->
+        with_guard ~timeout ~max_memory_mb (fun guard ->
+        if Frontier.Checkpoint.Snapshot.list ~dir = [] then begin
+          Fmt.epr "resume: no snapshots in %s@." dir;
+          exit exit_internal
+        end;
+        (* The resumed run keeps checkpointing into the same directory, so
+           each supervised attempt that makes progress shrinks the replay
+           the next attempt has to do. *)
+        let sink = Frontier.Checkpoint.sink ~every:checkpoint_every dir in
+        let outcome, report =
+          Frontier.Checkpoint.Supervisor.run ~max_attempts
+            ~on_event:(fun line -> Fmt.epr "supervisor: %s@." line)
+            ~dir
+            (fun ~resume ->
+              match resume with
+              | None ->
+                  invalid_arg
+                    "every snapshot in the directory was rejected \
+                     (checksum/version); cold start needs the original \
+                     chase/rewrite/marked-rewrite invocation"
+              | Some snap ->
+                  let kind = snap.Frontier.Checkpoint.Snapshot.kind in
+                  if kind = Frontier.Chase_engine.checkpoint_kind then
+                    `Chase
+                      (Frontier.Chase_engine.resume ~pool ~guard
+                         ~checkpoint:sink snap)
+                  else if kind = Frontier.Rewrite.checkpoint_kind then
+                    `Rewrite
+                      (Frontier.Rewrite.resume ~pool ~guard ~checkpoint:sink
+                         snap)
+                  else if kind = Frontier.Marked_process.checkpoint_kind
+                  then
+                    `Marked
+                      (Frontier.Marked_process.resume ~pool ~guard
+                         ~checkpoint:sink snap)
+                  else
+                    invalid_arg
+                      (Printf.sprintf "unknown snapshot kind %S" kind))
+        in
+        if stats then begin
+          Fmt.pr
+            "supervisor: %d attempt%s, resumed from round %s, %d rejected \
+             snapshot%s, %d cold start%s, %.2fs backoff@."
+            report.Frontier.Checkpoint.Supervisor.attempts
+            (if report.Frontier.Checkpoint.Supervisor.attempts = 1 then ""
+             else "s")
+            (match
+               report.Frontier.Checkpoint.Supervisor.resumed_round
+             with
+            | Some r -> string_of_int r
+            | None -> "<cold>")
+            report.Frontier.Checkpoint.Supervisor.rejected_snapshots
+            (if
+               report.Frontier.Checkpoint.Supervisor.rejected_snapshots = 1
+             then ""
+             else "s")
+            report.Frontier.Checkpoint.Supervisor.cold_starts
+            (if report.Frontier.Checkpoint.Supervisor.cold_starts = 1 then
+               ""
+             else "s")
+            report.Frontier.Checkpoint.Supervisor.slept_s;
+          print_checkpoint_stats ()
+        end;
+        match outcome with
+        | Error e ->
+            Fmt.epr "resume failed: %s@." (Printexc.to_string e);
+            exit exit_internal
+        | Ok (`Chase run) ->
+            Fmt.pr "chase: %d stages%s%s@."
+              (Frontier.Chase_engine.depth run)
+              (if Frontier.Chase_engine.saturated run then " (saturated)"
+               else "")
+              (match Frontier.Chase_engine.interrupted run with
+              | Some c ->
+                  " (interrupted: " ^ Frontier.Guard.cause_to_string c ^ ")"
+              | None -> "");
+            for i = 0 to Frontier.Chase_engine.depth run do
+              Fmt.pr "stage %d: %d atoms@." i
+                (Frontier.Fact_set.cardinal
+                   (Frontier.Chase_engine.stage run i))
+            done;
+            if stats then
+              Fmt.pr "%a@." Frontier.Saturation.Stats.pp
+                (Frontier.Chase_engine.kernel_stats run);
+            finish guard
+        | Ok (`Rewrite r) ->
+            (match r.Frontier.Rewrite.outcome with
+            | Frontier.Rewrite.Complete -> Fmt.pr "rewriting complete:@."
+            | Frontier.Rewrite.Step_budget ->
+                Fmt.pr "step budget exhausted; partial:@."
+            | Frontier.Rewrite.Disjunct_budget ->
+                Fmt.pr "disjunct budget exhausted; partial:@."
+            | Frontier.Rewrite.Size_budget ->
+                Fmt.pr "disjunct size budget exhausted; partial:@."
+            | Frontier.Rewrite.Guard_exhausted cause ->
+                Fmt.pr "guard exhausted (%s); partial:@."
+                  (Frontier.Guard.cause_to_string cause));
+            Fmt.pr "%a@." Frontier.Ucq.pp r.Frontier.Rewrite.ucq;
+            Fmt.pr "disjuncts: %d, max size: %d, steps: %d@."
+              (Frontier.Ucq.cardinal r.Frontier.Rewrite.ucq)
+              (Frontier.Ucq.max_disjunct_size r.Frontier.Rewrite.ucq)
+              r.Frontier.Rewrite.steps;
+            if stats then
+              Fmt.pr "%a@." Frontier.Saturation.Stats.pp
+                r.Frontier.Rewrite.kernel_stats;
+            finish guard;
+            if r.Frontier.Rewrite.outcome <> Frontier.Rewrite.Complete then
+              exit exit_exhausted
+        | Ok (`Marked res) ->
+            Fmt.pr "%s after %d process steps:@."
+              (if res.Frontier.Marked_process.complete then "complete"
+               else
+                 match res.Frontier.Marked_process.interrupted with
+                 | Some c ->
+                     "guard exhausted ("
+                     ^ Frontier.Guard.cause_to_string c
+                     ^ ")"
+                 | None -> "step budget exhausted")
+              res.Frontier.Marked_process.stats
+                .Frontier.Marked_process.steps;
+            Fmt.pr "%a@." Frontier.Ucq.pp
+              res.Frontier.Marked_process.rewriting;
+            Fmt.pr "disjuncts: %d, trivial: %d, aliased: %d@."
+              (Frontier.Ucq.cardinal res.Frontier.Marked_process.rewriting)
+              (List.length res.Frontier.Marked_process.trivial)
+              (List.length res.Frontier.Marked_process.aliased);
+            if stats then
+              Fmt.pr "%a@." Frontier.Saturation.Stats.pp
+                res.Frontier.Marked_process.kernel_stats;
+            finish guard;
+            if not res.Frontier.Marked_process.complete then
+              exit exit_exhausted)))
+  in
+  let dir =
+    let doc = "Snapshot directory written by --checkpoint-dir." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "max-attempts" ]
+          ~doc:
+            "Supervised retries: on a failed attempt, back off \
+             exponentially, re-read the snapshot directory, and resume \
+             from the newest valid snapshot.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the supervisor report (attempts, resumed round, \
+             rejected snapshots, backoff) plus the engine's kernel \
+             counters and checkpoint write/read telemetry.")
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue an interrupted chase / rewrite / marked-rewrite run \
+          from its newest valid snapshot, with supervised retries and \
+          degradation to older snapshots on corruption")
+    Term.(
+      const run $ dir $ jobs_arg $ stats $ timeout_arg $ memory_arg
+      $ max_attempts $ checkpoint_every_arg)
 
 let classify_cmd =
   let run theory =
@@ -711,5 +937,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ chase_cmd; rewrite_cmd; marked_rewrite_cmd; answer_cmd; explain_cmd;
-            classify_cmd; analyze_cmd; portfolio_cmd; fuzz_cmd ]))
+          [ chase_cmd; rewrite_cmd; marked_rewrite_cmd; resume_cmd;
+            answer_cmd; explain_cmd; classify_cmd; analyze_cmd;
+            portfolio_cmd; fuzz_cmd ]))

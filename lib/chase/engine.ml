@@ -89,16 +89,88 @@ let part_triggers rule part ~old_facts ~delta ~full ~old_dom_list
    so the post-sweep status check sees the trip). *)
 exception Sweep_aborted
 
-let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
-    ?(max_atoms = 200_000) theory initial =
+let checkpoint_kind = "chase"
+
+(* Snapshot encoding. A chase snapshot at (absolute) stage r holds the
+   theory, the initial instance, one delta line per committed stage
+   1..r, and per derived atom its *creating* rule application — enough
+   to rebuild [stages], [info] and the semi-naive cursors exactly.
+   Everything goes through [Checkpoint.Codec], so hash-consed ids never
+   touch the disk; re-interning on decode plus the Skolem naming
+   convention (Definition 4, via [Tgd.make]) is what makes the resumed
+   chase bit-identical (Observation 8). Rediscovery derivations beyond
+   the creating one are deliberately dropped: [atom_frontier],
+   [birth_atom] and [rule_counts] only consult the creating application,
+   and carrying every rediscovery would multiply the snapshot size. *)
+let encode_state ~round ~theory ~max_depth ~max_atoms ~stages ~deltas ~info =
+  let module Codec = Checkpoint.Codec in
+  let rules = Array.of_list (Theory.rules theory) in
+  let rule_idx r =
+    let n = Array.length rules in
+    let rec go i = if i >= n then -1 else if rules.(i) == r then i else go (i + 1) in
+    go 0
+  in
+  let stage0 = List.hd (List.rev stages) in
+  let prov =
+    Atom_tbl.fold
+      (fun atom (st, ders) acc ->
+        match List.rev !ders with
+        | [] -> acc
+        | (rule, sigma) :: _ ->
+            let i = rule_idx rule in
+            if i < 0 then acc
+            else
+              Codec.concat
+                [
+                  Codec.atom_to_string atom;
+                  string_of_int st;
+                  string_of_int i;
+                  Codec.mapping_to_string sigma;
+                ]
+              :: acc)
+      info []
+  in
+  {
+    Checkpoint.Snapshot.kind = checkpoint_kind;
+    round;
+    meta =
+      [
+        ("max_depth", string_of_int max_depth);
+        ("max_atoms", string_of_int max_atoms);
+      ];
+    sections =
+      [
+        ("theory", Codec.theory_to_lines theory);
+        ("stage0", List.map Codec.atom_to_string (Fact_set.atoms stage0));
+        ( "deltas",
+          List.rev_map (Codec.list_to_string Codec.atom_to_string) deltas );
+        ("prov", prov);
+      ];
+  }
+
+(* [run_from] is the engine body, parameterized by the resume state: a
+   fresh run passes [stages0 = [initial]], no deltas, an empty info
+   table; [resume] passes the decoded snapshot state. [base_round] is
+   derived from the delta count, so stage numbering, the [max_depth]
+   cutoff, and the checkpoint cadence all continue in absolute rounds. *)
+let run_from ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
+    ?(max_atoms = 200_000) ?checkpoint:checkpoint_sink ~stages0 ~deltas0
+    ~info theory =
   let guard =
     match guard with Some g -> g | None -> Guard.unlimited ()
   in
-  let stages = ref [ initial ] in
-  let info = Atom_tbl.create (1 lsl 18) in
-  let full = ref initial in
-  let old_facts = ref Fact_set.empty in
-  let old_dom = ref Term.Set.empty in
+  let initial = List.hd (List.rev stages0) in
+  let base_round = List.length deltas0 in
+  let stages = ref stages0 in
+  let deltas = ref deltas0 in
+  let full = ref (List.hd stages0) in
+  let old_facts =
+    ref
+      (match stages0 with
+      | _ :: prev :: _ -> prev
+      | _ -> Fact_set.empty)
+  in
+  let old_dom = ref (Fact_set.domain !old_facts) in
   (* A client-level stop that is not a guard trip: the historical
      [max_atoms] atom cap, expressed as the unified fuel cause. *)
   let capped = ref None in
@@ -233,6 +305,7 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
           (* The historical atom cap: the completed stage is kept, the
              run stops — no fuel is drawn for the capped stage. *)
           capped := Some Guard.Fuel;
+          deltas := !fresh :: !deltas;
           { Saturation.next = []; tally; stop = true; commit = true }
         end
         else begin
@@ -241,12 +314,32 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
              completed stage and stops the run (the kernel consults the
              sticky trip state right after the commit). *)
           ignore (Guard.spend guard fresh_atoms);
+          deltas := !fresh :: !deltas;
           { Saturation.next = [ delta' ]; tally; stop = false; commit = true }
         end
   in
+  let checkpoint =
+    Option.map
+      (fun sink ->
+        {
+          Saturation.every = sink.Checkpoint.every;
+          min_interval_s = sink.Checkpoint.min_interval_s;
+          save =
+            (fun ~round ~final:_ _frontier ->
+              Checkpoint.save_to sink
+                (encode_state ~round ~theory ~max_depth ~max_atoms
+                   ~stages:!stages ~deltas:!deltas ~info));
+        })
+      checkpoint_sink
+  in
+  let init =
+    match deltas0 with
+    | [] -> [ initial ]
+    | last :: _ -> [ Fact_set.of_list last ]
+  in
   let verdict, stats =
     Saturation.run ~pool ~guard ~drain:Saturation.All ~max_rounds:max_depth
-      ~record_rounds:true ~init:[ initial ] ~step ()
+      ~record_rounds:true ~base_round ?checkpoint ~init ~step ()
   in
   let saturated, interrupted =
     match verdict with
@@ -264,6 +357,73 @@ let run ?(pool = Parallel.Pool.sequential) ?guard ?(max_depth = 50)
     info;
     stats;
   }
+
+let run ?pool ?guard ?max_depth ?max_atoms ?checkpoint theory initial =
+  run_from ?pool ?guard ?max_depth ?max_atoms ?checkpoint
+    ~stages0:[ initial ] ~deltas0:[]
+    ~info:(Atom_tbl.create (1 lsl 18))
+    theory
+
+(* Snapshot decoding: the exact inverse of [encode_state]. Raises
+   [Invalid_argument] on a snapshot of another kind and
+   [Checkpoint.Codec.Error] on malformed content — both only reachable
+   on a checksum-valid file, i.e. a version-skew or writer bug, never
+   plain corruption (the checksum rejects that upstream). *)
+let decode_snapshot snap =
+  let module S = Checkpoint.Snapshot in
+  let module Codec = Checkpoint.Codec in
+  if snap.S.kind <> checkpoint_kind then
+    invalid_arg
+      (Printf.sprintf "Engine.resume: %S snapshot, expected %S" snap.S.kind
+         checkpoint_kind);
+  let theory = Codec.theory_of_lines (S.section snap "theory") in
+  let stage0 =
+    Fact_set.of_list
+      (List.map Codec.atom_of_string (S.section snap "stage0"))
+  in
+  let deltas =
+    List.map
+      (Codec.list_of_string Codec.atom_of_string)
+      (S.section snap "deltas")
+  in
+  let rules = Array.of_list (Theory.rules theory) in
+  let info = Atom_tbl.create (1 lsl 18) in
+  List.iter
+    (fun line ->
+      match Codec.fields line with
+      | [ a; st; i; m ] ->
+          let atom = Codec.atom_of_string a in
+          let st = Codec.int_of_string st in
+          let i = Codec.int_of_string i in
+          if i < 0 || i >= Array.length rules then
+            raise (Codec.Error "provenance rule index out of range");
+          Atom_tbl.replace info atom
+            (st, ref [ (rules.(i), Codec.mapping_of_string m) ])
+      | _ -> raise (Codec.Error "bad provenance line"))
+    (S.section snap "prov");
+  let stages =
+    List.fold_left
+      (fun acc delta ->
+        Fact_set.union_disjoint (List.hd acc) (Fact_set.of_list delta) :: acc)
+      [ stage0 ] deltas
+  in
+  (theory, stages, List.rev deltas, info)
+
+let resume ?pool ?guard ?max_depth ?max_atoms ?checkpoint snap =
+  let module S = Checkpoint.Snapshot in
+  let theory, stages0, deltas0, info = decode_snapshot snap in
+  let max_depth =
+    match max_depth with
+    | Some d -> d
+    | None -> Option.value ~default:50 (S.meta_int snap "max_depth")
+  in
+  let max_atoms =
+    match max_atoms with
+    | Some a -> a
+    | None -> Option.value ~default:200_000 (S.meta_int snap "max_atoms")
+  in
+  run_from ?pool ?guard ~max_depth ~max_atoms ?checkpoint ~stages0 ~deltas0
+    ~info theory
 
 let theory r = r.theory
 let initial r = r.initial

@@ -17,9 +17,11 @@ type run
 val run :
   ?pool:Parallel.Pool.t ->
   ?guard:Guard.t ->
-  ?max_depth:int -> ?max_atoms:int -> Theory.t -> Fact_set.t -> run
+  ?max_depth:int -> ?max_atoms:int ->
+  ?checkpoint:Checkpoint.sink ->
+  Theory.t -> Fact_set.t -> run
 (** Defaults: [max_depth = 50], [max_atoms = 200_000], [pool] sequential,
-    [guard] unlimited.
+    [guard] unlimited, no [checkpoint].
 
     With a pool of [N > 1] domains, each stage's semi-naive trigger
     enumeration is partitioned by (rule x delta-seed position) across the
@@ -35,7 +37,36 @@ val run :
     recorded stages are always exactly [Ch_0 .. Ch_i] — a sound prefix
     of the fault-free chase ({!interrupted} reports the cause;
     [max_depth]/[max_atoms] remain as thin compatibility shims over the
-    same mechanism). *)
+    same mechanism).
+
+    With [checkpoint], the run emits a crash-safe snapshot of the chase
+    state (theory, stage deltas, creating-application provenance) into
+    the sink's directory at the sink's round cadence, plus a final one
+    at any non-saturated finish — see {!resume}. *)
+
+val checkpoint_kind : string
+(** The [Checkpoint.Snapshot.kind] tag chase snapshots carry: ["chase"]. *)
+
+val resume :
+  ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
+  ?max_depth:int -> ?max_atoms:int ->
+  ?checkpoint:Checkpoint.sink ->
+  Checkpoint.Snapshot.t -> run
+(** Continue a chase from a (validated) snapshot. Stage numbering, the
+    [max_depth] cutoff, and the checkpoint cadence continue in absolute
+    rounds; [max_depth]/[max_atoms] default to the values recorded in
+    the snapshot. Because decoding re-interns every term and [Tgd.make]
+    rebuilds Skolem patterns from head isomorphism types (Definition 4,
+    Observation 8), the resumed stages are {e bit-identical} to an
+    uninterrupted run's: [stage], [result], [saturated],
+    [stage_of_atom], [atom_frontier] and [birth_atom] all agree. Two
+    caveats: {!kernel_stats} covers only the resumed segment, and
+    {!derivations} lists only the creating application for pre-snapshot
+    atoms (rediscovery derivations are not serialized).
+
+    Raises [Invalid_argument] on a snapshot of a different kind and
+    [Checkpoint.Codec.Error] on undecodable content. *)
 
 val kernel_stats : run -> Saturation.Stats.t
 (** The saturation kernel's per-round counters for the run: one round per

@@ -47,6 +47,7 @@ module Portfolio = Portfolio
 module Pool = Parallel.Pool
 module Saturation = Saturation
 module Guard = Guard
+module Checkpoint = Checkpoint
 
 module Parse = struct
   exception Error of string

@@ -105,6 +105,15 @@ module Guard = Guard
     parallel fan-outs — by a single budget; every stage then degrades to a
     documented sound partial result instead of running away. *)
 
+module Checkpoint = Checkpoint
+(** Crash-safe durability: versioned, checksummed, atomically-written
+    snapshots of saturation state, the {!Checkpoint.Codec} text encodings
+    that make resumed chases bit-identical, and the
+    {!Checkpoint.Supervisor} retry-with-resume loop. Pass a
+    {!Checkpoint.sink} to {!Chase_engine.run}, {!Rewrite.rewrite}, or
+    {!Marked_process.run} and resume with the corresponding [resume]
+    entry point ([frontier resume] in the CLI). *)
+
 (** {1 Parsing} *)
 
 module Parse : sig

@@ -117,6 +117,12 @@ module Faults = struct
     die_period : int option;  (* every m-th claim: the worker dies *)
     trip_period : int option;  (* every n-th guard checkpoint trips *)
     trip_cause : cause;
+    (* IO faults, consulted only by the checkpoint snapshot layer (their
+       counter is separate from claims/checks, so adding them never
+       perturbs the compute-path schedules of existing seeds). *)
+    torn_period : int option;  (* every k-th snapshot write is torn *)
+    fsync_fail_period : int option;  (* every m-th fsync raises ENOSPC *)
+    corrupt_period : int option;  (* every n-th snapshot read corrupts *)
   }
 
   let none =
@@ -126,6 +132,9 @@ module Faults = struct
       die_period = None;
       trip_period = None;
       trip_cause = Deadline;
+      torn_period = None;
+      fsync_fail_period = None;
+      corrupt_period = None;
     }
 
   (* splitmix-style avalanche; the derivation only needs well-spread
@@ -152,7 +161,32 @@ module Faults = struct
         trip_period =
           (if kinds land 4 <> 0 then Some (5 + (h 3 mod 50)) else None);
         trip_cause = (if h 4 land 1 = 0 then Deadline else Memory);
+        (* IO faults draw on fresh hash lanes (h 5..h 8): existing seeds
+           keep their historical compute-fault schedules bit-for-bit. A
+           nonempty subset of {torn, fsync, corrupt} is active. *)
+        torn_period =
+          (let io_kinds = 1 + (h 5 mod 7) in
+           if io_kinds land 1 <> 0 then Some (2 + (h 6 mod 5)) else None);
+        fsync_fail_period =
+          (let io_kinds = 1 + (h 5 mod 7) in
+           if io_kinds land 2 <> 0 then Some (2 + (h 7 mod 5)) else None);
+        corrupt_period =
+          (let io_kinds = 1 + (h 5 mod 7) in
+           if io_kinds land 4 <> 0 then Some (2 + (h 8 mod 5)) else None);
       }
+
+  let with_io ?torn_every ?fsync_fail_every ?corrupt_every s =
+    let pick override current =
+      match override with
+      | Some p -> if p <= 0 then None else Some p
+      | None -> current
+    in
+    {
+      s with
+      torn_period = pick torn_every s.torn_period;
+      fsync_fail_period = pick fsync_fail_every s.fsync_fail_period;
+      corrupt_period = pick corrupt_every s.corrupt_period;
+    }
 
   let from_env () =
     match Sys.getenv_opt "FRONTIER_FAULTS" with
@@ -168,21 +202,21 @@ module Faults = struct
   let state = Atomic.make none
   let claims = Atomic.make 0
   let checks = Atomic.make 0
+  let io_ops = Atomic.make 0
 
   let install schedule =
     Atomic.set claims 0;
     Atomic.set checks 0;
+    Atomic.set io_ops 0;
     Atomic.set state schedule
 
   let current () = Atomic.get state
   let active () = (Atomic.get state).seed <> 0
 
   let describe s =
-    if s.seed = 0 then "no fault injection"
-    else
-      String.concat ", "
-        (List.filter_map Fun.id
-           [
+    let parts =
+      List.filter_map Fun.id
+        [
              Option.map
                (Printf.sprintf "task exception every %d claims")
                s.raise_period;
@@ -195,7 +229,18 @@ module Faults = struct
                    (cause_to_string s.trip_cause)
                    p)
                s.trip_period;
-           ])
+             Option.map
+               (Printf.sprintf "torn snapshot write every %d IO writes")
+               s.torn_period;
+             Option.map
+               (Printf.sprintf "ENOSPC fsync every %d IO fsyncs")
+               s.fsync_fail_period;
+          Option.map
+            (Printf.sprintf "corrupt snapshot read every %d IO reads")
+            s.corrupt_period;
+        ]
+    in
+    if parts = [] then "no fault injection" else String.concat ", " parts
 
   let claim_fate ~worker =
     let s = Atomic.get state in
@@ -215,6 +260,24 @@ module Faults = struct
       match s.trip_period with
       | Some p when n mod p = 0 -> Some s.trip_cause
       | Some _ | None -> None
+
+  (* One tick per checkpoint-layer IO operation, whatever its kind: a
+     schedule's periods land on a shared deterministic counter, and a
+     fault only fires when its period hits on an operation of the
+     matching kind. Compute-path checkpoints never move this counter. *)
+  let io_fate kind =
+    let s = Atomic.get state in
+    if
+      s.torn_period = None && s.fsync_fail_period = None
+      && s.corrupt_period = None
+    then `Ok
+    else
+      let n = 1 + Atomic.fetch_and_add io_ops 1 in
+      let hits = function Some p -> n mod p = 0 | None -> false in
+      match kind with
+      | `Write -> if hits s.torn_period then `Torn else `Ok
+      | `Fsync -> if hits s.fsync_fail_period then `Enospc else `Ok
+      | `Read -> if hits s.corrupt_period then `Corrupt else `Ok
 end
 
 (* ------------------------------------------------------------------ *)

@@ -132,7 +132,13 @@ val mem_mask : int
     {- {e simulated deadline/memory trips}: a guard checkpoint trips as
        if the deadline had passed or the ceiling been hit — exercising
        every [Exhausted] salvage path without waiting for real
-       exhaustion.}} *)
+       exhaustion;}
+    {- {e IO faults} (consulted by the [Checkpoint] snapshot layer, never
+       by compute paths): a snapshot write is torn short before the
+       rename, an fsync fails as if the disk were full ([ENOSPC]), or a
+       snapshot read returns corrupted bytes — exercising the
+       checksum-validation and degradation ladder without real disk
+       failures.}} *)
 module Faults : sig
   exception Injected_fault of int
   (** Raised by a pool task whose claim the schedule selected; the
@@ -152,6 +158,18 @@ module Faults : sig
   val from_env : unit -> schedule
   (** [FRONTIER_FAULTS] parsed as an integer seed; {!none} when unset
       or malformed. *)
+
+  val with_io :
+    ?torn_every:int ->
+    ?fsync_fail_every:int ->
+    ?corrupt_every:int ->
+    schedule ->
+    schedule
+  (** Override the schedule's IO-fault periods explicitly (the
+      checkpoint test-suite's precision knob): every [torn_every]-th
+      snapshot write is torn short, every [fsync_fail_every]-th fsync
+      raises [ENOSPC], every [corrupt_every]-th snapshot read is
+      corrupted. Omitted arguments keep the schedule's derived values. *)
 
   val install : schedule -> unit
   (** Make the schedule current, resetting the process-wide claim and
@@ -175,4 +193,14 @@ module Faults : sig
   val forced_trip : unit -> cause option
   (** Consulted once per guard checkpoint: [Some Deadline] / [Some
       Memory] when the schedule trips this checkpoint. *)
+
+  val io_fate : [ `Write | `Fsync | `Read ] -> [ `Ok | `Torn | `Enospc | `Corrupt ]
+  (** Consulted once per checkpoint-layer IO operation, on a counter of
+      its own (compute-path checkpoints never move it). [`Torn] directs
+      a snapshot write to truncate its payload before the rename (a
+      simulated torn write — the file lands, its checksum does not
+      verify); [`Enospc] directs the fsync to fail as if the device
+      were full (the snapshot write is abandoned, the run continues);
+      [`Corrupt] directs a snapshot read to flip a byte before
+      validation. Faults only fire on the matching operation kind. *)
 end

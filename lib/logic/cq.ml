@@ -19,6 +19,13 @@ let gensym = Atomic.make 0
 let fresh_var ?(prefix = "v") () =
   Term.var (Printf.sprintf "%s#%d" prefix (1 + Atomic.fetch_and_add gensym 1))
 
+let reserve_fresh n =
+  let rec go () =
+    let cur = Atomic.get gensym in
+    if cur >= n || Atomic.compare_and_set gensym cur n then () else go ()
+  in
+  go ()
+
 let dedup_terms l =
   let _, rev =
     List.fold_left

@@ -147,3 +147,11 @@ val pp : t Fmt.t
 
 val fresh_var : ?prefix:string -> unit -> Term.t
 (** A globally fresh variable. *)
+
+val reserve_fresh : int -> unit
+(** Advance the fresh-variable counter to at least [n]: every later
+    {!fresh_var} name uses a number strictly greater than [n]. Snapshot
+    decoding calls this for each re-interned [prefix#n] variable, so a
+    resumed saturation can never mint a "fresh" variable that collides
+    with (and silently captures) one carried in from the interrupted
+    process's state. *)

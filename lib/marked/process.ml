@@ -77,8 +77,94 @@ module Store = struct
     k
 end
 
-let run ?pool ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step
-    ~levels q =
+let checkpoint_kind = "marked"
+
+(* One marked query per snapshot line: the free (original, representative)
+   pairs, the marked set, and the atoms — [Marked_query.make] revalidates
+   on decode. Canonical ids and WL fingerprints are process-local caches
+   and are never serialized; the store is re-warmed by re-insertion. *)
+let mq_to_string mq =
+  let module Codec = Checkpoint.Codec in
+  Codec.concat
+    [
+      Codec.list_to_string
+        (fun (o, r) ->
+          Codec.concat [ Codec.term_to_string o; Codec.term_to_string r ])
+        mq.Marked_query.free;
+      Codec.list_to_string Codec.term_to_string
+        (Term.Set.elements mq.Marked_query.marked);
+      Codec.list_to_string Codec.atom_to_string mq.Marked_query.atoms;
+    ]
+
+let mq_of_string ~levels s =
+  let module Codec = Checkpoint.Codec in
+  match Codec.fields s with
+  | [ free; marked; atoms ] -> (
+      let pair p =
+        match Codec.fields p with
+        | [ o; r ] -> (Codec.term_of_string o, Codec.term_of_string r)
+        | _ -> raise (Codec.Error "marked query: bad free pair")
+      in
+      try
+        Marked_query.make ~levels
+          ~free:(Codec.list_of_string pair free)
+          ~marked:
+            (Term.Set.of_list
+               (Codec.list_of_string Codec.term_of_string marked))
+          (Codec.list_of_string Codec.atom_of_string atoms)
+      with Invalid_argument m -> raise (Codec.Error m))
+  | _ -> raise (Codec.Error "marked query: expected three fields")
+
+(* The snapshot carries the complete classification state: the live
+   worklist, the collected totally-marked and trivial queries, and the
+   {e full} seen-store contents. Serializing the store is what keeps a
+   resumed run from re-admitting (and re-expanding) a query the
+   interrupted run had already processed — unlike generic rewriting,
+   store membership here is the only dedup, so dropping it would change
+   the result, not just the step count. *)
+let encode_state ~round ~levels ~q ~max_steps ~stats ~seen ~finished ~trivial
+    ~frontier =
+  let module Codec = Checkpoint.Codec in
+  let seen_lines =
+    Hashtbl.fold (fun _ bucket acc -> List.rev_append bucket acc) seen []
+  in
+  {
+    Checkpoint.Snapshot.kind = checkpoint_kind;
+    round;
+    meta =
+      [
+        ("steps", string_of_int stats.steps);
+        ("cut_steps", string_of_int stats.cut_steps);
+        ("fuse_steps", string_of_int stats.fuse_steps);
+        ("reduce_steps", string_of_int stats.reduce_steps);
+        ("dropped_improper", string_of_int stats.dropped_improper);
+        ("dropped_unsat", string_of_int stats.dropped_unsat);
+        ("max_steps", string_of_int max_steps);
+      ];
+    sections =
+      [
+        ( "levels",
+          Array.to_list
+            (Array.map (fun l -> Codec.concat [ Symbol.name l ]) levels) );
+        ("query", [ Codec.cq_to_string q ]);
+        ("frontier", List.map mq_to_string (Array.to_list frontier));
+        ("finished", List.map mq_to_string finished);
+        ("trivial", List.map mq_to_string trivial);
+        ("seen", List.map mq_to_string seen_lines);
+      ];
+  }
+
+type restart = {
+  frontier0 : Marked_query.t list;  (* queue order *)
+  finished0 : Marked_query.t list;  (* newest-first, as the run keeps them *)
+  trivial0 : Marked_query.t list;
+  seen0 : Marked_query.t list;
+  stats0 : stats;
+  round0 : int;
+}
+
+let run_from ?pool ?guard ?(max_steps = 200_000) ?(record_ranks = false)
+    ?on_step ?checkpoint:checkpoint_sink ~restart ~levels q =
   let pool =
     match pool with Some p -> p | None -> Parallel.Pool.create 1
   in
@@ -144,7 +230,20 @@ let run ?pool ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step
       List.filter_map Fun.id
         (List.map2 (fun mq k -> classify_new ~key:k mq) mqs keys)
   in
-  let initial_live = classify_many (Marked_query.all_markings ~levels q) in
+  let initial_live, base_round =
+    match restart with
+    | None -> (classify_many (Marked_query.all_markings ~levels q), 0)
+    | Some r ->
+        (* Rebuild the dedup store from the snapshot's full contents,
+           then restore the collected results and counters verbatim; the
+           live worklist resumes exactly where the snapshot left it. *)
+        List.iter (fun mq -> ignore (Store.add_if_absent seen mq)) r.seen0;
+        finished := r.finished0;
+        trivial := r.trivial0;
+        stats := r.stats0;
+        if record_ranks then List.iter (fun mq -> Queue.add mq mirror) r.frontier0;
+        (r.frontier0, r.round0)
+  in
   let rank_trace = ref [] in
   let snapshot () =
     if record_ranks then begin
@@ -221,12 +320,27 @@ let run ?pool ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step
               commit = true;
             })
   in
+  let checkpoint =
+    Option.map
+      (fun sink ->
+        {
+          Saturation.every = sink.Checkpoint.every;
+          min_interval_s = sink.Checkpoint.min_interval_s;
+          save =
+            (fun ~round ~final:_ frontier ->
+              Checkpoint.save_to sink
+                (encode_state ~round ~levels ~q ~max_steps ~stats:!stats
+                   ~seen ~finished:!finished ~trivial:!trivial ~frontier));
+        })
+      checkpoint_sink
+  in
   let verdict, kernel_stats =
     Saturation.run ~guard
       ~drain:
         (Saturation.At_most
            (fun () -> if !stats.steps >= max_steps then 0 else 1))
-      ~record_rounds:false ~init:initial_live ~step ()
+      ~record_rounds:false ~base_round ?checkpoint ~init:initial_live ~step
+      ()
   in
   let complete, interrupted =
     match verdict with
@@ -251,17 +365,74 @@ let run ?pool ?guard ?(max_steps = 200_000) ?(record_ranks = false) ?on_step
     rank_trace = (if record_ranks then Some (List.rev !rank_trace) else None);
   }
 
+let run ?pool ?guard ?max_steps ?record_ranks ?on_step ?checkpoint ~levels q
+    =
+  run_from ?pool ?guard ?max_steps ?record_ranks ?on_step ?checkpoint
+    ~restart:None ~levels q
+
+let decode_snapshot snap =
+  let module S = Checkpoint.Snapshot in
+  let module Codec = Checkpoint.Codec in
+  if snap.S.kind <> checkpoint_kind then
+    invalid_arg
+      (Printf.sprintf "Process.resume: %S snapshot, expected %S" snap.S.kind
+         checkpoint_kind);
+  let levels =
+    S.section snap "levels"
+    |> List.map (fun line ->
+           match Codec.fields line with
+           | [ name ] -> Symbol.make name ~arity:2
+           | _ -> raise (Codec.Error "levels: expected one field per line"))
+    |> Array.of_list
+  in
+  if Array.length levels < 2 then
+    raise (Codec.Error "levels: need at least two level relations");
+  let q =
+    match S.section snap "query" with
+    | [ line ] -> Codec.cq_of_string line
+    | _ -> raise (Codec.Error "expected a one-line query section")
+  in
+  let dec = mq_of_string ~levels in
+  let stat name = Option.value ~default:0 (S.meta_int snap name) in
+  let restart =
+    {
+      frontier0 = List.map dec (S.section snap "frontier");
+      finished0 = List.map dec (S.section snap "finished");
+      trivial0 = List.map dec (S.section snap "trivial");
+      seen0 = List.map dec (S.section snap "seen");
+      stats0 =
+        {
+          steps = stat "steps";
+          cut_steps = stat "cut_steps";
+          fuse_steps = stat "fuse_steps";
+          reduce_steps = stat "reduce_steps";
+          dropped_improper = stat "dropped_improper";
+          dropped_unsat = stat "dropped_unsat";
+        };
+      round0 = snap.S.round;
+    }
+  in
+  (levels, q, restart, S.meta_int snap "max_steps")
+
+let resume ?pool ?guard ?max_steps ?checkpoint snap =
+  let levels, q, restart, snap_max = decode_snapshot snap in
+  let max_steps =
+    match max_steps with Some _ as m -> m | None -> snap_max
+  in
+  run_from ?pool ?guard ?max_steps ?checkpoint ~restart:(Some restart)
+    ~levels q
+
 let td_levels = [| Symbol.make "G" ~arity:2; Symbol.make "R" ~arity:2 |]
 
-let rewrite_td ?pool ?guard ?max_steps ?on_step q =
-  run ?pool ?guard ?max_steps ?on_step ~levels:td_levels q
+let rewrite_td ?pool ?guard ?max_steps ?on_step ?checkpoint q =
+  run ?pool ?guard ?max_steps ?on_step ?checkpoint ~levels:td_levels q
 
-let rewrite_tdk ?pool ?guard ?max_steps ?on_step kk q =
+let rewrite_tdk ?pool ?guard ?max_steps ?on_step ?checkpoint kk q =
   if kk < 2 then invalid_arg "Process.rewrite_tdk: K must be at least 2";
   let levels =
     Array.init kk (fun i -> Symbol.make (Printf.sprintf "I%d" (i + 1)) ~arity:2)
   in
-  run ?pool ?guard ?max_steps ?on_step ~levels q
+  run ?pool ?guard ?max_steps ?on_step ?checkpoint ~levels q
 
 let boolean_always_true () = ()
 

@@ -50,6 +50,7 @@ val run :
      classification:Operations.classification ->
      results:Marked_query.t list ->
      unit) ->
+  ?checkpoint:Checkpoint.sink ->
   levels:Symbol.t array ->
   Cq.t -> result
 (** Requires a connected query with at least one answer variable (the paper
@@ -58,6 +59,13 @@ val run :
     [record_ranks = false]. The guard is checkpointed (one fuel unit) per
     process step; a trip abandons the live queue and reports the cause in
     [interrupted].
+
+    With [checkpoint], the process state — the live worklist, the
+    collected totally-marked and trivial queries, the step counters, and
+    the {e full} iso-dedup store — is snapshotted into the sink's
+    directory at its round cadence (the [min_interval_s] throttle
+    matters here: the process commits one round per worklist pop) and at
+    any non-complete finish — see {!resume}.
 
     The process itself is a strict one-pop-per-round worklist, but the
     per-result classification cost (isomorphism fingerprints and
@@ -76,6 +84,7 @@ val rewrite_td :
      classification:Operations.classification ->
      results:Marked_query.t list ->
      unit) ->
+  ?checkpoint:Checkpoint.sink ->
   Cq.t -> result
 (** The process for [T_d] itself: levels [G; R]. *)
 
@@ -88,8 +97,33 @@ val rewrite_tdk :
      classification:Operations.classification ->
      results:Marked_query.t list ->
      unit) ->
+  ?checkpoint:Checkpoint.sink ->
   int -> Cq.t -> result
 (** The process for [T_d^K]: levels [I_1; ...; I_K]. *)
+
+val checkpoint_kind : string
+(** The [Checkpoint.Snapshot.kind] tag process snapshots carry:
+    ["marked"]. *)
+
+val resume :
+  ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t ->
+  ?max_steps:int ->
+  ?checkpoint:Checkpoint.sink ->
+  Checkpoint.Snapshot.t -> result
+(** Continue a rewriting process from a (validated) snapshot. The
+    iso-dedup store is rebuilt from the snapshot's full seen-section (so
+    no already-processed query is re-admitted), the collected results
+    and step counters are restored verbatim, and the live worklist
+    resumes in queue order; [max_steps] defaults to the snapshot's
+    recorded value. The resumed result's rewriting, aliased, and trivial
+    sets equal an uninterrupted run's. [record_ranks] and [on_step] are
+    not available on resume — the pre-snapshot portion of a rank trace
+    is not serialized, and [kernel_stats] covers only the resumed
+    segment.
+
+    Raises [Invalid_argument] on a snapshot of a different kind and
+    [Checkpoint.Codec.Error] on undecodable content. *)
 
 val boolean_always_true : unit -> unit
 (** Documentation marker: due to (loop), every boolean CQ over the level

@@ -76,11 +76,10 @@ let render { triple; meta } =
   line "%s" (Fmt.str "%a" query_line triple.Minimize.query);
   Buffer.contents buf
 
-let write ~path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render t))
+(* Atomic (tmp + fsync + rename): a fuzz campaign interrupted mid-write
+   must never leave a truncated .repro behind — the whole point of the
+   file is to survive the crash that produced it. *)
+let write ~path t = Checkpoint.Atomic_io.write_file path (render t)
 
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                            *)

@@ -112,6 +112,12 @@ type store = {
   cardinal : unit -> int;
   to_ucq : unit -> Ucq.t;
   is_live : Cq.t -> bool;
+  preload : Cq.t list -> unit;
+      (* install snapshot disjuncts (given newest-first) verbatim, no
+         containment checks: a checkpointed store is already pairwise
+         non-subsuming, and [add_minimal]'s monotonicity means nothing
+         later in the run can make a preloaded disjunct wrong — only
+         subsume it, which the ordinary insert path handles *)
 }
 
 (* Resolve [implies q' d] over a candidate list in two phases: a
@@ -193,6 +199,15 @@ let make_store ~pool ~probe ~implies =
       to_ucq =
         (fun () -> Ucq.of_disjuncts_unchecked (Ucq_index.disjuncts idx));
       is_live;
+      preload =
+        (fun disj ->
+          (* [Ucq_index.disjuncts] reads newest-first, so install
+             oldest-first to land in the checkpointed order. *)
+          List.iter
+            (fun d ->
+              Ucq_index.add idx d;
+              Hashtbl.replace live (Cq.canon_id d) ())
+            (List.rev disj));
     }
   end
   else begin
@@ -223,8 +238,58 @@ let make_store ~pool ~probe ~implies =
       cardinal = (fun () -> List.length !disjuncts);
       to_ucq = (fun () -> Ucq.of_disjuncts_unchecked !disjuncts);
       is_live;
+      preload =
+        (fun disj ->
+          disjuncts := disj;
+          List.iter
+            (fun d -> Hashtbl.replace live (Cq.canon_id d) ())
+            disj);
     }
   end
+
+let checkpoint_kind = "rewrite"
+
+(* A rewriting snapshot holds the *uncompiled* theory (Single_head aux
+   naming is deterministic per theory, so resume recompiles to identical
+   aux symbols), the original query, the store disjuncts in store order
+   (auxiliary-mentioning ones included — they are live saturation
+   state), and the kernel frontier. Canonical CQ ids are process-local
+   and never serialized; the run-local dedup table is reseeded from the
+   decoded disjuncts, which is a subset of the ids the interrupted run
+   had seen — the missing ones only cost re-checks through the insert
+   path, never a different UCQ (subsumption against the store is
+   monotone). Hence the resumed result is UCQ-{e equivalent}, not
+   bit-identical: the contract the differential suite checks. *)
+let encode_state ~round ~theory ~q ~budget ~steps ~store_disjuncts ~frontier
+    =
+  let module Codec = Checkpoint.Codec in
+  {
+    Checkpoint.Snapshot.kind = checkpoint_kind;
+    round;
+    meta =
+      [
+        ("steps", string_of_int steps);
+        ("max_disjuncts", string_of_int budget.max_disjuncts);
+        ( "max_atoms_per_disjunct",
+          string_of_int budget.max_atoms_per_disjunct );
+        ("max_steps", string_of_int budget.max_steps);
+      ];
+    sections =
+      [
+        ("theory", Codec.theory_to_lines theory);
+        ("query", [ Codec.cq_to_string q ]);
+        ("store", List.map Codec.cq_to_string store_disjuncts);
+        ( "frontier",
+          List.map Codec.cq_to_string (Array.to_list frontier) );
+      ];
+  }
+
+type restart = {
+  store0 : Cq.t list;  (* newest-first, the checkpointed store order *)
+  frontier0 : Cq.t list;  (* queue order *)
+  steps0 : int;
+  round0 : int;
+}
 
 (* The one saturation, sequential and batch-synchronous at once: a
    kernel round expands a batch of live frontier disjuncts (one worklist
@@ -237,8 +302,9 @@ let make_store ~pool ~probe ~implies =
    subsumed frontier entry is still expanded if it died within its own
    batch), but on completion both are equivalent UCQs — the property the
    differential test suite checks. *)
-let rewrite ?(pool = Parallel.Pool.sequential) ?guard
-    ?(budget = default_budget) theory q =
+let rewrite_from ?(pool = Parallel.Pool.sequential) ?guard
+    ?(budget = default_budget) ?checkpoint:checkpoint_sink ~restart theory q
+    =
   let guard = match guard with Some g -> g | None -> Guard.unlimited () in
   let jobs = Parallel.Pool.size pool in
   let compiled, aux = Single_head.compile theory in
@@ -269,9 +335,21 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
   let q0 = Containment.core_of_query q in
   let seen_before = make_dedup () in
   let dedup_hits = ref 0 in
-  ignore (seen_before q0);
-  ignore (store.insert q0);
   let steps = ref 0 in
+  let init, base_round =
+    match restart with
+    | None ->
+        ignore (seen_before q0);
+        ignore (store.insert q0);
+        ([ q0 ], 0)
+    | Some { store0; frontier0; steps0; round0 } ->
+        store.preload store0;
+        ignore (seen_before q0);
+        List.iter (fun d -> ignore (seen_before d)) store0;
+        List.iter (fun d -> ignore (seen_before d)) frontier0;
+        steps := steps0;
+        (frontier0, round0)
+  in
   let outcome = ref Complete in
   (* Per-disjunct expansion cost from the previous round, feeding the
      dispatch gate's [?est_s] hint: rewriting rounds expand queries of
@@ -320,10 +398,12 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
           match Guard.status guard with
           | Some cause ->
               (* The fan-out observed a trip: keep the store (all its
-                 disjuncts are sound) but skip the merge. *)
+                 disjuncts are sound) but skip the merge. The batch goes
+                 back on the frontier — its expansions are discarded, so
+                 a resumed run must re-expand these disjuncts. *)
               outcome := Guard_exhausted cause;
               {
-                Saturation.next = [];
+                Saturation.next = live;
                 tally = Saturation.Stats.tally ~expanded ();
                 stop = true;
                 commit = true;
@@ -372,6 +452,21 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
                 commit = true;
               })
   in
+  let checkpoint =
+    Option.map
+      (fun sink ->
+        {
+          Saturation.every = sink.Checkpoint.every;
+          min_interval_s = sink.Checkpoint.min_interval_s;
+          save =
+            (fun ~round ~final:_ frontier ->
+              Checkpoint.save_to sink
+                (encode_state ~round ~theory ~q ~budget ~steps:!steps
+                   ~store_disjuncts:(Ucq.disjuncts (store.to_ucq ()))
+                   ~frontier));
+        })
+      checkpoint_sink
+  in
   let verdict, kernel_stats =
     Saturation.run ~pool ~guard
       ~drain:
@@ -387,7 +482,7 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
              if jobs = 1 || Parallel.Pool.effective_size pool <= 1 then
                min 1 r
              else r))
-      ~record_rounds:(jobs > 1) ~init:[ q0 ] ~step ()
+      ~record_rounds:(jobs > 1) ~base_round ?checkpoint ~init ~step ()
   in
   let outcome =
     match verdict with
@@ -401,6 +496,51 @@ let rewrite ?(pool = Parallel.Pool.sequential) ?guard
     ~generated:kernel_stats.Saturation.Stats.totals.Saturation.Stats.generated
     ~containment_checks:(Atomic.get checks)
     ~dedup_hits:!dedup_hits ~kernel_stats ~memo0 ~ix0 ~solver0
+
+let rewrite ?pool ?guard ?budget ?checkpoint theory q =
+  rewrite_from ?pool ?guard ?budget ?checkpoint ~restart:None theory q
+
+let decode_snapshot snap =
+  let module S = Checkpoint.Snapshot in
+  let module Codec = Checkpoint.Codec in
+  if snap.S.kind <> checkpoint_kind then
+    invalid_arg
+      (Printf.sprintf "Rewrite.resume: %S snapshot, expected %S" snap.S.kind
+         checkpoint_kind);
+  let theory = Codec.theory_of_lines (S.section snap "theory") in
+  let q =
+    match S.section snap "query" with
+    | [ line ] -> Codec.cq_of_string line
+    | _ -> raise (Codec.Error "expected a one-line query section")
+  in
+  let store0 = List.map Codec.cq_of_string (S.section snap "store") in
+  let frontier0 = List.map Codec.cq_of_string (S.section snap "frontier") in
+  let steps0 = Option.value ~default:0 (S.meta_int snap "steps") in
+  let snap_budget =
+    match
+      ( S.meta_int snap "max_disjuncts",
+        S.meta_int snap "max_atoms_per_disjunct",
+        S.meta_int snap "max_steps" )
+    with
+    | Some d, Some a, Some s ->
+        Some
+          { max_disjuncts = d; max_atoms_per_disjunct = a; max_steps = s }
+    | _ -> None
+  in
+  ( theory,
+    q,
+    { store0; frontier0; steps0; round0 = snap.S.round },
+    snap_budget )
+
+let resume ?pool ?guard ?budget ?checkpoint snap =
+  let theory, q, restart, snap_budget = decode_snapshot snap in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None -> Option.value ~default:default_budget snap_budget
+  in
+  rewrite_from ?pool ?guard ~budget ?checkpoint ~restart:(Some restart)
+    theory q
 
 let outcome_of_result r ~(guard : Guard.t) =
   match r.outcome with

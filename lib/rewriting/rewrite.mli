@@ -66,7 +66,9 @@ type result = {
 
 val rewrite :
   ?pool:Parallel.Pool.t ->
-  ?guard:Guard.t -> ?budget:budget -> Theory.t -> Cq.t -> result
+  ?guard:Guard.t -> ?budget:budget ->
+  ?checkpoint:Checkpoint.sink ->
+  Theory.t -> Cq.t -> result
 (** Multi-head rules are compiled via {!Single_head.compile}; auxiliary
     disjuncts are dropped from the final UCQ (kept during saturation).
     Rules with empty bodies or domain variables are skipped by the piece
@@ -87,7 +89,34 @@ val rewrite :
     one fuel unit per expanded live disjunct, and polled every
     {!Guard.poll_mask}+1 containment checks inside the minimization, so
     deadline and memory trips surface promptly even when individual
-    steps are containment-heavy. *)
+    steps are containment-heavy.
+
+    With [checkpoint], the saturation state (theory, query, store
+    disjuncts, frontier) is snapshotted into the sink's directory at its
+    round cadence and at any non-complete finish — see {!resume}. *)
+
+val checkpoint_kind : string
+(** The [Checkpoint.Snapshot.kind] tag rewriting snapshots carry:
+    ["rewrite"]. *)
+
+val resume :
+  ?pool:Parallel.Pool.t ->
+  ?guard:Guard.t -> ?budget:budget ->
+  ?checkpoint:Checkpoint.sink ->
+  Checkpoint.Snapshot.t -> result
+(** Continue a rewriting saturation from a (validated) snapshot. The
+    store is preloaded without containment checks (a checkpointed store
+    is already pairwise non-subsuming and minimization is monotone), the
+    budget defaults to the snapshot's recorded one, and [steps] counting
+    continues from the snapshot. The resumed run's completed UCQ is
+    {!Ucq.equivalent} to an uninterrupted run's — not necessarily
+    syntactically identical: canonical CQ ids are process-local, so the
+    candidate dedup reseeds from the decoded store and frontier and some
+    duplicate candidates take the (verdict-identical) containment path
+    instead; [steps]/cache counter totals may differ accordingly.
+
+    Raises [Invalid_argument] on a snapshot of a different kind and
+    [Checkpoint.Codec.Error] on undecodable content. *)
 
 val outcome_of_result : result -> guard:Guard.t -> (result, result) Guard.outcome
 (** The unified verdict for a finished run: [Complete] on saturation,

@@ -73,6 +73,12 @@ type 'w step_result = {
 
 type drain = All | At_most of (unit -> int)
 
+type 'w checkpoint = {
+  every : int;
+  min_interval_s : float;
+  save : round:int -> final:bool -> 'w array -> unit;
+}
+
 (* Tail-recursive frontier split: [split_batch n l] is [(first n, rest)]
    in order. A saturation frontier can hold millions of items, too deep
    for non-tail recursion. *)
@@ -133,7 +139,7 @@ let queue_take q k =
   batch
 
 let run ?pool ?guard ?(drain = All) ?(max_rounds = max_int)
-    ?(record_rounds = true) ~init ~step () =
+    ?(record_rounds = true) ?(base_round = 0) ?checkpoint ~init ~step () =
   (* A private size-1 pool by default (not the shared [Pool.sequential]):
      independent runs must not cross-contaminate each other's busy
      accounting. *)
@@ -145,7 +151,40 @@ let run ?pool ?guard ?(drain = All) ?(max_rounds = max_int)
   let totals = ref Stats.zero in
   let per_round = ref [] in
   let t_start = Unix.gettimeofday () in
+  let q = queue_of_list init in
+  (* Durability hooks. A cadence save fires after a committed round when
+     the *absolute* round number (resumed segments count from
+     [base_round]) hits the [every] stride and at least [min_interval_s]
+     has passed — the throttle that keeps one-pop-per-round drains from
+     spending their run writing files. A final save fires on any
+     non-[Saturated] finish so a budget stop, guard trip, or
+     cancellation always leaves the freshest resumable state behind;
+     it is skipped when the cadence save already captured this exact
+     round. Saturated runs save nothing — there is nothing to resume. *)
+  let last_save_t = ref (Unix.gettimeofday ()) in
+  let last_saved_round = ref (-1) in
+  let frontier_snapshot () = Array.sub q.buf q.head (queue_length q) in
+  let cadence_save () =
+    match checkpoint with
+    | None -> ()
+    | Some c ->
+        let abs = base_round + !rounds in
+        if abs mod c.every = 0 then begin
+          let now = Unix.gettimeofday () in
+          if now -. !last_save_t >= c.min_interval_s then begin
+            c.save ~round:abs ~final:false (frontier_snapshot ());
+            last_save_t := now;
+            last_saved_round := abs
+          end
+        end
+  in
   let finish verdict =
+    (match (checkpoint, verdict) with
+    | Some c, (Stopped | Tripped _) ->
+        let abs = base_round + !rounds in
+        if !last_saved_round <> abs then
+          c.save ~round:abs ~final:true (frontier_snapshot ())
+    | _ -> ());
     ( verdict,
       {
         Stats.rounds = !rounds;
@@ -154,7 +193,6 @@ let run ?pool ?guard ?(drain = All) ?(max_rounds = max_int)
         per_round = Array.of_list (List.rev !per_round);
       } )
   in
-  let q = queue_of_list init in
   (* Sequential fallback for budgeted drains: an [At_most] round whose
      batch cannot even hand one item to each worker (the tail of a
      rewriting saturation, a nearly-drained process queue) runs against
@@ -176,7 +214,7 @@ let run ?pool ?guard ?(drain = All) ?(max_rounds = max_int)
   in
   let rec loop () =
     if queue_length q = 0 then finish Saturated
-    else if !rounds >= max_rounds then finish Stopped
+    else if base_round + !rounds >= max_rounds then finish Stopped
     else
       match Guard.check guard with
       | Some cause ->
@@ -191,19 +229,25 @@ let run ?pool ?guard ?(drain = All) ?(max_rounds = max_int)
           else
             let batch = queue_take q want in
             let rpool = round_pool batch in
-            let ctx = { pool = rpool; guard; round = !rounds + 1 } in
+            let ctx =
+              { pool = rpool; guard; round = base_round + !rounds + 1 }
+            in
             let busy0 =
               if record_rounds then Parallel.Pool.busy_times rpool else [||]
             in
             let t0 = if record_rounds then Unix.gettimeofday () else 0. in
             let res = step ctx batch in
-            if not res.commit then
+            if not res.commit then begin
               (* Aborted mid-round: the partial products are unsound,
                  so the round is discarded wholesale — the
-                 accumulated state stays an exact prefix. *)
+                 accumulated state stays an exact prefix. The batch
+                 goes back on the head (steps must not mutate it), so
+                 the final snapshot still holds the full frontier. *)
+              q.head <- q.head - Array.length batch;
               match Guard.status guard with
               | Some cause -> finish (Tripped cause)
               | None -> finish Stopped
+            end
             else begin
               incr rounds;
               totals := Stats.add !totals res.tally;
@@ -211,7 +255,7 @@ let run ?pool ?guard ?(drain = All) ?(max_rounds = max_int)
                 let busy1 = Parallel.Pool.busy_times rpool in
                 per_round :=
                   {
-                    Stats.index = !rounds;
+                    Stats.index = base_round + !rounds;
                     frontier = Array.length batch;
                     tally = res.tally;
                     wall_s = Unix.gettimeofday () -. t0;
@@ -222,6 +266,7 @@ let run ?pool ?guard ?(drain = All) ?(max_rounds = max_int)
                   :: !per_round
               end;
               queue_push_list q res.next;
+              cadence_save ();
               (* A trip raised inside the committed round (typically
                  by the step's own [Guard.spend]) stops the run with
                  the round kept. *)
