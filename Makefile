@@ -1,4 +1,4 @@
-.PHONY: all build test check check-faults check-kernel check-portfolio check-shard check-arena check-resume bench bench-smoke examples doc clean fmt
+.PHONY: all build test check check-faults check-kernel check-portfolio check-shard check-arena check-eval check-resume bench bench-smoke examples doc clean fmt
 
 # Every generated bench snapshot — recorded smoke baselines and the
 # transient *-check.json the drift gates produce — lives here, out of
@@ -119,6 +119,30 @@ check-arena: build | $(SNAPSHOTS)
 	  $(SNAPSHOTS)/bench-arena-check.json \
 	  --tolerance $(ARENA_DRIFT_TOL)
 
+# Plan-layer gate (mirrored by the CI eval job): the eval unit suite
+# (plan compilation, leapfrog-vs-reference answers, guard salvage, the
+# containment probe), the eval differential properties (leapfrog =
+# boxed = Cq.answers on random and seeded instances; rewrite-then-
+# evaluate = chase-then-query across the zoo at -j1/-j4), a CLI smoke
+# of `frontier answer` on a generated grid, then the eval A/B
+# experiment in smoke sizing — which itself exits nonzero on any
+# answer mismatch — drift-gated against the recorded smoke snapshot.
+# The committed BENCH_eval.json is the full-size run; the smoke check
+# writes bench-eval-check.json so it never clobbers it.
+EVAL_DRIFT_TOL ?= 0.25
+check-eval: build | $(SNAPSHOTS)
+	dune exec test/test_eval.exe
+	FRONTIER_QCHECK_COUNT=25 dune exec test/test_properties.exe -- test eval
+	dune exec bin/frontier_cli.exe -- answer \
+	  -t 'E(x,y) -> exists z. E(y,z)' -q '(x,y) :- E(x,z), E(z,y)' \
+	  --gen grid --gen-size 60 --compare --stats
+	FRONTIER_BENCH_SMOKE=1 \
+	  FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-eval-check.json \
+	  dune exec bench/main.exe -- eval
+	python3 tools/bench_drift.py $(SNAPSHOTS)/bench-smoke-eval.json \
+	  $(SNAPSHOTS)/bench-eval-check.json \
+	  --tolerance $(EVAL_DRIFT_TOL)
+
 # Portfolio gate (mirrored by the CI portfolio job): the checker /
 # selector / minimizer / repro unit suites, the zoo classification
 # cross-check in the paper suite, then a differential fuzz smoke —
@@ -156,6 +180,7 @@ bench:
 #   rw     subsumption-indexed UCQ store + decomposed containment solver
 #   shard  sharded work-stealing pool, -j1 vs -j4 differential
 #   arena  flat-arena + compiled joins vs boxed, cost-gated -j4
+#   eval   leapfrog plan layer vs boxed enumeration + answer pipeline
 bench-smoke: | $(SNAPSHOTS)
 	FRONTIER_BENCH_SMOKE=1 \
 		FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-smoke.json \
@@ -169,6 +194,9 @@ bench-smoke: | $(SNAPSHOTS)
 	FRONTIER_BENCH_SMOKE=1 \
 		FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-smoke-arena.json \
 		dune exec bench/main.exe -- arena
+	FRONTIER_BENCH_SMOKE=1 \
+		FRONTIER_BENCH_JSON=$(SNAPSHOTS)/bench-smoke-eval.json \
+		dune exec bench/main.exe -- eval
 
 examples:
 	dune exec examples/quickstart.exe

@@ -127,20 +127,24 @@ let parse_theory s = Frontier.Parse.theory (read_source s)
 let parse_instance s = Frontier.Parse.instance (read_source s)
 let parse_query s = Frontier.Parse.query (read_source s)
 
-(* Flat-arena layer telemetry for [--stats], shared by chase and
-   rewrite: the process-wide tallies are sampled before the run and
-   printed as deltas, plus the arena's absolute size (the store is
-   append-only and process-wide, so a delta would undersell it). *)
+(* Engine telemetry for [--stats], one schema for every subcommand
+   (chase, rewrite, answer): the process-wide tallies are sampled before
+   the run and printed as deltas, plus the arena's absolute size (the
+   store is append-only and process-wide, so a delta would undersell
+   it). bench tables and tools/bench_drift.py rely on the lines being
+   identical across paths — add new telemetry here, not in a command. *)
 let engine_stats_before () =
   ( Frontier.Homomorphism.counters (),
     Frontier.Fact_set.counters (),
-    Frontier.Pool.gate_counters () )
+    Frontier.Pool.gate_counters (),
+    Frontier.Eval.counters () )
 
-let print_engine_stats (h0, f0, g0) =
+let print_engine_stats (h0, f0, g0, e0) =
   let a = Frontier.Arena.stats Frontier.Arena.global in
   let h1 = Frontier.Homomorphism.counters () in
   let f1 = Frontier.Fact_set.counters () in
   let g1 = Frontier.Pool.gate_counters () in
+  let e1 = Frontier.Eval.counters () in
   Fmt.pr "arena: %d spans / %d ints / %.2f MiB@." a.Frontier.Arena.spans
     a.Frontier.Arena.ints
     (float_of_int a.Frontier.Arena.bytes /. 1024. /. 1024.);
@@ -156,6 +160,15 @@ let print_engine_stats (h0, f0, g0) =
     - f0.Frontier.Fact_set.posting_probes)
     (f1.Frontier.Fact_set.posting_intersections
     - f0.Frontier.Fact_set.posting_intersections);
+  Fmt.pr "index: +%d delta / %d rebuilt atoms@."
+    (f1.Frontier.Fact_set.delta_atoms - f0.Frontier.Fact_set.delta_atoms)
+    (f1.Frontier.Fact_set.built_atoms - f0.Frontier.Fact_set.built_atoms);
+  Fmt.pr "plan layer: %d leapfrog plans / %d seeks / %d gallops / %d \
+          tuples@."
+    (e1.Frontier.Eval.plans - e0.Frontier.Eval.plans)
+    (e1.Frontier.Eval.seeks - e0.Frontier.Eval.seeks)
+    (e1.Frontier.Eval.gallops - e0.Frontier.Eval.gallops)
+    (e1.Frontier.Eval.emitted - e0.Frontier.Eval.emitted);
   Fmt.pr "fan-out gate: %d batches inline / %d fanned out@."
     (g1.Frontier.Pool.inline_batches - g0.Frontier.Pool.inline_batches)
     (g1.Frontier.Pool.fanout_batches - g0.Frontier.Pool.fanout_batches)
@@ -223,7 +236,6 @@ let chase_cmd =
         let result_facts =
           match variant with
           | "semi-oblivious" ->
-              let ix0 = Frontier.Fact_set.counters () in
               let es0 = engine_stats_before () in
               let run =
                 Frontier.Chase_engine.run ~pool ~guard ~max_depth:depth
@@ -246,12 +258,6 @@ let chase_cmd =
               if stats then begin
                 Fmt.pr "%a@." Frontier.Saturation.Stats.pp
                   (Frontier.Chase_engine.kernel_stats run);
-                let ix1 = Frontier.Fact_set.counters () in
-                Fmt.pr "index: +%d delta / %d rebuilt atoms@."
-                  (ix1.Frontier.Fact_set.delta_atoms
-                  - ix0.Frontier.Fact_set.delta_atoms)
-                  (ix1.Frontier.Fact_set.built_atoms
-                  - ix0.Frontier.Fact_set.built_atoms);
                 print_engine_stats es0;
                 print_checkpoint_stats ()
               end;
@@ -410,40 +416,166 @@ let rewrite_cmd =
       $ stats $ timeout_arg $ memory_arg $ checkpoint_dir_arg
       $ checkpoint_every_arg)
 
+(* The [answer] input: an explicit instance, or one of the seeded
+   large-instance generators — the million-fact workloads the evaluation
+   layer exists for. *)
+let generated_instance ~gen ~gen_size ~gen_facts ~gen_seed ~gen_rels =
+  let rels names =
+    match
+      String.split_on_char ',' names
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    with
+    | [] -> invalid_arg "--gen-rels: need at least one relation name"
+    | names -> List.map (fun n -> Frontier.Symbol.make n ~arity:2) names
+  in
+  match gen with
+  | "grid" -> (
+      match rels (Option.value ~default:"R,G" gen_rels) with
+      | [ right; down ] ->
+          Frontier.Instances.grid right down ~width:gen_size ~height:gen_size
+      | _ -> invalid_arg "--gen grid: needs exactly two relations (right,down)")
+  | "er" -> (
+      match rels (Option.value ~default:"E" gen_rels) with
+      | [ rel ] ->
+          Frontier.Instances.erdos_renyi rel ~seed:gen_seed ~nodes:gen_size
+            ~edges:gen_facts
+      | _ -> invalid_arg "--gen er: needs exactly one relation")
+  | "ba" -> (
+      match rels (Option.value ~default:"E" gen_rels) with
+      | [ rel ] ->
+          Frontier.Instances.barabasi_albert rel ~seed:gen_seed
+            ~nodes:gen_size
+            ~m:(max 1 (gen_facts / max 1 gen_size))
+      | _ -> invalid_arg "--gen ba: needs exactly one relation")
+  | other -> invalid_arg ("unknown generator '" ^ other ^ "' (grid|er|ba)")
+
 let answer_cmd =
-  let run theory instance query depth max_atoms jobs timeout max_memory_mb =
+  let run theory instance gen gen_size gen_facts gen_seed gen_rels query
+      depth max_atoms jobs stats compare_engines timeout max_memory_mb =
     handle (fun () ->
         with_pool jobs (fun pool ->
         with_guard ~timeout ~max_memory_mb (fun guard ->
         let t = parse_theory theory in
-        let d = parse_instance instance in
-        let q = parse_query query in
-        let answers =
-          Frontier.certain_answers ~pool ~guard ~max_depth:depth ~max_atoms t
-            d q
+        let d =
+          match (instance, gen) with
+          | Some s, None -> parse_instance s
+          | None, Some g ->
+              generated_instance ~gen:g ~gen_size ~gen_facts ~gen_seed
+                ~gen_rels
+          | Some _, Some _ ->
+              invalid_arg "give either --instance or --gen, not both"
+          | None, None -> invalid_arg "need an --instance or a --gen"
         in
-        Fmt.pr "via chase (%d answers):@." (List.length answers);
+        let q = parse_query query in
+        Fmt.pr "instance: %d facts@." (Frontier.Fact_set.cardinal d);
+        let es0 = engine_stats_before () in
+        (* Strategy -> rewrite (or chase/marked) -> evaluate. *)
+        let plan = Frontier.Portfolio.plan ~pool ~guard t in
+        Fmt.pr "strategy: %a (%s)@." Frontier.Portfolio.Strategy.pp_strategy
+          plan.Frontier.Portfolio.Strategy.strategy
+          (String.concat "; " plan.Frontier.Portfolio.Strategy.reasons);
+        let a =
+          Frontier.Portfolio.execute ~pool ~guard ~max_depth:depth ~max_atoms
+            plan t d q
+        in
+        Fmt.pr "%s answers (%d%s, via %s%s):@."
+          (if a.Frontier.Portfolio.Strategy.exact then "certain" else "sound")
+          (List.length a.Frontier.Portfolio.Strategy.tuples)
+          (if a.Frontier.Portfolio.Strategy.exact then "" else ", partial")
+          (Frontier.Portfolio.Strategy.strategy_name
+             a.Frontier.Portfolio.Strategy.used)
+          (if a.Frontier.Portfolio.Strategy.fell_back then ", after fallback"
+           else "");
+        let tuples = a.Frontier.Portfolio.Strategy.tuples in
+        let shown = List.filteri (fun i _ -> i < 20) tuples in
         List.iter
           (fun tuple ->
             Fmt.pr "  (%a)@."
               (Fmt.list ~sep:(Fmt.any ", ") Frontier.Term.pp)
               tuple)
-          answers;
-        (match Frontier.answer_via_rewriting ~pool ~guard t d q with
-        | Some answers' ->
-            Fmt.pr "via rewriting (%d answers): %s@." (List.length answers')
-              (if
-                 List.sort compare answers' = List.sort compare answers
-               then "agrees with the chase"
-               else "DISAGREES with the chase")
-        | None -> Fmt.pr "via rewriting: did not complete within budget@.");
+          shown;
+        if List.length tuples > List.length shown then
+          Fmt.pr "  ... (%d more)@." (List.length tuples - List.length shown);
+        if compare_engines then begin
+          let chase_tuples, saturated, _ =
+            Frontier.Portfolio.Strategy.chase_arm ~pool ~guard
+              ~max_depth:depth ~max_atoms t d q
+          in
+          Fmt.pr "chase-then-query (%d answers%s): %s@."
+            (List.length chase_tuples)
+            (if saturated then "" else ", unsaturated")
+            (if
+               Frontier.Portfolio.Strategy.equal_answers chase_tuples
+                 (Frontier.Portfolio.Strategy.normalize_tuples tuples)
+             then "agrees"
+             else "DISAGREES")
+        end;
+        if stats then print_engine_stats es0;
         finish guard)))
   in
+  let instance_opt =
+    let doc = "Instance: inline facts or @file (alternative: --gen)." in
+    Arg.(value & opt (some string) None & info [ "d"; "instance" ] ~doc)
+  in
+  let gen =
+    let doc =
+      "Generate the instance instead: 'grid' (gen-size x gen-size, \
+       relations right,down), 'er' (Erdős–Rényi, gen-facts edges over \
+       gen-size nodes) or 'ba' (Barabási–Albert preferential attachment, \
+       ~gen-facts edges)."
+    in
+    Arg.(value & opt (some string) None & info [ "gen" ] ~doc)
+  in
+  let gen_size =
+    Arg.(
+      value & opt int 1000
+      & info [ "gen-size" ]
+          ~doc:"Nodes (er/ba) or side length (grid) of the generated \
+                instance.")
+  in
+  let gen_facts =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "gen-facts" ] ~doc:"Edge count of the generated instance \
+                                   (er/ba).")
+  in
+  let gen_seed =
+    Arg.(value & opt int 42 & info [ "gen-seed" ] ~doc:"Generator seed.")
+  in
+  let gen_rels =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gen-rels" ]
+          ~doc:"Relation names for the generator, comma-separated \
+                (defaults: 'R,G' for grid, 'E' for er/ba).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the engine telemetry (same schema as chase/rewrite \
+             --stats), including the plan layer's leapfrog counters.")
+  in
+  let compare_engines =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Also compute chase-then-query answers and report whether \
+             they agree with the strategy's result.")
+  in
   Cmd.v
-    (Cmd.info "answer" ~doc:"Certain answers via chase and rewriting")
+    (Cmd.info "answer"
+       ~doc:
+         "Certain answers end-to-end: strategy selection, rewriting (or \
+          chase), then plan-layer evaluation over the instance")
     Term.(
-      const run $ theory_arg $ instance_arg $ query_arg $ depth_arg
-      $ atoms_arg $ jobs_arg $ timeout_arg $ memory_arg)
+      const run $ theory_arg $ instance_opt $ gen $ gen_size $ gen_facts
+      $ gen_seed $ gen_rels $ query_arg $ depth_arg $ atoms_arg $ jobs_arg
+      $ stats $ compare_engines $ timeout_arg $ memory_arg)
 
 let explain_cmd =
   let run theory instance query tuple depth max_atoms =

@@ -11,6 +11,7 @@ module Theory = Logic.Theory
 module Homomorphism = Logic.Homomorphism
 module Arena = Logic.Arena
 module Render = Logic.Render
+module Eval = Eval
 
 module Chase_engine = Chase.Engine
 module Entailment = Chase.Entailment
@@ -66,7 +67,7 @@ let certain_answers ?pool ?guard ?max_depth ?max_atoms theory d q =
   let dom = Fact_set.domain d in
   List.filter
     (fun tuple -> List.for_all (fun t -> Term.Set.mem t dom) tuple)
-    (Cq.answers q (Chase.Engine.result run))
+    (Eval.answers ?guard q (Chase.Engine.result run))
 
 let certain ?guard ?max_depth ?max_atoms theory d q tuple =
   match
@@ -82,22 +83,7 @@ let answer_via_rewriting ?pool ?guard ?budget theory d q =
   let r = Rewriting.Rewrite.rewrite ?pool ?guard ?budget theory q in
   match r.Rewriting.Rewrite.outcome with
   | Rewriting.Rewrite.Complete ->
-      let module Tuple_set = Set.Make (struct
-        type t = Term.t list
-
-        let compare = List.compare Term.compare
-      end) in
-      let answers =
-        List.fold_left
-          (fun acc disjunct ->
-            List.fold_left
-              (fun acc tuple -> Tuple_set.add tuple acc)
-              acc
-              (Cq.answers disjunct d))
-          Tuple_set.empty
-          (Ucq.disjuncts r.Rewriting.Rewrite.ucq)
-      in
-      Some (Tuple_set.elements answers)
+      Some (Eval.ucq_answers ?guard r.Rewriting.Rewrite.ucq d)
   | _ -> None
 
 let classify = Theories.Classes.classify

@@ -43,6 +43,14 @@ module Homomorphism = Logic.Homomorphism
 module Arena = Logic.Arena
 module Render = Logic.Render
 
+module Eval = Eval
+(** The executable-plan evaluation layer: compiles CQs/UCQs into
+    leapfrog-style worst-case-optimal joins over sorted per-column views
+    and is the single entry point for answering a rewriting over data —
+    {!certain_answers} and {!answer_via_rewriting} below run on it, as
+    do the chase's trigger matching and the containment solver's
+    existence probes (legacy engines stay behind [Eval.set_eval]). *)
+
 module Chase_engine = Chase.Engine
 module Entailment = Chase.Entailment
 module Cores = Chase.Core_model

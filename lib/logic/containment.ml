@@ -81,14 +81,28 @@ let exists_decomposed ~from ~into ~init =
   let target = Cq.as_fact_set into in
   let free = Term.Set.of_list (Cq.free from) in
   let exists_component atoms =
-    let tie_break = connectivity_tie_break ~free atoms in
-    try
-      Homomorphism.iter_multi ~init ~tie_break ~flexible
-        ~pattern:(List.map (fun a -> (a, target)) atoms)
-        ~domain_bindings:[]
-        (fun _ -> raise Found);
-      false
-    with Found -> true
+    (* The plan layer (lib/eval) registers an existence probe at link
+       time; it answers with its own engine selection, or declines
+       ([None]) problems it cannot compile — then, and in programs that
+       never link the plan layer, the in-library search runs. *)
+    let planned =
+      if Eval_hook.eval_enabled () then
+        match Eval_hook.probe () with
+        | Some probe -> probe ~init ~flexible ~pattern:atoms ~target
+        | None -> None
+      else None
+    in
+    match planned with
+    | Some verdict -> verdict
+    | None -> (
+        let tie_break = connectivity_tie_break ~free atoms in
+        try
+          Homomorphism.iter_multi ~init ~tie_break ~flexible
+            ~pattern:(List.map (fun a -> (a, target)) atoms)
+            ~domain_bindings:[]
+            (fun _ -> raise Found);
+          false
+        with Found -> true)
   in
   match Cq.body_components from with
   | [ _ ] -> exists_component (Cq.atoms from)

@@ -91,30 +91,40 @@ let empty_stats =
 let chase_arm ?pool ?guard ?(max_depth = 40) ?(max_atoms = 200_000) t d q =
   let run = Chase.Engine.run ?pool ?guard ~max_depth ~max_atoms t d in
   let model = Chase.Engine.result run in
-  let tuples =
-    if Cq.free q = [] then if Cq.boolean_holds q model then [ [] ] else []
+  let tuples, complete =
+    if Cq.free q = [] then
+      ((if Eval.boolean_holds q model then [ [] ] else []), true)
     else
       let dom = Fact_set.domain d in
-      Cq.answers q model
-      |> List.filter (List.for_all (fun tm -> Term.Set.mem tm dom))
+      let keep ts =
+        List.filter (List.for_all (fun tm -> Term.Set.mem tm dom)) ts
+      in
+      match Eval.answers_outcome ?guard q model with
+      | Guard.Complete ts -> (keep ts, true)
+      | Guard.Exhausted { partial; _ } ->
+          (* sound but possibly incomplete extraction *)
+          (keep partial, false)
   in
   ( normalize_tuples tuples,
-    Chase.Engine.saturated run,
+    complete && Chase.Engine.saturated run,
     Chase.Engine.kernel_stats run )
 
 let rewriting_arm ?pool ?guard ?budget t d q =
   let r = Rewriting.Rewrite.rewrite ?pool ?guard ?budget t q in
   let complete = r.Rewriting.Rewrite.outcome = Rewriting.Rewrite.Complete in
-  let tuples =
-    if not complete then []
-    else if Cq.free q = [] then
-      if Ucq.boolean_holds r.Rewriting.Rewrite.ucq d then [ [] ] else []
-    else
-      Ucq.disjuncts r.Rewriting.Rewrite.ucq
-      |> List.concat_map (fun disjunct -> Cq.answers disjunct d)
-      |> normalize_tuples
-  in
-  (tuples, complete, r.Rewriting.Rewrite.kernel_stats)
+  if not complete then ([], false, r.Rewriting.Rewrite.kernel_stats)
+  else if Cq.free q = [] then
+    ( (if Eval.ucq_boolean_holds r.Rewriting.Rewrite.ucq d then [ [] ] else []),
+      true,
+      r.Rewriting.Rewrite.kernel_stats )
+  else
+    match Eval.ucq_answers_outcome ?guard r.Rewriting.Rewrite.ucq d with
+    | Guard.Complete tuples ->
+        (normalize_tuples tuples, true, r.Rewriting.Rewrite.kernel_stats)
+    | Guard.Exhausted { partial; _ } ->
+        (* sound but possibly incomplete: report inexact so the
+           portfolio's validation layer does not certify the answer *)
+        (normalize_tuples partial, false, r.Rewriting.Rewrite.kernel_stats)
 
 (* The marked process answers queries over the level signature of
    T_d/T_d^K. Returns [None] when the query falls outside its contract

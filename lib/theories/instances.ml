@@ -76,3 +76,47 @@ let nonbdd_chain n =
   Fact_set.of_list
     (atom Zoo.r2 [ node 0; c ]
     :: List.init n (fun i -> atom Zoo.e3 [ node i; node (i + 1); c ]))
+
+let erdos_renyi rel ~seed ~nodes ~edges =
+  if Symbol.arity rel <> 2 then
+    invalid_arg "Instances.erdos_renyi: relation must be binary";
+  if nodes < 1 then invalid_arg "Instances.erdos_renyi: nodes must be positive";
+  if edges < 0 then invalid_arg "Instances.erdos_renyi: negative edge count";
+  let state = Random.State.make [| seed |] in
+  let node i = const (Printf.sprintf "v%d" i) in
+  let acc = ref [] in
+  for _ = 1 to edges do
+    let u = Random.State.int state nodes in
+    let v = Random.State.int state nodes in
+    acc := atom rel [ node u; node v ] :: !acc
+  done;
+  Fact_set.of_list !acc
+
+let barabasi_albert rel ~seed ~nodes ~m =
+  if Symbol.arity rel <> 2 then
+    invalid_arg "Instances.barabasi_albert: relation must be binary";
+  if m < 1 then invalid_arg "Instances.barabasi_albert: m must be positive";
+  if nodes < 2 then invalid_arg "Instances.barabasi_albert: need >= 2 nodes";
+  let state = Random.State.make [| seed |] in
+  let node i = const (Printf.sprintf "v%d" i) in
+  (* The endpoint multiset: every attached edge contributes both ends, so
+     sampling it uniformly is sampling vertices proportionally to degree —
+     the standard array trick for preferential attachment. *)
+  let ends = Array.make (2 * m * nodes) 0 in
+  let n_ends = ref 0 in
+  let push e =
+    ends.(!n_ends) <- e;
+    incr n_ends
+  in
+  let acc = ref [] in
+  for v = 1 to nodes - 1 do
+    for _ = 1 to min v m do
+      let u =
+        if !n_ends = 0 then 0 else ends.(Random.State.int state !n_ends)
+      in
+      acc := atom rel [ node v; node u ] :: !acc;
+      push v;
+      push u
+    done
+  done;
+  Fact_set.of_list !acc

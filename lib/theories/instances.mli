@@ -43,3 +43,18 @@ val random_binary :
 val nonbdd_chain : int -> Fact_set.t
 (** For Example 41: [E3(a_i, a_{i+1}, c)] for [i < n] plus [R(a_0, c)]:
     the [R]-atom must travel the whole chain, showing non-BDD behaviour. *)
+
+val erdos_renyi :
+  Symbol.t -> seed:int -> nodes:int -> edges:int -> Fact_set.t
+(** An Erdős–Rényi-style G(n, m) digraph over one binary relation:
+    [edges] edges drawn uniformly (with replacement — parallel duplicates
+    collapse in the fact set) over [nodes] named constants [v0..].
+    Deterministic in [seed]; sized for the million-fact evaluation
+    experiments. *)
+
+val barabasi_albert : Symbol.t -> seed:int -> nodes:int -> m:int -> Fact_set.t
+(** A Barabási–Albert preferential-attachment digraph: each arriving
+    vertex [v] attaches [min v m] edges to existing vertices sampled
+    proportionally to degree (endpoint-multiset trick). The resulting
+    heavy-tailed degree skew is the worst case separating the leapfrog
+    join from nested-loop matching. Deterministic in [seed]. *)

@@ -620,6 +620,132 @@ let prop_portfolio_agrees_on_zoo_instances =
            via_chase)
 
 (* ------------------------------------------------------------------ *)
+(* Eval: the plan layer against the boxed reference                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Same shape as [with_arena]: flip the plan-layer A/B switch for the
+   duration of [f], restoring the previous setting on the way out. *)
+let with_eval on f =
+  let prev = Eval.eval_enabled () in
+  Eval.set_eval on;
+  Fun.protect ~finally:(fun () -> Eval.set_eval prev) f
+
+(* Open queries: the second coordinate picks how many of the variables
+   actually used become answer variables (0 = boolean). *)
+let decode_open_query (atoms, nfree) =
+  let atoms = List.map (decode_atom (fun i -> body_var (i mod 3))) atoms in
+  let used =
+    List.sort_uniq Term.compare
+      (List.concat_map
+         (fun a -> List.filter Term.is_var (Atom.args a))
+         atoms)
+  in
+  let free =
+    List.filteri (fun i _ -> i < nfree mod (List.length used + 1)) used
+  in
+  Cq.make ~free atoms
+
+let open_query_arb =
+  QCheck.(pair (list_of_size Gen.(1 -- 3) atom_arb) (int_bound 3))
+
+(* Deterministic generator-built instances shared across cases: the
+   seeds the eval acceptance criteria pin (1, 7, 42). *)
+let eval_seed_instances =
+  List.map
+    (fun seed ->
+      Fact_set.union
+        (Theories.Instances.erdos_renyi e ~seed ~nodes:6 ~edges:14)
+        (Theories.Instances.erdos_renyi r ~seed:(seed + 100) ~nodes:6
+           ~edges:7))
+    [ 1; 7; 42 ]
+
+let equal_tuple_lists a b =
+  List.compare (List.compare Term.compare) a b = 0
+
+let prop_eval_answers_match_boxed =
+  (* The core differential: Eval.run through a leapfrog plan, the same
+     plan forced onto the legacy boxed enumeration, and Cq.answers must
+     produce identical tuple lists — on random instances and on the
+     pinned generator seeds. *)
+  QCheck.Test.make ~count
+    ~name:"Eval.answers: leapfrog = boxed enumeration = Cq.answers"
+    QCheck.(pair open_query_arb instance_arb)
+    (fun (qenc, inst) ->
+      let q = decode_open_query qenc in
+      List.for_all
+        (fun d ->
+          let on = with_eval true (fun () -> Eval.answers q d) in
+          let off = with_eval false (fun () -> Eval.answers q d) in
+          equal_tuple_lists on off && equal_tuple_lists on (Cq.answers q d))
+        (decode_instance inst :: eval_seed_instances))
+
+let prop_eval_ucq_matches_boxed =
+  (* Union evaluation with cross-disjunct dedup against the boxed path.
+     Every disjunct is anchored on E(x0, x1) so the free slot is shared
+     and the disjuncts genuinely overlap. *)
+  QCheck.Test.make ~count
+    ~name:"Eval.ucq_answers: plan union = boxed union"
+    QCheck.(triple query_arb query_arb instance_arb)
+    (fun (a1, a2, inst) ->
+      let disjunct atoms =
+        Cq.make ~free:[ body_var 0 ]
+          (Atom.make e [ body_var 0; body_var 1 ]
+          :: List.map (decode_atom (fun i -> body_var (i mod 3))) atoms)
+      in
+      let u = Ucq.of_disjuncts_unchecked [ disjunct a1; disjunct a2 ] in
+      List.for_all
+        (fun d ->
+          equal_tuple_lists
+            (with_eval true (fun () -> Eval.ucq_answers u d))
+            (with_eval false (fun () -> Eval.ucq_answers u d)))
+        (decode_instance inst :: eval_seed_instances))
+
+let prop_eval_zoo_certain_answers_agree =
+  (* The [frontier answer] pipeline (Strategy -> rewrite -> evaluate)
+     against chase-then-query across the theory zoo, sequential and -j4:
+     exact claims must match exactly, inexact answers must be sound. *)
+  QCheck.Test.make ~count
+    ~name:"zoo certain answers: rewrite-then-evaluate = chase-then-query (j1, j4)"
+    QCheck.(
+      pair (int_bound 1000)
+        (list_of_size Gen.(1 -- 5)
+           (triple (int_bound 20) (int_bound 4) (int_bound 4))))
+    (fun (pick, triples) ->
+      let theory = List.nth zoo_theories (pick mod List.length zoo_theories) in
+      let d = decode_zoo_instance theory triples in
+      let sig_ = theory_signature theory in
+      let rel =
+        match List.find_opt (fun s -> Symbol.arity s > 0) sig_ with
+        | Some s -> s
+        | None -> e
+      in
+      let xq = Term.var "x" in
+      let args =
+        List.init (Symbol.arity rel) (fun i ->
+            if i = 0 then xq else Term.var (Printf.sprintf "y%d" i))
+      in
+      let q = Cq.make ~free:[ xq ] [ Atom.make rel args ] in
+      let reference, ref_exact, _ =
+        Portfolio.Strategy.chase_arm ~max_depth:6 ~max_atoms theory d q
+      in
+      let plan = Portfolio.plan theory in
+      List.for_all
+        (fun pool ->
+          let a =
+            Portfolio.execute ?pool ~budget:portfolio_budget ~max_depth:6
+              ~max_atoms plan theory d q
+          in
+          if a.Portfolio.Strategy.exact && ref_exact then
+            Portfolio.Strategy.equal_answers a.Portfolio.Strategy.tuples
+              reference
+          else if ref_exact then
+            List.for_all
+              (fun tuple -> List.exists (( = ) tuple) reference)
+              a.Portfolio.Strategy.tuples
+          else true)
+        [ None; Some pool4 ])
+
+(* ------------------------------------------------------------------ *)
 (* The pool primitives themselves                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -893,6 +1019,13 @@ let () =
             prop_arena_hom_matches_boxed;
             prop_arena_rewriting_equivalent;
             prop_arena_zoo_chase_matches_boxed;
+          ] );
+      ( "eval",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_eval_answers_match_boxed;
+            prop_eval_ucq_matches_boxed;
+            prop_eval_zoo_certain_answers_agree;
           ] );
       ( "pool",
         [ QCheck_alcotest.to_alcotest prop_pool_primitives ] );

@@ -120,6 +120,64 @@ let test_grid_instance () =
   Alcotest.(check bool) "chase grows" true
     (Fact_set.cardinal (Chase.Engine.result run) > 7)
 
+(* The seeded large-instance generators feeding the eval experiments:
+   the same seed must yield literally the same instance in every
+   process, pinned by a digest of the sorted rendered facts (atom
+   hash-cons ids are not stable across processes, printed names are).
+   A diff here means the drawing order changed — which silently breaks
+   BENCH_eval comparability — so any intentional generator change must
+   update the goldens. *)
+let test_instance_generator_goldens () =
+  let digest fs =
+    Fact_set.atoms fs
+    |> List.map (fun a -> Fmt.str "%a" Atom.pp a)
+    |> List.sort String.compare
+    |> String.concat "\n" |> Digest.string |> Digest.to_hex
+  in
+  let er =
+    Theories.Instances.erdos_renyi Theories.Zoo.e2 ~seed:7 ~nodes:50
+      ~edges:400
+  in
+  (* 368 < 400: uniform drawing with replacement collapses duplicates. *)
+  Alcotest.(check int) "er cardinal" 368 (Fact_set.cardinal er);
+  Alcotest.(check int) "er domain" 50
+    (Term.Set.cardinal (Fact_set.domain er));
+  Alcotest.(check string) "er digest" "6fb2b16772e2cd34320351c2ad4e7698"
+    (digest er);
+  let ba =
+    Theories.Instances.barabasi_albert Theories.Zoo.e2 ~seed:7 ~nodes:60 ~m:3
+  in
+  Alcotest.(check int) "ba cardinal" 166 (Fact_set.cardinal ba);
+  Alcotest.(check int) "ba domain" 60
+    (Term.Set.cardinal (Fact_set.domain ba));
+  Alcotest.(check string) "ba digest" "ae42f87fd98277c6661df452d788c6e4"
+    (digest ba);
+  let g = Theories.Instances.grid Theories.Zoo.r2 Theories.Zoo.g2 ~width:5 ~height:4 in
+  Alcotest.(check string) "grid digest" "364833381ca760a557535b6174de9b2b"
+    (digest g);
+  (* Redraws with the same seed are equal; a different seed differs. *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool) "er redraw" true
+        (Fact_set.equal
+           (Theories.Instances.erdos_renyi Theories.Zoo.e2 ~seed ~nodes:30
+              ~edges:100)
+           (Theories.Instances.erdos_renyi Theories.Zoo.e2 ~seed ~nodes:30
+              ~edges:100));
+      Alcotest.(check bool) "ba redraw" true
+        (Fact_set.equal
+           (Theories.Instances.barabasi_albert Theories.Zoo.e2 ~seed
+              ~nodes:30 ~m:2)
+           (Theories.Instances.barabasi_albert Theories.Zoo.e2 ~seed
+              ~nodes:30 ~m:2)))
+    [ 1; 7; 42 ];
+  Alcotest.(check bool) "seeds differ" false
+    (Fact_set.equal
+       (Theories.Instances.erdos_renyi Theories.Zoo.e2 ~seed:1 ~nodes:30
+          ~edges:100)
+       (Theories.Instances.erdos_renyi Theories.Zoo.e2 ~seed:2 ~nodes:30
+          ~edges:100))
+
 let test_query_families () =
   let x0, x3, g3 = Theories.Zoo.g_path_query 3 in
   Alcotest.(check int) "g path atoms" 3 (Cq.size g3);
@@ -333,6 +391,8 @@ let () =
           Alcotest.test_case "e28 truncations" `Quick test_e28_truncations;
           Alcotest.test_case "instances" `Quick test_instances_shapes;
           Alcotest.test_case "grid instance" `Quick test_grid_instance;
+          Alcotest.test_case "instance generator goldens" `Quick
+            test_instance_generator_goldens;
           Alcotest.test_case "query families" `Quick test_query_families;
         ] );
       ( "generators",
